@@ -1,0 +1,250 @@
+package repro
+
+// One benchmark per figure of the paper's evaluation (Figs. 7-13) plus
+// the ablations, reporting *simulated* microseconds per operation as the
+// primary metric (sim-us/op) — wall time of a discrete-event simulation
+// is meaningless for the paper's claims. Wall-clock benchmarks of the
+// real transports (channel, UDP multicast) and of the hot codec paths
+// follow at the bottom.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=Fig13 -benchtime=20x
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+	"repro/internal/udpnet"
+)
+
+// simBench runs one scenario repetition per iteration and reports the
+// median simulated latency.
+func simBench(b *testing.B, sc bench.Scenario) {
+	b.Helper()
+	sc.Reps = 1
+	var total float64
+	for i := 0; i < b.N; i++ {
+		sc.Seed = uint64(i + 1)
+		r, err := bench.Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += r.Samples[0]
+	}
+	b.ReportMetric(total/float64(b.N), "sim-us/op")
+	b.ReportMetric(0, "ns/op") // wall time of the simulator is not the result
+}
+
+func bcastScenario(procs int, topo simnet.Topology, alg bench.Algorithm, size int) bench.Scenario {
+	sc := bench.DefaultScenario()
+	sc.Procs = procs
+	sc.Topology = topo
+	sc.Algorithm = alg
+	sc.MsgSize = size
+	return sc
+}
+
+// benchAlgs are the three contenders of Figs. 7-10.
+var benchAlgs = []bench.Algorithm{bench.MPICH, bench.McastLinear, bench.McastBinary}
+
+// benchSizes samples the paper's 0-5000 byte x-axis.
+var benchSizes = []int{0, 1000, 5000}
+
+func benchBcastFigure(b *testing.B, procs int, topo simnet.Topology) {
+	for _, alg := range benchAlgs {
+		for _, size := range benchSizes {
+			b.Run(fmt.Sprintf("%s/size=%d", alg, size), func(b *testing.B) {
+				simBench(b, bcastScenario(procs, topo, alg, size))
+			})
+		}
+	}
+}
+
+// BenchmarkFig07BcastHub4 regenerates Fig. 7 points: broadcast, 4
+// processes, shared 100 Mbps hub.
+func BenchmarkFig07BcastHub4(b *testing.B) { benchBcastFigure(b, 4, simnet.Hub) }
+
+// BenchmarkFig08BcastSwitch4 regenerates Fig. 8: 4 processes, switch.
+func BenchmarkFig08BcastSwitch4(b *testing.B) { benchBcastFigure(b, 4, simnet.Switch) }
+
+// BenchmarkFig09BcastSwitch6 regenerates Fig. 9: 6 processes, switch.
+func BenchmarkFig09BcastSwitch6(b *testing.B) { benchBcastFigure(b, 6, simnet.Switch) }
+
+// BenchmarkFig10BcastSwitch9 regenerates Fig. 10: 9 processes, switch.
+func BenchmarkFig10BcastSwitch9(b *testing.B) { benchBcastFigure(b, 9, simnet.Switch) }
+
+// BenchmarkFig11HubVsSwitch regenerates Fig. 11: MPICH and the binary
+// multicast broadcast on both topologies.
+func BenchmarkFig11HubVsSwitch(b *testing.B) {
+	for _, topo := range []simnet.Topology{simnet.Hub, simnet.Switch} {
+		for _, alg := range []bench.Algorithm{bench.MPICH, bench.McastBinary} {
+			for _, size := range benchSizes {
+				b.Run(fmt.Sprintf("%s/%s/size=%d", alg, topo, size), func(b *testing.B) {
+					simBench(b, bcastScenario(4, topo, alg, size))
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig12Scaling regenerates Fig. 12: MPICH vs linear multicast
+// at 3, 6 and 9 processes over the switch.
+func BenchmarkFig12Scaling(b *testing.B) {
+	for _, procs := range []int{3, 6, 9} {
+		for _, alg := range []bench.Algorithm{bench.MPICH, bench.McastLinear} {
+			for _, size := range benchSizes {
+				b.Run(fmt.Sprintf("%s/procs=%d/size=%d", alg, procs, size), func(b *testing.B) {
+					simBench(b, bcastScenario(procs, simnet.Switch, alg, size))
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig13Barrier regenerates Fig. 13: barrier over the hub as the
+// process count grows.
+func BenchmarkFig13Barrier(b *testing.B) {
+	for _, alg := range []bench.Algorithm{bench.MPICH, bench.McastBinary} {
+		for _, procs := range []int{2, 4, 6, 9} {
+			b.Run(fmt.Sprintf("%s/procs=%d", alg, procs), func(b *testing.B) {
+				sc := bench.DefaultScenario()
+				sc.Procs = procs
+				sc.Topology = simnet.Hub
+				sc.Algorithm = alg
+				sc.Op = bench.OpBarrier
+				simBench(b, sc)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationAck regenerates experiment A1: the PVM-style
+// acknowledgment broadcast against scouts and MPICH.
+func BenchmarkAblationAck(b *testing.B) {
+	for _, alg := range []bench.Algorithm{bench.MPICH, bench.McastBinary, bench.McastAck} {
+		for _, size := range []int{1000, 5000} {
+			b.Run(fmt.Sprintf("%s/size=%d", alg, size), func(b *testing.B) {
+				sc := bcastScenario(4, simnet.Switch, alg, size)
+				sc.SkewMax = 60_000
+				simBench(b, sc)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationSequencer measures the Orca-style sequencer broadcast
+// against the paper's binary algorithm. The root is rank 2, so the
+// sequencer variant pays the extra forwarding hop to rank 0 that buys it
+// total ordering.
+func BenchmarkAblationSequencer(b *testing.B) {
+	for _, alg := range []bench.Algorithm{bench.McastBinary, bench.Sequencer} {
+		b.Run(string(alg), func(b *testing.B) {
+			sc := bcastScenario(6, simnet.Switch, alg, 2000)
+			sc.Root = 2
+			simBench(b, sc)
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Wall-clock benchmarks: real transports and hot paths.
+
+// BenchmarkMemBcast measures the binary multicast broadcast end to end
+// over the in-process channel transport (goroutines, real time).
+func BenchmarkMemBcast(b *testing.B) {
+	for _, size := range []int{64, 4096} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			algs := core.Algorithms(core.Binary).Merge(baseline.Algorithms())
+			var iters atomic.Int64
+			iters.Store(int64(b.N))
+			b.ResetTimer()
+			err := mpi.RunMem(4, algs, func(c *mpi.Comm) error {
+				buf := make([]byte, size)
+				for i := 0; i < b.N; i++ {
+					if err := c.Bcast(buf, 0); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkUDPBcast measures the broadcast over real UDP/IP multicast
+// sockets through the kernel. Skipped where multicast is unavailable.
+func BenchmarkUDPBcast(b *testing.B) {
+	if err := udpnet.Probe(); err != nil {
+		b.Skipf("multicast unavailable: %v", err)
+	}
+	for _, size := range []int{64, 4096} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			cfg := udpnet.DefaultConfig(4)
+			cfg.McastPort = 47100 + size%97
+			algs := core.Algorithms(core.Binary).Merge(baseline.Algorithms())
+			b.ResetTimer()
+			err := udpnet.Run(cfg, algs, func(c *mpi.Comm) error {
+				buf := make([]byte, size)
+				for i := 0; i < b.N; i++ {
+					if err := c.Bcast(buf, 0); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkCodecEncode measures the wire-format encoder.
+func BenchmarkCodecEncode(b *testing.B) {
+	m := transport.Message{Kind: transport.Mcast, Comm: 1, Src: 3, Tag: -1001, Seq: 7,
+		Payload: make([]byte, 1400)}
+	frags := transport.Split(m, 42, 1400)
+	b.SetBytes(int64(len(frags[0].Msg.Payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := transport.EncodeFragment(frags[0])
+		_ = buf
+	}
+}
+
+// BenchmarkCodecDecode measures the wire-format decoder.
+func BenchmarkCodecDecode(b *testing.B) {
+	m := transport.Message{Kind: transport.Mcast, Comm: 1, Src: 3, Tag: -1001, Seq: 7,
+		Payload: make([]byte, 1400)}
+	buf := transport.EncodeFragment(transport.Split(m, 42, 1400)[0])
+	b.SetBytes(1400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := transport.DecodeFragment(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimEngine measures raw discrete-event throughput (events/sec
+// drive how fast the figure sweeps run).
+func BenchmarkSimEngine(b *testing.B) {
+	sc := bcastScenario(9, simnet.Hub, bench.McastBinary, 5000)
+	sc.Reps = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Run(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

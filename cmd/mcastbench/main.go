@@ -1,0 +1,79 @@
+// Command mcastbench regenerates the paper's evaluation: every figure
+// (7–13) and the ablation experiments (a1–a3) from DESIGN.md, measured on
+// the simulated Fast Ethernet testbed.
+//
+// Usage:
+//
+//	mcastbench                  # run everything at paper methodology
+//	mcastbench -figure 8        # one experiment
+//	mcastbench -quick           # coarse grid for a fast look
+//	mcastbench -reps 30 -step 100
+//	mcastbench -csv results/    # also write one CSV per experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		figure = flag.String("figure", "all", "experiment id (7..13, a1..a3) or 'all'")
+		reps   = flag.Int("reps", 20, "repetitions per point (paper used 20-30)")
+		step   = flag.Int("step", 250, "message size step in bytes")
+		max    = flag.Int("max", 5000, "maximum message size in bytes")
+		seed   = flag.Uint64("seed", 1, "base random seed")
+		quick  = flag.Bool("quick", false, "coarse grid (3 reps, 1000-byte steps)")
+		csvDir = flag.String("csv", "", "directory to write per-experiment CSV files")
+	)
+	flag.Parse()
+
+	opts := bench.Options{Reps: *reps, SizeStep: *step, MaxSize: *max, Seed: *seed}
+	if *quick {
+		opts.Reps, opts.SizeStep = 3, 1000
+	}
+
+	defs := bench.Defs()
+	if *figure != "all" {
+		d, ok := bench.Lookup(*figure)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mcastbench: unknown experiment %q; known:", *figure)
+			for _, d := range defs {
+				fmt.Fprintf(os.Stderr, " %s", d.ID)
+			}
+			fmt.Fprintln(os.Stderr)
+			os.Exit(2)
+		}
+		defs = []bench.Def{d}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "mcastbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	for _, d := range defs {
+		r, err := d.Build(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcastbench: experiment %s: %v\n", d.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(strings.Repeat("=", 100))
+		fmt.Println(r.Render())
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, "experiment_"+d.ID+".csv")
+			if err := os.WriteFile(path, []byte(r.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "mcastbench: writing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(csv written to %s)\n", path)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+// Package repro is a reproduction of "MPI Collective Operations over IP
+// Multicast" (Chen, Carrasco, Apon — IPPS/SPDP 2000): an MPI subset whose
+// broadcast and barrier run over IP multicast with scout synchronization,
+// together with the MPICH-style baselines, a discrete-event Fast Ethernet
+// testbed (hub and switch) that regenerates every figure of the paper's
+// evaluation, and a real UDP/IP-multicast transport.
+//
+// See README.md for the tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The top-level bench_test.go exposes one benchmark per paper figure.
+package repro

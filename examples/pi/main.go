@@ -1,0 +1,90 @@
+// pi estimates π by numerical integration of 4/(1+x²) on [0,1] — the
+// canonical first MPI application — on the *simulated* 9-node Fast
+// Ethernet cluster, and reports how much virtual time the collectives
+// cost under the MPICH algorithms versus the paper's multicast
+// algorithms. This is the "additional experimentation using parallel
+// applications" the paper's future work calls for.
+//
+//	go run ./examples/pi
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+func run(label string, algs mpi.Algorithms) {
+	const (
+		procs     = 9
+		intervals = 1_000_000
+		rounds    = 10 // the app broadcasts work and reduces each round
+	)
+	var finish int64
+	var result float64
+	_, err := cluster.RunSim(procs, simnet.Hub, simnet.DefaultProfile(), algs,
+		func(c *mpi.Comm) error {
+			pi := 0.0
+			for round := 0; round < rounds; round++ {
+				// Root broadcasts the interval count (message > one
+				// Ethernet frame to give multicast its advantage).
+				work := make([]byte, 2048)
+				if c.Rank() == 0 {
+					copy(work, mpi.Int64sToBytes([]int64{intervals}))
+				}
+				if err := c.Bcast(work, 0); err != nil {
+					return err
+				}
+				n := mpi.BytesToInt64s(work[:8])[0]
+				h := 1.0 / float64(n)
+				sum := 0.0
+				for i := int64(c.Rank()); i < n; i += int64(c.Size()) {
+					x := h * (float64(i) + 0.5)
+					sum += 4.0 / (1.0 + x*x)
+				}
+				part := mpi.Float64sToBytes([]float64{sum * h})
+				tot := make([]byte, len(part))
+				if err := c.Reduce(part, tot, mpi.Float64, mpi.OpSum, 0); err != nil {
+					return err
+				}
+				if err := c.Barrier(); err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					pi = mpi.BytesToFloat64s(tot)[0]
+				}
+			}
+			if c.Rank() == 0 {
+				result = pi
+				finish = c.Now()
+			}
+			return nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-14s π ≈ %.9f (err %.1e)  communication+compute: %8.1f µs of simulated time\n",
+		label, result, math.Abs(result-math.Pi), float64(finish)/1000)
+}
+
+func main() {
+	fmt.Println("π on the simulated 9-node Fast Ethernet hub, 10 rounds of bcast+reduce+barrier:")
+	mpich := baseline.Algorithms()
+	run("mpich", mpich)
+	mcastB, err := bench.Set(bench.McastBinary)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("mcast-binary", mcastB)
+	mcastL, err := bench.Set(bench.McastLinear)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("mcast-linear", mcastL)
+}

@@ -1,0 +1,308 @@
+// Package baseline implements the MPICH-style collective algorithms the
+// paper measures against: every collective is built from point-to-point
+// messages, exactly as "MPI implementations, including LAM and MPICH,
+// generally implement MPI collective operations on top of MPI
+// point-to-point operations" (§3).
+//
+// The two algorithms the paper describes in detail are reproduced
+// faithfully:
+//
+//   - Broadcast uses the binomial tree of Fig. 2: with 7 processes and
+//     root 0, process 0 sends to 4, 2 and 1; process 2 sends to 3;
+//     process 4 sends to 5 and 6. A broadcast of M bytes with frame
+//     payload T therefore moves ceil(M/T)·(N-1) data frames.
+//
+//   - Barrier uses the three-phase algorithm of Fig. 5: processes beyond
+//     the largest power of two K fold into the K-subcube, the subcube
+//     runs a pairwise hypercube exchange, and the folded processes are
+//     released — 2(N-K) + K·log2(K) messages.
+//
+// All traffic is marked Reliable (the paper's MPICH ran point-to-point
+// over TCP), which is what the simulator's TCPPenalty models.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/transport"
+)
+
+// Algorithms returns the full MPICH-style collective set.
+func Algorithms() mpi.Algorithms {
+	return mpi.Algorithms{
+		Bcast:         Bcast,
+		Barrier:       Barrier,
+		Reduce:        Reduce,
+		Allreduce:     Allreduce,
+		Gather:        Gather,
+		Scatter:       Scatter,
+		Allgather:     Allgather,
+		Alltoall:      Alltoall,
+		Scan:          Scan,
+		ReduceScatter: ReduceScatter,
+	}
+}
+
+// largestPow2 returns the largest power of two <= n (n >= 1).
+func largestPow2(n int) int {
+	k := 1
+	for k*2 <= n {
+		k *= 2
+	}
+	return k
+}
+
+// log2 returns log2(k) for a power of two k.
+func log2(k int) int {
+	l := 0
+	for k > 1 {
+		k >>= 1
+		l++
+	}
+	return l
+}
+
+// Bcast is the MPICH binomial-tree broadcast over point-to-point sends.
+func Bcast(c *mpi.Comm, buf []byte, root int) error {
+	size := c.Size()
+	if size == 1 {
+		return nil
+	}
+	cc := c.BeginColl()
+	rel := (c.Rank() - root + size) % size
+
+	// Receive phase: find our parent by scanning up the bit positions.
+	mask := 1
+	for mask < size {
+		if rel&mask != 0 {
+			parent := (rel - mask + root) % size
+			m, err := cc.Recv(parent, 0)
+			if err != nil {
+				return err
+			}
+			if len(m.Payload) != len(buf) {
+				return fmt.Errorf("baseline: bcast buffer %d bytes, message %d", len(buf), len(m.Payload))
+			}
+			copy(buf, m.Payload)
+			break
+		}
+		mask <<= 1
+	}
+	// Send phase: forward to children below our lowest set bit.
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < size {
+			child := (rel + mask + root) % size
+			if err := cc.Send(child, 0, buf, transport.ClassData, true); err != nil {
+				return err
+			}
+		}
+		mask >>= 1
+	}
+	return nil
+}
+
+// Barrier is the MPICH three-phase barrier of the paper's Fig. 5.
+func Barrier(c *mpi.Comm) error {
+	size := c.Size()
+	if size == 1 {
+		return nil
+	}
+	cc := c.BeginColl()
+	rank := c.Rank()
+	k := largestPow2(size)
+
+	// Phase 1: processes that do not fit the hypercube report in.
+	if rank >= k {
+		if err := cc.Send(rank-k, 0, nil, transport.ClassControl, true); err != nil {
+			return err
+		}
+	} else if rank < size-k {
+		if _, err := cc.Recv(rank+k, 0); err != nil {
+			return err
+		}
+	}
+
+	// Phase 2: pairwise exchange across each dimension of the hypercube.
+	if rank < k {
+		for bit, round := 1, 1; bit < k; bit, round = bit<<1, round+1 {
+			partner := rank ^ bit
+			if err := cc.Send(partner, round, nil, transport.ClassControl, true); err != nil {
+				return err
+			}
+			if _, err := cc.Recv(partner, round); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Phase 3: release the folded processes.
+	release := log2(k) + 1
+	if rank < size-k {
+		return cc.Send(rank+k, release, nil, transport.ClassControl, true)
+	}
+	if rank >= k {
+		_, err := cc.Recv(rank-k, release)
+		return err
+	}
+	return nil
+}
+
+// Reduce combines send buffers to root along the mirror of the broadcast
+// binomial tree.
+func Reduce(c *mpi.Comm, send, recv []byte, dt mpi.Datatype, op mpi.Op, root int) error {
+	size := c.Size()
+	cc := c.BeginColl()
+	rel := (c.Rank() - root + size) % size
+
+	acc := append([]byte(nil), send...)
+	for mask := 1; mask < size; mask <<= 1 {
+		if rel&mask != 0 {
+			parent := (rel - mask + root) % size
+			return cc.Send(parent, 0, acc, transport.ClassData, true)
+		}
+		peer := rel + mask
+		if peer < size {
+			m, err := cc.Recv((peer+root)%size, 0)
+			if err != nil {
+				return err
+			}
+			if err := mpi.ReduceBytes(op, dt, acc, m.Payload); err != nil {
+				return err
+			}
+		}
+	}
+	// Only the root reaches here (every other rank sent and returned).
+	if len(recv) != len(send) {
+		return fmt.Errorf("baseline: reduce recv buffer %d bytes, want %d", len(recv), len(send))
+	}
+	copy(recv, acc)
+	return nil
+}
+
+// Allreduce is a binomial reduce to rank 0 followed by a binomial
+// broadcast, MPICH's classic composition.
+func Allreduce(c *mpi.Comm, send, recv []byte, dt mpi.Datatype, op mpi.Op) error {
+	if len(recv) != len(send) {
+		return fmt.Errorf("baseline: allreduce recv buffer %d bytes, want %d", len(recv), len(send))
+	}
+	if err := Reduce(c, send, recv, dt, op, 0); err != nil {
+		return err
+	}
+	return Bcast(c, recv, 0)
+}
+
+// Gather collects equal-sized chunks to root with direct sends (the
+// MPICH 1.x linear gather).
+func Gather(c *mpi.Comm, send, recv []byte, root int) error {
+	cc := c.BeginColl()
+	if c.Rank() != root {
+		return cc.Send(root, 0, send, transport.ClassData, true)
+	}
+	n := len(send)
+	if len(recv) != n*c.Size() {
+		return fmt.Errorf("baseline: gather recv buffer %d bytes, want %d", len(recv), n*c.Size())
+	}
+	copy(recv[root*n:], send)
+	for i := 0; i < c.Size()-1; i++ {
+		m, err := cc.Recv(mpi.AnySource, 0)
+		if err != nil {
+			return err
+		}
+		r := cc.SrcRank(m)
+		if len(m.Payload) != n {
+			return fmt.Errorf("baseline: gather chunk from %d is %d bytes, want %d", r, len(m.Payload), n)
+		}
+		copy(recv[r*n:], m.Payload)
+	}
+	return nil
+}
+
+// Scatter distributes equal chunks from root with direct sends.
+func Scatter(c *mpi.Comm, send, recv []byte, root int) error {
+	cc := c.BeginColl()
+	n := len(recv)
+	if c.Rank() == root {
+		if len(send) != n*c.Size() {
+			return fmt.Errorf("baseline: scatter send buffer %d bytes, want %d", len(send), n*c.Size())
+		}
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				copy(recv, send[r*n:(r+1)*n])
+				continue
+			}
+			if err := cc.Send(r, 0, send[r*n:(r+1)*n], transport.ClassData, true); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	m, err := cc.Recv(root, 0)
+	if err != nil {
+		return err
+	}
+	if len(m.Payload) != n {
+		return fmt.Errorf("baseline: scatter chunk is %d bytes, want %d", len(m.Payload), n)
+	}
+	copy(recv, m.Payload)
+	return nil
+}
+
+// Allgather runs the ring algorithm: in step s every rank forwards the
+// block it received in step s-1 to its right neighbour, so after N-1
+// steps everyone holds every block.
+func Allgather(c *mpi.Comm, send, recv []byte) error {
+	size := c.Size()
+	n := len(send)
+	if len(recv) != n*size {
+		return fmt.Errorf("baseline: allgather recv buffer %d bytes, want %d", len(recv), n*size)
+	}
+	cc := c.BeginColl()
+	rank := c.Rank()
+	copy(recv[rank*n:], send)
+	right := (rank + 1) % size
+	left := (rank - 1 + size) % size
+	blk := rank // block we forward next
+	for step := 0; step < size-1; step++ {
+		if err := cc.Send(right, step, recv[blk*n:(blk+1)*n], transport.ClassData, true); err != nil {
+			return err
+		}
+		m, err := cc.Recv(left, step)
+		if err != nil {
+			return err
+		}
+		blk = (blk - 1 + size) % size
+		if len(m.Payload) != n {
+			return fmt.Errorf("baseline: allgather block is %d bytes, want %d", len(m.Payload), n)
+		}
+		copy(recv[blk*n:], m.Payload)
+	}
+	return nil
+}
+
+// Alltoall runs pairwise exchanges: in round i every rank sends to
+// (rank+i) mod N and receives from (rank-i) mod N.
+func Alltoall(c *mpi.Comm, send, recv []byte) error {
+	size := c.Size()
+	if len(send)%size != 0 || len(recv) != len(send) {
+		return fmt.Errorf("baseline: alltoall buffers %d/%d bytes for %d ranks", len(send), len(recv), size)
+	}
+	n := len(send) / size
+	cc := c.BeginColl()
+	rank := c.Rank()
+	copy(recv[rank*n:(rank+1)*n], send[rank*n:(rank+1)*n])
+	for i := 1; i < size; i++ {
+		dst := (rank + i) % size
+		src := (rank - i + size) % size
+		if err := cc.Send(dst, i, send[dst*n:(dst+1)*n], transport.ClassData, true); err != nil {
+			return err
+		}
+		m, err := cc.Recv(src, i)
+		if err != nil {
+			return err
+		}
+		copy(recv[src*n:(src+1)*n], m.Payload)
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package baseline_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline"
+	"repro/internal/mpi"
+)
+
+func TestRecursiveDoublingScan(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9} {
+		err := mpi.RunMem(n, baseline.Algorithms(), func(c *mpi.Comm) error {
+			send := mpi.Int64sToBytes([]int64{int64(c.Rank() + 1)})
+			recv := make([]byte, len(send))
+			if err := c.Scan(send, recv, mpi.Int64, mpi.OpSum); err != nil {
+				return err
+			}
+			r := int64(c.Rank())
+			want := (r + 1) * (r + 2) / 2
+			if got := mpi.BytesToInt64s(recv)[0]; got != want {
+				return fmt.Errorf("rank %d scan = %d, want %d", c.Rank(), got, want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestScanMaxOp(t *testing.T) {
+	// With OpMax the prefix is the running maximum; feed a zig-zag so
+	// intermediate prefixes differ from the global max.
+	vals := []int64{5, 1, 9, 2, 7, 3}
+	err := mpi.RunMem(len(vals), baseline.Algorithms(), func(c *mpi.Comm) error {
+		send := mpi.Int64sToBytes([]int64{vals[c.Rank()]})
+		recv := make([]byte, len(send))
+		if err := c.Scan(send, recv, mpi.Int64, mpi.OpMax); err != nil {
+			return err
+		}
+		want := vals[0]
+		for i := 1; i <= c.Rank(); i++ {
+			if vals[i] > want {
+				want = vals[i]
+			}
+		}
+		if got := mpi.BytesToInt64s(recv)[0]; got != want {
+			return fmt.Errorf("rank %d running max = %d, want %d", c.Rank(), got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairwiseReduceScatter(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 6, 8} {
+		err := mpi.RunMem(n, baseline.Algorithms(), func(c *mpi.Comm) error {
+			send := make([]byte, 0, 8*n)
+			for chunk := 0; chunk < n; chunk++ {
+				send = append(send, mpi.Int64sToBytes([]int64{int64((c.Rank() + 1) * (chunk + 7))})...)
+			}
+			recv := make([]byte, 8)
+			if err := c.ReduceScatter(send, recv, mpi.Int64, mpi.OpSum); err != nil {
+				return err
+			}
+			sumRanks := int64(n * (n + 1) / 2)
+			want := sumRanks * int64(c.Rank()+7)
+			if got := mpi.BytesToInt64s(recv)[0]; got != want {
+				return fmt.Errorf("rank %d = %d, want %d", c.Rank(), got, want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// Property: the recursive-doubling scan agrees with a sequential fold for
+// arbitrary inputs (int64 sums are exact, so equality is strict).
+func TestScanAgreesWithSequentialFold(t *testing.T) {
+	f := func(seed int64, sizeSeed uint8) bool {
+		n := int(sizeSeed)%7 + 1
+		vals := make([]int64, n)
+		x := seed
+		for i := range vals {
+			x = x*6364136223846793005 + 1442695040888963407
+			vals[i] = x % 1000
+		}
+		ok := true
+		err := mpi.RunMem(n, baseline.Algorithms(), func(c *mpi.Comm) error {
+			send := mpi.Int64sToBytes([]int64{vals[c.Rank()]})
+			recv := make([]byte, len(send))
+			if err := c.Scan(send, recv, mpi.Int64, mpi.OpSum); err != nil {
+				return err
+			}
+			var want int64
+			for i := 0; i <= c.Rank(); i++ {
+				want += vals[i]
+			}
+			if mpi.BytesToInt64s(recv)[0] != want {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,248 @@
+// Package bench is the measurement harness that regenerates every figure
+// of the paper's evaluation (Figs. 7–13) plus the ablations listed in
+// DESIGN.md, using the same methodology as the paper: the latency of a
+// collective operation is the longest completion time among all
+// participating processes, each point is the median of many repetitions,
+// and per-rank entry skew plus CSMA/CD backoff randomness provide the
+// sample spread the paper plots.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Algorithm names a collective implementation under test.
+type Algorithm string
+
+const (
+	// MPICH is the baseline: binomial-tree broadcast and three-phase
+	// barrier over point-to-point TCP-like messages.
+	MPICH Algorithm = "mpich"
+	// McastBinary is the paper's binary-tree scout algorithm.
+	McastBinary Algorithm = "mcast-binary"
+	// McastLinear is the paper's linear scout algorithm.
+	McastLinear Algorithm = "mcast-linear"
+	// McastAck is the PVM-style acknowledgment protocol (no scouts,
+	// sender repeats until acknowledged).
+	McastAck Algorithm = "mcast-ack"
+	// Sequencer is the Orca-style sequencer-ordered broadcast.
+	Sequencer Algorithm = "sequencer"
+	// McastNack is the receiver-initiated reliable multicast of the
+	// paper's reference [10] (Towsley et al.): receivers request repairs.
+	McastNack Algorithm = "mcast-nack"
+	// Unsafe is multicast with no synchronization at all; it loses
+	// messages to slow receivers and exists for the A2 ablation.
+	Unsafe Algorithm = "unsafe"
+)
+
+// Set returns the collective algorithm selection for a.
+func Set(a Algorithm) (mpi.Algorithms, error) {
+	switch a {
+	case MPICH:
+		return baseline.Algorithms(), nil
+	case McastBinary:
+		return core.Algorithms(core.Binary).Merge(baseline.Algorithms()), nil
+	case McastLinear:
+		return core.Algorithms(core.Linear).Merge(baseline.Algorithms()), nil
+	case McastAck:
+		// An aggressive retransmission timer reproduces the PVM
+		// behaviour of repeatedly re-sending the data until every
+		// acknowledgment has arrived.
+		opts := core.AckOptions{Timeout: 100_000, MaxRetries: 400}
+		return core.AckAlgorithms(opts).Merge(baseline.Algorithms()), nil
+	case McastNack:
+		opts := core.NackOptions{Probe: 500_000, MaxRepairs: 64}
+		return core.NackAlgorithms(opts).Merge(baseline.Algorithms()), nil
+	case Sequencer:
+		return core.SequencerAlgorithms().Merge(baseline.Algorithms()), nil
+	case Unsafe:
+		return mpi.Algorithms{Bcast: core.BcastUnsafe}.Merge(baseline.Algorithms()), nil
+	default:
+		return mpi.Algorithms{}, fmt.Errorf("bench: unknown algorithm %q", a)
+	}
+}
+
+// Op selects the collective operation measured.
+type Op string
+
+const (
+	// OpBcast measures MPI_Bcast of MsgSize bytes from rank 0.
+	OpBcast Op = "bcast"
+	// OpBarrier measures MPI_Barrier.
+	OpBarrier Op = "barrier"
+)
+
+// Scenario is one measurement configuration.
+type Scenario struct {
+	Procs     int
+	Topology  simnet.Topology
+	Algorithm Algorithm
+	Op        Op
+	MsgSize   int
+	// Root is the broadcast root (0 unless the scenario says otherwise;
+	// the sequencer ablation uses a non-zero root so the forwarding hop
+	// to the sequencer is exercised).
+	Root int
+	// Reps is the number of measured repetitions (the paper used 20–30).
+	Reps int
+	// Warmups precede measurement so MAC learning and group joins settle.
+	Warmups int
+	// SkewMax staggers each rank's entry uniformly in [0, SkewMax),
+	// modeling the asynchrony of cluster processes.
+	SkewMax sim.Duration
+	// Seed drives all randomness; rep i uses Seed+i.
+	Seed uint64
+	// Profile overrides the default calibration when non-nil.
+	Profile *simnet.Profile
+	// StrictPosted runs the network with VIA-style posted-receive
+	// semantics (used by the ablations).
+	StrictPosted bool
+}
+
+// DefaultScenario fills the methodology constants.
+func DefaultScenario() Scenario {
+	return Scenario{
+		Procs:     4,
+		Topology:  simnet.Switch,
+		Algorithm: McastBinary,
+		Op:        OpBcast,
+		Reps:      20,
+		Warmups:   2,
+		SkewMax:   15 * sim.Microsecond,
+		Seed:      1,
+	}
+}
+
+// Result holds the measured sample distribution in microseconds.
+type Result struct {
+	Scenario Scenario
+	// Samples are per-repetition latencies (µs), in repetition order.
+	Samples []float64
+	// Failures counts repetitions that did not complete (lost messages
+	// under Unsafe, retry exhaustion, …).
+	Failures int
+}
+
+// Median returns the median sample (0 when empty).
+func (r Result) Median() float64 { return quantile(r.Samples, 0.5) }
+
+// Min returns the fastest sample.
+func (r Result) Min() float64 { return quantile(r.Samples, 0) }
+
+// Max returns the slowest sample.
+func (r Result) Max() float64 { return quantile(r.Samples, 1) }
+
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	// Insertion sort: sample counts are tiny.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	idx := q * float64(len(s)-1)
+	lo := int(idx)
+	frac := idx - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Run executes the scenario: Reps independent simulations, each with its
+// own seed (so hub backoff and skew vary), measuring the longest per-rank
+// completion time of one collective after warmup.
+func Run(s Scenario) (Result, error) {
+	if s.Reps <= 0 {
+		s.Reps = 1
+	}
+	res := Result{Scenario: s}
+	algs, err := Set(s.Algorithm)
+	if err != nil {
+		return res, err
+	}
+	for rep := 0; rep < s.Reps; rep++ {
+		sample, err := runOnce(s, algs, s.Seed+uint64(rep))
+		if err != nil {
+			res.Failures++
+			continue
+		}
+		res.Samples = append(res.Samples, sample)
+	}
+	if len(res.Samples) == 0 {
+		return res, fmt.Errorf("bench: all %d repetitions of %s/%s failed", s.Reps, s.Algorithm, s.Op)
+	}
+	return res, nil
+}
+
+func runOnce(s Scenario, algs mpi.Algorithms, seed uint64) (float64, error) {
+	prof := simnet.DefaultProfile()
+	if s.Profile != nil {
+		prof = *s.Profile
+	}
+	prof.Seed = seed
+	prof.StrictPosted = s.StrictPosted
+	skewRng := sim.NewRand(seed ^ 0xD1CE)
+	skews := make([]sim.Duration, s.Procs)
+	for i := range skews {
+		skews[i] = skewRng.Duration(s.SkewMax)
+	}
+	latencies := make([]int64, s.Procs)
+
+	nw, err := cluster.RunSim(s.Procs, s.Topology, prof, algs, func(c *mpi.Comm) error {
+		buf := make([]byte, s.MsgSize)
+		op := func() error {
+			switch s.Op {
+			case OpBarrier:
+				return c.Barrier()
+			default:
+				return c.Bcast(buf, s.Root)
+			}
+		}
+		for w := 0; w < s.Warmups; w++ {
+			if err := op(); err != nil {
+				return err
+			}
+		}
+		// Separate the measured repetition from warmup traffic still in
+		// flight, then enter with per-rank skew — the usual collective
+		// micro-benchmark methodology.
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		cluster.SimComm(c).Proc().Sleep(skews[c.Rank()])
+		start := c.Now()
+		if err := op(); err != nil {
+			return err
+		}
+		latencies[c.Rank()] = c.Now() - start
+		return nil
+	})
+	_ = nw
+	if err != nil {
+		return 0, err
+	}
+	var worst int64
+	for _, l := range latencies {
+		if l > worst {
+			worst = l
+		}
+	}
+	return float64(worst) / 1000.0, nil // µs
+}

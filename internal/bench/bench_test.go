@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+func quickOpts() Options {
+	return Options{Reps: 3, SizeStep: 2500, MaxSize: 5000, Seed: 1}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	if q := quantile(xs, 0.5); q != 3 {
+		t.Errorf("median = %v, want 3", q)
+	}
+	if q := quantile(xs, 0); q != 1 {
+		t.Errorf("min = %v, want 1", q)
+	}
+	if q := quantile(xs, 1); q != 5 {
+		t.Errorf("max = %v, want 5", q)
+	}
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+	even := []float64{1, 2, 3, 4}
+	if q := quantile(even, 0.5); math.Abs(q-2.5) > 1e-9 {
+		t.Errorf("even median = %v, want 2.5", q)
+	}
+	// quantile must not mutate its input.
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Error("quantile sorted the caller's slice")
+	}
+}
+
+func TestSetKnowsAllAlgorithms(t *testing.T) {
+	for _, a := range []Algorithm{MPICH, McastBinary, McastLinear, McastAck, McastNack, Sequencer, Unsafe} {
+		algs, err := Set(a)
+		if err != nil {
+			t.Fatalf("Set(%s): %v", a, err)
+		}
+		if algs.Bcast == nil {
+			t.Fatalf("Set(%s) has no Bcast", a)
+		}
+	}
+	if _, err := Set("nope"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestRunProducesSamples(t *testing.T) {
+	sc := DefaultScenario()
+	sc.Reps = 5
+	sc.MsgSize = 1000
+	r, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Samples) != 5 {
+		t.Fatalf("samples = %d, want 5", len(r.Samples))
+	}
+	for _, s := range r.Samples {
+		if s <= 0 || s > 100_000 {
+			t.Fatalf("implausible latency %v µs", s)
+		}
+	}
+	if r.Median() < r.Min() || r.Median() > r.Max() {
+		t.Fatal("median outside [min,max]")
+	}
+}
+
+func TestRunDeterministicWithSeed(t *testing.T) {
+	sc := DefaultScenario()
+	sc.Reps = 3
+	sc.MsgSize = 500
+	sc.Topology = simnet.Hub
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("same seed gave different samples: %v vs %v", a.Samples, b.Samples)
+		}
+	}
+	sc.Seed = 99
+	c, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Samples {
+		if a.Samples[i] != c.Samples[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical hub samples (no randomness?)")
+	}
+}
+
+func TestHeadlineShapesQuick(t *testing.T) {
+	// The crossover claim at one size on each side, with minimal reps.
+	measure := func(a Algorithm, size int) float64 {
+		sc := DefaultScenario()
+		sc.Algorithm = a
+		sc.MsgSize = size
+		sc.Reps = 3
+		r, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Median()
+	}
+	if m, b := measure(MPICH, 100), measure(McastBinary, 100); b < m {
+		t.Logf("note: at 100 B multicast (%v) already beats MPICH (%v)", b, m)
+	}
+	if m, b := measure(MPICH, 5000), measure(McastBinary, 5000); b >= m {
+		t.Fatalf("at 5000 B multicast (%v µs) must beat MPICH (%v µs)", b, m)
+	}
+}
+
+func TestAllFigureDefsBuildQuick(t *testing.T) {
+	for _, d := range Defs() {
+		d := d
+		t.Run(d.ID, func(t *testing.T) {
+			r, err := d.Build(quickOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := r.Render()
+			if !strings.Contains(r.Name(), d.ID) || len(out) < 100 {
+				t.Errorf("render of %s malformed:\n%s", d.ID, out[:200])
+			}
+			csv := r.CSV()
+			if len(strings.Split(csv, "\n")) < 3 {
+				t.Errorf("csv of %s too short:\n%s", d.ID, csv)
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("7"); !ok {
+		t.Fatal("figure 7 missing")
+	}
+	if _, ok := Lookup("a3"); !ok {
+		t.Fatal("experiment a3 missing")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("bogus id found")
+	}
+}
+
+func TestBarrierScenario(t *testing.T) {
+	sc := DefaultScenario()
+	sc.Op = OpBarrier
+	sc.Algorithm = McastBinary
+	sc.Procs = 8
+	sc.Topology = simnet.Hub
+	sc.Reps = 3
+	r, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Median() <= 0 {
+		t.Fatal("barrier latency not positive")
+	}
+}
+
+func TestUnsafeScenarioLosesUnderStrictSkew(t *testing.T) {
+	// With 1 ms of entry skew a receiver regularly misses the
+	// unsynchronized multicast; a rep only survives when the root
+	// happens to draw the largest skew. Across several reps at least
+	// one loss is (deterministically, for this seed) guaranteed.
+	sc := DefaultScenario()
+	sc.Algorithm = Unsafe
+	sc.StrictPosted = true
+	sc.SkewMax = 1000 * 1000
+	sc.MsgSize = 1000
+	sc.Reps = 5
+	r, err := Run(sc)
+	if err == nil && r.Failures == 0 {
+		t.Fatal("unsafe broadcast never lost a message under heavy skew")
+	}
+	// The scout-synchronized algorithm must survive the same conditions.
+	sc.Algorithm = McastBinary
+	r, err = Run(sc)
+	if err != nil || r.Failures != 0 {
+		t.Fatalf("binary scout broadcast lost messages: %v (failures %d)", err, r.Failures)
+	}
+}

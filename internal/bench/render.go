@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Name implements Renderable.
+func (f *Figure) Name() string { return fmt.Sprintf("Figure %s: %s", f.ID, f.Title) }
+
+// Name implements Renderable.
+func (t *Table) Name() string { return fmt.Sprintf("Experiment %s: %s", t.ID, t.Title) }
+
+// Render formats the figure as a data table followed by an ASCII plot of
+// the medians.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Name())
+	fmt.Fprintf(&b, "paper: %s\n\n", f.Expectation)
+
+	// Table: X column then per-series median (min..max shown compactly).
+	fmt.Fprintf(&b, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " | %-24s", s.Label)
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", 12+len(f.Series)*27))
+	b.WriteString("\n")
+	if len(f.Series) > 0 {
+		for i := range f.Series[0].Points {
+			fmt.Fprintf(&b, "%-12.0f", f.Series[0].Points[i].X)
+			for _, s := range f.Series {
+				p := s.Points[i]
+				cell := fmt.Sprintf("%8.1f [%7.1f..%8.1f]", p.Median, p.Min, p.Max)
+				if p.Failures > 0 {
+					cell += fmt.Sprintf(" !%d", p.Failures)
+				}
+				fmt.Fprintf(&b, " | %-24s", cell)
+			}
+			b.WriteString("\n")
+		}
+	}
+	b.WriteString("\n")
+	b.WriteString(f.plot(72, 20))
+	return b.String()
+}
+
+// plot draws the medians of every series on a w×h character grid.
+func (f *Figure) plot(w, h int) string {
+	if len(f.Series) == 0 || len(f.Series[0].Points) == 0 {
+		return ""
+	}
+	minX, maxX := f.Series[0].Points[0].X, f.Series[0].Points[0].X
+	maxY := 0.0
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if p.X < minX {
+				minX = p.X
+			}
+			if p.X > maxX {
+				maxX = p.X
+			}
+			if p.Median > maxY {
+				maxY = p.Median
+			}
+		}
+	}
+	if maxX == minX || maxY == 0 {
+		return ""
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	marks := "BLMASU123456789"
+	for si, s := range f.Series {
+		mark := marks[si%len(marks)]
+		for _, p := range s.Points {
+			x := int(float64(w-1) * (p.X - minX) / (maxX - minX))
+			y := int(float64(h-1) * p.Median / maxY)
+			row := h - 1 - y
+			if row >= 0 && row < h && x >= 0 && x < w {
+				grid[row][x] = mark
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (max %.0f)\n", f.YLabel, maxY)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "  |%s\n", string(row))
+	}
+	fmt.Fprintf(&b, "  +%s\n", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "   %-10.0f%s%10.0f\n", minX, centerPad(f.XLabel, w-20), maxX)
+	b.WriteString("   legend: ")
+	for si, s := range f.Series {
+		if si > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%c=%s", marks[si%len(marks)], s.Label)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func centerPad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	left := (w - len(s)) / 2
+	return strings.Repeat(" ", left) + s + strings.Repeat(" ", w-len(s)-left)
+}
+
+// CSV exports every point: series,x,median,min,max,failures.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "figure,series,%s,median_us,min_us,max_us,failures\n", strings.ReplaceAll(f.XLabel, " ", "_"))
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%s,%s,%.0f,%.2f,%.2f,%.2f,%d\n", f.ID, s.Label, p.X, p.Median, p.Min, p.Max, p.Failures)
+		}
+	}
+	return b.String()
+}
+
+// Render formats the table.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Name())
+	fmt.Fprintf(&b, "paper: %s\n\n", t.Expectation)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 3
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV exports the table rows.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteString("\n")
+	}
+	return b.String()
+}

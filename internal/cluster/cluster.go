@@ -1,0 +1,41 @@
+// Package cluster wires MPI worlds onto each transport: it is the
+// mpirun of this repository. RunSim executes a rank program on the
+// simulated Fast Ethernet testbed and returns the network for counter
+// inspection; RunMem (in package mpi) covers the in-process transport and
+// udpnet.Run covers real sockets.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+// RunSim builds an n-rank cluster on the given topology and profile, runs
+// fn once per rank under the world communicator, and returns the network
+// so callers can read wire counters, loss statistics and the virtual
+// clock.
+func RunSim(n int, topo simnet.Topology, prof simnet.Profile, algs mpi.Algorithms, fn func(c *mpi.Comm) error) (*simnet.Network, error) {
+	nw := simnet.New(n, topo, prof)
+	fns := make([]func(ep *simnet.Endpoint) error, n)
+	for i := 0; i < n; i++ {
+		fns[i] = func(ep *simnet.Endpoint) error {
+			rt := mpi.NewRuntime(ep)
+			world, err := mpi.World(rt, algs)
+			if err != nil {
+				return fmt.Errorf("world setup: %w", err)
+			}
+			return fn(world)
+		}
+	}
+	err := nw.Run(fns)
+	return nw, err
+}
+
+// SimComm gives rank programs access to their simulated endpoint (e.g. to
+// model computation time with Proc().Sleep). It performs the type
+// assertion from the communicator's device endpoint.
+func SimComm(c *mpi.Comm) *simnet.Endpoint {
+	return c.Runtime().Endpoint().(*simnet.Endpoint)
+}

@@ -1,0 +1,256 @@
+// Package core implements the paper's contribution: MPI collective
+// operations over IP multicast.
+//
+// IP multicast is receiver-directed and unreliable — a datagram multicast
+// before a receiver has posted its receive is lost. The asynchronous
+// nature of cluster computing means the root cannot know the receivers'
+// state without synchronization. The paper introduces two scout
+// synchronization schemes that guarantee every receiver is ready before
+// the single multicast transmission:
+//
+//   - Linear (Fig. 4): every non-root rank sends a scout message
+//     point-to-point to the root; the root collects all N-1 scouts and
+//     then multicasts the payload once.
+//
+//   - Binary (Fig. 3): scouts are combined up a binomial tree — ranks
+//     beyond the largest power of two K fold in first, then a
+//     low-bit-first binomial gather runs over ranks 0..K-1 — so the root
+//     learns "everyone is ready" in log2(K)+1 steps. With 7 processes,
+//     4, 5 and 6 send to 0, 1 and 2; then 1→0 and 3→2; then 2→0; then
+//     the root multicasts.
+//
+// Either way a broadcast of M bytes with frame payload T costs N-1 scout
+// frames plus ceil(M/T) data frames — versus ceil(M/T)·(N-1) data frames
+// for the MPICH binomial tree, which is why multicast wins once the
+// message exceeds roughly one Ethernet frame.
+//
+// The package also implements the comparison protocols: the PVM-style
+// acknowledgment broadcast (sender repeats until ACKed, which the paper
+// reports does not improve performance), an Orca-style sequencer
+// broadcast, the multicast barrier, and an intentionally unsynchronized
+// broadcast used to demonstrate the loss failure mode.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/transport"
+)
+
+// Mode selects the scout synchronization scheme.
+type Mode int
+
+const (
+	// Binary gathers scouts up a binomial tree (Fig. 3).
+	Binary Mode = iota
+	// Linear sends all scouts directly to the root (Fig. 4).
+	Linear
+)
+
+func (m Mode) String() string {
+	if m == Binary {
+		return "binary"
+	}
+	return "linear"
+}
+
+// Algorithms returns the collective set with Bcast and Barrier running
+// over IP multicast using the given scout mode. The remaining collectives
+// are left nil so callers can Merge a baseline set underneath:
+//
+//	algs := core.Algorithms(core.Binary).Merge(baseline.Algorithms())
+func Algorithms(mode Mode) mpi.Algorithms {
+	a := mpi.Algorithms{Barrier: Barrier}
+	switch mode {
+	case Linear:
+		a.Bcast = BcastLinear
+	default:
+		a.Bcast = BcastBinary
+	}
+	return a
+}
+
+// scout phases within a collective operation.
+const (
+	phaseScout   = 0 // readiness scouts
+	phaseAck     = 1 // acknowledgments (ACK/NACK protocols)
+	phaseForward = 2 // root-to-sequencer forwarding
+	phaseNack    = 3 // repair requests (NACK protocol)
+)
+
+// largestPow2 returns the largest power of two <= n (n >= 1).
+func largestPow2(n int) int {
+	k := 1
+	for k*2 <= n {
+		k *= 2
+	}
+	return k
+}
+
+// gatherScoutsBinary runs the binary-tree scout gather of Fig. 3 toward
+// the rank whose relative position (w.r.t. root) is zero. It returns
+// once this rank's subtree is known ready; for the root that means the
+// whole communicator is ready.
+func gatherScoutsBinary(cc mpi.CollCtx, root int) error {
+	c := cc.Comm()
+	size := c.Size()
+	rel := (c.Rank() - root + size) % size
+	k := largestPow2(size)
+
+	abs := func(rel int) int { return (rel + root) % size }
+
+	if rel >= k {
+		// Fold-in: ranks beyond the power-of-two boundary scout first
+		// (4, 5, 6 → 0, 1, 2 in the paper's 7-process example).
+		return cc.Send(abs(rel-k), phaseScout, nil, transport.ClassScout, false)
+	}
+	if rel+k < size {
+		if _, err := cc.Recv(abs(rel+k), phaseScout); err != nil {
+			return err
+		}
+	}
+	// Low-bit-first binomial gather over the power-of-two subcube:
+	// odd relative ranks send first (1→0, 3→2), then 2→0, and so on.
+	for bit := 1; bit < k; bit <<= 1 {
+		if rel&bit != 0 {
+			return cc.Send(abs(rel-bit), phaseScout, nil, transport.ClassScout, false)
+		}
+		if rel+bit < k {
+			if _, err := cc.Recv(abs(rel+bit), phaseScout); err != nil {
+				return err
+			}
+		}
+	}
+	return nil // only the root (rel 0) reaches here
+}
+
+// gatherScoutsLinear has every non-root rank scout directly to the root
+// (Fig. 4); the root receives the N-1 scouts one at a time.
+func gatherScoutsLinear(cc mpi.CollCtx, root int) error {
+	c := cc.Comm()
+	if c.Rank() != root {
+		return cc.Send(root, phaseScout, nil, transport.ClassScout, false)
+	}
+	for i := 0; i < c.Size()-1; i++ {
+		if _, err := cc.Recv(mpi.AnySource, phaseScout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bcastWith runs a scout-synchronized multicast broadcast.
+func bcastWith(c *mpi.Comm, buf []byte, root int, gather func(mpi.CollCtx, int) error) error {
+	size := c.Size()
+	if size == 1 {
+		return nil
+	}
+	cc := c.BeginColl()
+	if !cc.CanMulticast() {
+		return mpi.ErrNoMulticast
+	}
+	if err := gather(cc, root); err != nil {
+		return err
+	}
+	if c.Rank() == root {
+		// Every receiver has posted: one multicast cannot be lost.
+		return cc.Multicast(buf, transport.ClassData)
+	}
+	m, err := cc.RecvMulticast()
+	if err != nil {
+		return err
+	}
+	if len(m.Payload) != len(buf) {
+		return fmt.Errorf("core: bcast buffer %d bytes, message %d", len(buf), len(m.Payload))
+	}
+	copy(buf, m.Payload)
+	return nil
+}
+
+// BcastBinary broadcasts buf from root using binary-tree scout
+// synchronization followed by a single IP multicast (the paper's Fig. 3).
+func BcastBinary(c *mpi.Comm, buf []byte, root int) error {
+	return bcastWith(c, buf, root, gatherScoutsBinary)
+}
+
+// BcastLinear broadcasts buf from root using linear scout
+// synchronization followed by a single IP multicast (the paper's Fig. 4).
+func BcastLinear(c *mpi.Comm, buf []byte, root int) error {
+	return bcastWith(c, buf, root, gatherScoutsLinear)
+}
+
+// BcastUnsafe multicasts without any synchronization. It exists to
+// demonstrate the failure mode the scout protocols prevent: under
+// receiver-directed multicast semantics a rank that has not posted its
+// receive when the datagram arrives loses it, and the broadcast hangs or
+// corrupts. Never use it outside experiments.
+func BcastUnsafe(c *mpi.Comm, buf []byte, root int) error {
+	if c.Size() == 1 {
+		return nil
+	}
+	cc := c.BeginColl()
+	if !cc.CanMulticast() {
+		return mpi.ErrNoMulticast
+	}
+	if c.Rank() == root {
+		return cc.Multicast(buf, transport.ClassData)
+	}
+	m, err := cc.RecvMulticast()
+	if err != nil {
+		return err
+	}
+	copy(buf, m.Payload)
+	return nil
+}
+
+// Barrier implements the paper's multicast barrier: point-to-point scout
+// messages reduce to rank 0 in a binary tree, then one empty multicast
+// releases every process. N-1 point-to-point messages plus one multicast
+// replace the 2(N-K) + K·log2(K) messages of the MPICH barrier.
+func Barrier(c *mpi.Comm) error {
+	return barrierWith(c, gatherScoutsBinary)
+}
+
+// BarrierLinear is Barrier with linear scout gathering, for ablation.
+func BarrierLinear(c *mpi.Comm) error {
+	return barrierWith(c, gatherScoutsLinear)
+}
+
+func barrierWith(c *mpi.Comm, gather func(mpi.CollCtx, int) error) error {
+	if c.Size() == 1 {
+		return nil
+	}
+	cc := c.BeginColl()
+	if !cc.CanMulticast() {
+		return mpi.ErrNoMulticast
+	}
+	if err := gather(cc, 0); err != nil {
+		return err
+	}
+	if c.Rank() == 0 {
+		return cc.Multicast(nil, transport.ClassControl)
+	}
+	_, err := cc.RecvMulticast()
+	return err
+}
+
+// Allreduce is the future-work composition the paper points at: a
+// binomial reduction to rank 0 (point-to-point, as in MPICH) followed by
+// a scout-synchronized multicast of the result — the broadcast half
+// sends ceil(M/T) frames instead of ceil(M/T)·(N-1).
+func Allreduce(reduce func(c *mpi.Comm, send, recv []byte, dt mpi.Datatype, op mpi.Op, root int) error, mode Mode) func(c *mpi.Comm, send, recv []byte, dt mpi.Datatype, op mpi.Op) error {
+	bcast := BcastBinary
+	if mode == Linear {
+		bcast = BcastLinear
+	}
+	return func(c *mpi.Comm, send, recv []byte, dt mpi.Datatype, op mpi.Op) error {
+		if len(recv) != len(send) {
+			return fmt.Errorf("core: allreduce recv buffer %d bytes, want %d", len(recv), len(send))
+		}
+		if err := reduce(c, send, recv, dt, op, 0); err != nil {
+			return err
+		}
+		return bcast(c, recv, 0)
+	}
+}

@@ -1,0 +1,143 @@
+package ethernet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestMACClassification(t *testing.T) {
+	u := UnicastMAC(3)
+	if u.IsMulticast() {
+		t.Errorf("UnicastMAC(3) classified as multicast")
+	}
+	g := GroupMAC(7)
+	if !g.IsMulticast() {
+		t.Errorf("GroupMAC(7) not classified as multicast")
+	}
+	if g.IsBroadcast() {
+		t.Errorf("GroupMAC(7) classified as broadcast")
+	}
+	if !Broadcast.IsBroadcast() || !Broadcast.IsMulticast() {
+		t.Errorf("Broadcast misclassified")
+	}
+}
+
+func TestMACUniqueness(t *testing.T) {
+	seen := make(map[MAC]bool)
+	for i := 0; i < 64; i++ {
+		m := UnicastMAC(i)
+		if seen[m] {
+			t.Fatalf("duplicate unicast MAC for id %d", i)
+		}
+		seen[m] = true
+	}
+	for g := uint32(0); g < 64; g++ {
+		m := GroupMAC(g)
+		if seen[m] {
+			t.Fatalf("group MAC %d collides", g)
+		}
+		seen[m] = true
+	}
+}
+
+func TestMACString(t *testing.T) {
+	if got := Broadcast.String(); got != "ff:ff:ff:ff:ff:ff" {
+		t.Errorf("Broadcast.String() = %q", got)
+	}
+	if got := UnicastMAC(1).String(); got != "02:00:00:00:00:01" {
+		t.Errorf("UnicastMAC(1).String() = %q", got)
+	}
+}
+
+func TestWireBytesPadding(t *testing.T) {
+	// Empty payload pads to the 64-byte minimum frame (plus preamble+IFG).
+	f := Frame{Payload: nil}
+	want := PreambleBytes + HeaderBytes + MinPayload + FCSBytes + InterFrameBytes
+	if got := f.WireBytes(); got != want {
+		t.Errorf("empty frame WireBytes = %d, want %d", got, want)
+	}
+	// Full MTU.
+	f = Frame{Payload: make([]byte, MaxPayload)}
+	want = PreambleBytes + HeaderBytes + MaxPayload + FCSBytes + InterFrameBytes
+	if got := f.WireBytes(); got != want {
+		t.Errorf("MTU frame WireBytes = %d, want %d", got, want)
+	}
+}
+
+func TestTxTimeAt100Mbps(t *testing.T) {
+	p := DefaultParams()
+	// A 1500-byte payload frame is 1538 wire bytes = 12304 bits = 123.04 µs.
+	f := Frame{Payload: make([]byte, 1500)}
+	if got := p.TxTime(f); got != 123_040 {
+		t.Errorf("TxTime(MTU) = %dns, want 123040ns", got)
+	}
+	// A minimum frame is 84 wire bytes = 672 bits = 6.72 µs.
+	f = Frame{Payload: nil}
+	if got := p.TxTime(f); got != 6720 {
+		t.Errorf("TxTime(min) = %dns, want 6720ns", got)
+	}
+}
+
+func TestTxTimeMonotoneInPayload(t *testing.T) {
+	p := DefaultParams()
+	f := func(a, b uint16) bool {
+		la, lb := int(a)%(MaxPayload+1), int(b)%(MaxPayload+1)
+		ta := p.TxTime(Frame{Payload: make([]byte, la)})
+		tb := p.TxTime(Frame{Payload: make([]byte, lb)})
+		if la <= lb {
+			return ta <= tb
+		}
+		return ta >= tb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameKindString(t *testing.T) {
+	kinds := map[FrameKind]string{
+		KindData: "data", KindScout: "scout", KindAck: "ack",
+		KindNack: "nack", KindControl: "control", KindUnknown: "unknown",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+// buildHub wires n stations to a hub and returns the NICs plus per-NIC
+// received-frame logs.
+func buildHub(e *sim.Engine, n int) (*Hub, []*NIC, []*[]Frame) {
+	params := DefaultParams()
+	hub := NewHub(e, params)
+	rng := sim.NewRand(1)
+	nics := make([]*NIC, n)
+	logs := make([]*[]Frame, n)
+	for i := 0; i < n; i++ {
+		nics[i] = NewNIC(e, UnicastMAC(i), params, rng.Fork())
+		log := &[]Frame{}
+		logs[i] = log
+		nics[i].SetReceiver(func(f Frame) { *log = append(*log, f) })
+		hub.Attach(nics[i])
+	}
+	return hub, nics, logs
+}
+
+func buildSwitch(e *sim.Engine, n int) (*Switch, []*NIC, []*[]Frame) {
+	params := DefaultParams()
+	sw := NewSwitch(e, params)
+	rng := sim.NewRand(1)
+	nics := make([]*NIC, n)
+	logs := make([]*[]Frame, n)
+	for i := 0; i < n; i++ {
+		nics[i] = NewNIC(e, UnicastMAC(i), params, rng.Fork())
+		log := &[]Frame{}
+		logs[i] = log
+		nics[i].SetReceiver(func(f Frame) { *log = append(*log, f) })
+		sw.Attach(nics[i])
+	}
+	return sw, nics, logs
+}

@@ -1,0 +1,158 @@
+package ethernet
+
+import "repro/internal/sim"
+
+// HubStats counts shared-medium events.
+type HubStats struct {
+	FramesRepeated int64 // frames successfully carried end to end
+	Collisions     int64 // collision episodes (any number of parties)
+	Deferrals      int64 // transmit attempts deferred by carrier sense
+}
+
+type hubState int
+
+const (
+	hubIdle hubState = iota
+	hubTransmitting
+	hubJamming
+)
+
+// Hub is a repeater hub: one half-duplex collision domain shared by every
+// attached station. A frame transmitted by any station is repeated to all
+// others; simultaneous transmissions collide.
+//
+// The CSMA/CD model: a station that attempts to transmit while the medium
+// has been busy for longer than the collision window (Params.PropDelay)
+// senses the carrier and defers until the medium goes idle. A station
+// that attempts within the collision window cannot have heard the other
+// transmission yet, so both (all) in-flight transmissions are aborted, a
+// jam fills the medium, and each party backs off per the NIC's truncated
+// binary exponential backoff. Deferring stations re-attempt the instant
+// the carrier drops; if several do, the first (in deterministic event
+// order) seizes the medium and the rest collide with it inside the
+// collision window — the behaviour that gives hubs their characteristic
+// contention variance.
+//
+// The medium's state is tracked explicitly (idle/transmitting/jamming)
+// rather than by comparing clocks, so an attempt that lands at the exact
+// instant a transmission completes still sees the medium busy until the
+// completion event has actually fired and woken the waiters.
+type Hub struct {
+	eng    *sim.Engine
+	params Params
+
+	nics []*NIC
+
+	state   hubState
+	txStart sim.Time
+	txID    uint64 // validity token: bumping it cancels pending events
+	current []txAttempt
+	waiting map[*NIC]struct{}
+
+	Stats HubStats
+}
+
+type txAttempt struct {
+	nic   *NIC
+	frame Frame
+}
+
+// NewHub creates an empty hub.
+func NewHub(eng *sim.Engine, params Params) *Hub {
+	return &Hub{eng: eng, params: params, waiting: make(map[*NIC]struct{})}
+}
+
+// Attach connects a NIC to the hub.
+func (h *Hub) Attach(n *NIC) {
+	h.nics = append(h.nics, n)
+	n.Attach(h)
+}
+
+// notifyJoin implements Link. Hubs repeat everything, so membership is
+// purely a NIC-side filter.
+func (h *Hub) notifyJoin(*NIC, MAC, bool) {}
+
+// transmit implements Link.
+func (h *Hub) transmit(n *NIC, f Frame) {
+	switch {
+	case h.state == hubIdle:
+		h.startTx(n, f)
+	case h.state == hubTransmitting && h.eng.Now()-h.txStart <= sim.Time(h.params.PropDelay):
+		h.collide(n, f)
+	default:
+		// Carrier sensed (or jam in progress): defer until idle.
+		h.Stats.Deferrals++
+		h.waiting[n] = struct{}{}
+	}
+}
+
+func (h *Hub) startTx(n *NIC, f Frame) {
+	h.txID++
+	id := h.txID
+	h.state = hubTransmitting
+	h.txStart = h.eng.Now()
+	h.current = []txAttempt{{nic: n, frame: f}}
+	h.eng.At(h.params.TxTime(f), func() {
+		if h.txID != id {
+			return // aborted by a collision
+		}
+		h.finishTx()
+	})
+}
+
+func (h *Hub) finishTx() {
+	att := h.current[0]
+	h.current = nil
+	h.state = hubIdle
+	h.Stats.FramesRepeated++
+	prop := h.params.PropDelay
+	for _, other := range h.nics {
+		if other == att.nic {
+			continue
+		}
+		other := other
+		f := att.frame
+		h.eng.At(prop, func() { other.receiveFrame(f) })
+	}
+	// After the interframe gap every queued station contends for the
+	// medium at once: deferring stations and the finishing sender's next
+	// frame attempt together, so under load frame boundaries produce the
+	// collisions (and backoff variance) hubs are known for. Waiters go
+	// first so the finishing station cannot capture the channel outright.
+	h.wakeWaiters()
+	att.nic.txDone()
+}
+
+func (h *Hub) collide(n *NIC, f Frame) {
+	h.Stats.Collisions++
+	h.txID++ // cancels the in-flight completion event
+	h.current = append(h.current, txAttempt{nic: n, frame: f})
+	parties := h.current
+	h.current = nil
+	h.state = hubJamming
+	// Every party learns of the collision and backs off independently.
+	for _, att := range parties {
+		att.nic.txCollision()
+	}
+	// When the jam clears, deferring stations may seize the medium.
+	jamID := h.txID
+	h.eng.At(h.params.JamTime, func() {
+		if h.txID == jamID && h.state == hubJamming {
+			h.state = hubIdle
+			h.wakeWaiters()
+		}
+	})
+}
+
+func (h *Hub) wakeWaiters() {
+	if len(h.waiting) == 0 {
+		return
+	}
+	// Wake in deterministic attachment order.
+	for _, n := range h.nics {
+		if _, ok := h.waiting[n]; ok {
+			delete(h.waiting, n)
+			n.mediaIdle()
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package ethernet
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestHubUnicastDelivery(t *testing.T) {
+	e := sim.New()
+	_, nics, logs := buildHub(e, 3)
+	nics[0].Send(Frame{Dst: UnicastMAC(1), Kind: KindData, Payload: []byte("hi")})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*logs[1]) != 1 {
+		t.Fatalf("dst received %d frames, want 1", len(*logs[1]))
+	}
+	if string((*logs[1])[0].Payload) != "hi" {
+		t.Fatalf("payload corrupted: %q", (*logs[1])[0].Payload)
+	}
+	// The hub repeats to everyone, but station 2 filters the frame out.
+	if len(*logs[2]) != 0 {
+		t.Fatalf("bystander received %d frames, want 0", len(*logs[2]))
+	}
+	if nics[2].Stats.FramesFiltered != 1 {
+		t.Fatalf("bystander filtered %d frames, want 1", nics[2].Stats.FramesFiltered)
+	}
+}
+
+func TestHubBroadcastReachesAll(t *testing.T) {
+	e := sim.New()
+	_, nics, logs := buildHub(e, 4)
+	nics[0].Send(Frame{Dst: Broadcast, Kind: KindControl})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 4; i++ {
+		if len(*logs[i]) != 1 {
+			t.Errorf("station %d received %d broadcast frames, want 1", i, len(*logs[i]))
+		}
+	}
+	if len(*logs[0]) != 0 {
+		t.Errorf("sender heard its own broadcast")
+	}
+	_ = nics
+}
+
+func TestHubMulticastFiltering(t *testing.T) {
+	e := sim.New()
+	_, nics, logs := buildHub(e, 4)
+	g := GroupMAC(5)
+	nics[1].Join(g)
+	nics[3].Join(g)
+	nics[0].Send(Frame{Dst: g, Kind: KindData, Payload: []byte("mc")})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*logs[1]) != 1 || len(*logs[3]) != 1 {
+		t.Fatalf("members received %d,%d frames, want 1,1", len(*logs[1]), len(*logs[3]))
+	}
+	if len(*logs[2]) != 0 {
+		t.Fatalf("non-member received multicast")
+	}
+}
+
+func TestHubLeaveStopsDelivery(t *testing.T) {
+	e := sim.New()
+	_, nics, logs := buildHub(e, 2)
+	g := GroupMAC(9)
+	nics[1].Join(g)
+	nics[1].Leave(g)
+	nics[0].Send(Frame{Dst: g})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*logs[1]) != 0 {
+		t.Fatal("frame delivered after Leave")
+	}
+}
+
+func TestJoinRefcounting(t *testing.T) {
+	e := sim.New()
+	_, nics, _ := buildHub(e, 2)
+	g := GroupMAC(2)
+	nics[1].Join(g)
+	nics[1].Join(g)
+	nics[1].Leave(g)
+	if !nics[1].Member(g) {
+		t.Fatal("membership dropped while one reference remained")
+	}
+	nics[1].Leave(g)
+	if nics[1].Member(g) {
+		t.Fatal("membership survived final Leave")
+	}
+	nics[1].Leave(g) // extra leave is a no-op
+}
+
+func TestHubSerializesBackToBackSends(t *testing.T) {
+	e := sim.New()
+	_, nics, logs := buildHub(e, 2)
+	var arrivals []sim.Time
+	nics[1].SetReceiver(func(f Frame) { arrivals = append(arrivals, e.Now()) })
+	// Two minimum frames sent at once from the same station serialize.
+	nics[0].Send(Frame{Dst: UnicastMAC(1)})
+	nics[0].Send(Frame{Dst: UnicastMAC(1)})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 2 {
+		t.Fatalf("received %d frames, want 2", len(arrivals))
+	}
+	minTx := sim.Time(6720) // min frame tx time at 100 Mbps
+	if arrivals[1]-arrivals[0] < minTx {
+		t.Fatalf("frames not serialized: gap %v < %v", arrivals[1]-arrivals[0], minTx)
+	}
+	_ = logs
+}
+
+func TestHubCarrierSenseDefersSecondSender(t *testing.T) {
+	e := sim.New()
+	hub, nics, logs := buildHub(e, 3)
+	big := make([]byte, 1000)
+	nics[0].Send(Frame{Dst: UnicastMAC(2), Payload: big})
+	// Station 1 tries mid-transmission (well past the collision window):
+	// it must defer, not collide, and transmit once the carrier drops.
+	e.At(40*sim.Microsecond, func() {
+		nics[1].Send(Frame{Dst: UnicastMAC(2), Payload: big})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if hub.Stats.Collisions != 0 {
+		t.Fatalf("collisions = %d, want 0 (single waiter, sender has no next frame)", hub.Stats.Collisions)
+	}
+	if hub.Stats.Deferrals == 0 {
+		t.Fatal("expected at least one deferral")
+	}
+	if len(*logs[2]) != 2 {
+		t.Fatalf("receiver got %d frames, want 2", len(*logs[2]))
+	}
+}
+
+func TestHubFrameBoundaryContention(t *testing.T) {
+	// A deferring station and the finishing sender's queued next frame
+	// contend when the carrier drops: that is a collision, resolved by
+	// backoff, with every frame still delivered — the hub-under-load
+	// behaviour behind the paper's Fig. 11.
+	e := sim.New()
+	hub, nics, logs := buildHub(e, 3)
+	big := make([]byte, 1000)
+	nics[0].Send(Frame{Dst: UnicastMAC(2), Payload: big})
+	nics[0].Send(Frame{Dst: UnicastMAC(2), Payload: big})
+	e.At(40*sim.Microsecond, func() {
+		nics[1].Send(Frame{Dst: UnicastMAC(2), Payload: big})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if hub.Stats.Collisions == 0 {
+		t.Fatal("expected a frame-boundary collision between waiter and queued sender")
+	}
+	if len(*logs[2]) != 3 {
+		t.Fatalf("receiver got %d frames, want 3", len(*logs[2]))
+	}
+}
+
+func TestHubSimultaneousSendersCollideThenRecover(t *testing.T) {
+	e := sim.New()
+	hub, nics, logs := buildHub(e, 3)
+	// Both stations transmit at exactly the same instant: guaranteed
+	// collision, then backoff resolves and both frames eventually arrive.
+	nics[0].Send(Frame{Dst: UnicastMAC(2), Payload: []byte("a")})
+	nics[1].Send(Frame{Dst: UnicastMAC(2), Payload: []byte("b")})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if hub.Stats.Collisions == 0 {
+		t.Fatal("expected a collision")
+	}
+	if len(*logs[2]) != 2 {
+		t.Fatalf("receiver got %d frames after collision recovery, want 2", len(*logs[2]))
+	}
+	if nics[0].Stats.Collisions+nics[1].Stats.Collisions < 2 {
+		t.Fatal("both stations should have recorded the collision")
+	}
+}
+
+func TestHubManyContendersAllDeliver(t *testing.T) {
+	e := sim.New()
+	_, nics, logs := buildHub(e, 6)
+	for i := 1; i < 6; i++ {
+		nics[i].Send(Frame{Dst: UnicastMAC(0), Payload: []byte{byte(i)}})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*logs[0]) != 5 {
+		t.Fatalf("station 0 received %d frames, want 5", len(*logs[0]))
+	}
+}
+
+func TestHubDeterministicTimeline(t *testing.T) {
+	run := func() []sim.Time {
+		e := sim.New()
+		_, nics, _ := buildHub(e, 4)
+		var times []sim.Time
+		nics[0].SetReceiver(func(f Frame) { times = append(times, e.Now()) })
+		for i := 1; i < 4; i++ {
+			nics[i].Send(Frame{Dst: UnicastMAC(0), Payload: make([]byte, 200)})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different frame counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("timelines diverge: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestNICStatsCountSends(t *testing.T) {
+	e := sim.New()
+	_, nics, _ := buildHub(e, 2)
+	nics[0].Send(Frame{Dst: UnicastMAC(1), Payload: make([]byte, 100)})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if nics[0].Stats.FramesSent != 1 {
+		t.Errorf("FramesSent = %d, want 1", nics[0].Stats.FramesSent)
+	}
+	if nics[1].Stats.FramesReceived != 1 {
+		t.Errorf("FramesReceived = %d, want 1", nics[1].Stats.FramesReceived)
+	}
+	wantBytes := int64(Frame{Payload: make([]byte, 100)}.WireBytes())
+	if nics[0].Stats.BytesSent != wantBytes {
+		t.Errorf("BytesSent = %d, want %d", nics[0].Stats.BytesSent, wantBytes)
+	}
+}

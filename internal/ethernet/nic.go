@@ -1,0 +1,205 @@
+package ethernet
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// NICStats counts data-link events at one station.
+type NICStats struct {
+	FramesSent     int64 // frames successfully transmitted
+	FramesReceived int64 // frames accepted by the address filter
+	FramesFiltered int64 // frames heard but not addressed to us
+	Collisions     int64 // transmit attempts that ended in a collision
+	Drops          int64 // frames dropped after exceeding the attempt limit
+	BytesSent      int64 // wire bytes of successful transmissions
+}
+
+// NIC is a simulated network interface. It owns an unbounded transmit
+// queue (the host-side socket buffer lives above, in the transport layer),
+// serializes transmissions onto its attached Link, performs destination
+// filtering on reception and tracks multicast group membership.
+type NIC struct {
+	eng    *sim.Engine
+	mac    MAC
+	params Params
+	rng    *sim.Rand
+	link   Link
+
+	txq      []Frame
+	txActive bool
+	attempts int
+
+	groups map[MAC]int // multicast membership refcounts
+	recv   func(Frame) // upcall to the network layer
+	// Promiscuous disables destination filtering (useful in tests).
+	Promiscuous bool
+
+	Stats NICStats
+}
+
+// NewNIC creates a station with the given MAC address. rng seeds the
+// CSMA/CD backoff draws; it must not be shared with other components.
+func NewNIC(eng *sim.Engine, mac MAC, params Params, rng *sim.Rand) *NIC {
+	return &NIC{
+		eng:    eng,
+		mac:    mac,
+		params: params,
+		rng:    rng,
+		groups: make(map[MAC]int),
+	}
+}
+
+// MAC returns the station address.
+func (n *NIC) MAC() MAC { return n.mac }
+
+// SetReceiver installs the upcall invoked for every accepted frame.
+func (n *NIC) SetReceiver(fn func(Frame)) { n.recv = fn }
+
+// Attach connects the NIC to a medium. A NIC can be attached exactly once.
+func (n *NIC) Attach(l Link) {
+	if n.link != nil {
+		panic("ethernet: NIC attached twice")
+	}
+	n.link = l
+}
+
+// Send queues a frame for transmission. Sending is asynchronous: the
+// frame leaves the station when the medium allows.
+func (n *NIC) Send(f Frame) {
+	if n.link == nil {
+		panic("ethernet: Send before Attach")
+	}
+	f.Src = n.mac
+	n.txq = append(n.txq, f)
+	n.pump()
+}
+
+// QueuedFrames reports the number of frames waiting to be transmitted,
+// including the one currently in flight.
+func (n *NIC) QueuedFrames() int { return len(n.txq) }
+
+// Join subscribes the station to multicast group g (refcounted) and
+// notifies the medium so snooping switches learn the membership.
+func (n *NIC) Join(g MAC) {
+	if !g.IsMulticast() {
+		panic(fmt.Sprintf("ethernet: Join on non-multicast address %v", g))
+	}
+	n.groups[g]++
+	if n.groups[g] == 1 && n.link != nil {
+		n.link.notifyJoin(n, g, true)
+	}
+}
+
+// Leave drops one reference to group g, leaving the group when the count
+// reaches zero.
+func (n *NIC) Leave(g MAC) {
+	if n.groups[g] == 0 {
+		return
+	}
+	n.groups[g]--
+	if n.groups[g] == 0 {
+		delete(n.groups, g)
+		if n.link != nil {
+			n.link.notifyJoin(n, g, false)
+		}
+	}
+}
+
+// Member reports whether the station currently belongs to group g.
+func (n *NIC) Member(g MAC) bool { return n.groups[g] > 0 }
+
+func (n *NIC) pump() {
+	if n.txActive || len(n.txq) == 0 {
+		return
+	}
+	n.txActive = true
+	n.attempts = 0
+	n.link.transmit(n, n.txq[0])
+}
+
+// txDone is called by the medium when the head frame has been fully and
+// successfully transmitted.
+func (n *NIC) txDone() {
+	f := n.txq[0]
+	n.Stats.FramesSent++
+	n.Stats.BytesSent += int64(f.WireBytes())
+	n.txq[0] = Frame{}
+	n.txq = n.txq[1:]
+	n.txActive = false
+	n.pump()
+}
+
+// txCollision is called by the medium when the head frame's transmission
+// attempt collided. The NIC backs off (truncated binary exponential) and
+// retries, dropping the frame after MaxAttempts.
+func (n *NIC) txCollision() {
+	n.Stats.Collisions++
+	n.attempts++
+	if n.attempts >= n.params.MaxAttempts {
+		n.Stats.Drops++
+		n.txq[0] = Frame{}
+		n.txq = n.txq[1:]
+		n.txActive = false
+		// Give the jam time to clear before trying the next frame.
+		n.eng.At(n.params.JamTime, n.retry)
+		return
+	}
+	exp := n.attempts
+	if exp > n.params.MaxBackoffExp {
+		exp = n.params.MaxBackoffExp
+	}
+	slots := n.rng.Intn(1 << exp)
+	delay := n.params.JamTime + sim.Duration(slots)*n.params.SlotTime
+	n.eng.At(delay, n.retry)
+}
+
+func (n *NIC) retry() {
+	if !n.txActive {
+		n.pump()
+		return
+	}
+	if len(n.txq) == 0 {
+		n.txActive = false
+		return
+	}
+	n.link.transmit(n, n.txq[0])
+}
+
+// mediaIdle is called by a shared medium when the carrier drops, waking a
+// deferring station so it can re-attempt.
+func (n *NIC) mediaIdle() {
+	if n.txActive && len(n.txq) > 0 {
+		n.link.transmit(n, n.txq[0])
+	}
+}
+
+// receiveFrame is invoked by the medium when a frame arrives. The NIC
+// applies destination filtering and hands accepted frames up.
+func (n *NIC) receiveFrame(f Frame) {
+	if f.Src == n.mac {
+		return // stations ignore their own transmissions heard on a bus
+	}
+	if !n.accepts(f.Dst) {
+		n.Stats.FramesFiltered++
+		return
+	}
+	n.Stats.FramesReceived++
+	if n.recv != nil {
+		n.recv(f)
+	}
+}
+
+func (n *NIC) accepts(dst MAC) bool {
+	if n.Promiscuous {
+		return true
+	}
+	if dst == n.mac || dst.IsBroadcast() {
+		return true
+	}
+	if dst.IsMulticast() {
+		return n.groups[dst] > 0
+	}
+	return false
+}

@@ -1,0 +1,236 @@
+// Package ipnet layers a miniature IP/UDP/IGMP stack over the simulated
+// Ethernet of package ethernet. It provides exactly what the paper's
+// implementation needed from the real stack: unicast UDP datagrams,
+// class-D multicast addressing, group membership (join/leave with IGMP
+// membership reports and switch snooping), and the 1472-byte UDP payload
+// limit that forces message fragmentation above one Ethernet frame.
+package ipnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/ethernet"
+	"repro/internal/sim"
+)
+
+// Addr is an IPv4-style address held in a uint32.
+type Addr uint32
+
+const (
+	// multicastPrefix marks class-D (224.0.0.0/4) addresses.
+	multicastPrefix Addr = 0xE000_0000
+	// rankPrefix is the 10.0.0.0/8 network hosting simulated stations.
+	rankPrefix Addr = 0x0A00_0000
+)
+
+// RankAddr returns the unicast address of simulated station rank.
+func RankAddr(rank int) Addr {
+	if rank < 0 || rank > 0xFFFF {
+		panic(fmt.Sprintf("ipnet: rank %d out of range", rank))
+	}
+	return rankPrefix | Addr(rank+1)
+}
+
+// GroupAddr returns the class-D multicast address for group id g,
+// analogous to the 224.0.0.0–239.255.255.255 range in the paper.
+func GroupAddr(g uint32) Addr {
+	return multicastPrefix | Addr(g&0x00FF_FFFF)
+}
+
+// IsMulticast reports whether a is a class-D address.
+func (a Addr) IsMulticast() bool { return a&0xF000_0000 == multicastPrefix }
+
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// MAC returns the data-link address a maps to: the station MAC for
+// unicast, the derived group MAC for multicast (the 01:00:5e mapping).
+func (a Addr) MAC() ethernet.MAC {
+	if a.IsMulticast() {
+		return ethernet.GroupMAC(uint32(a & 0x00FF_FFFF))
+	}
+	return ethernet.UnicastMAC(int(a&0xFFFF) - 1)
+}
+
+// Protocol numbers, mirroring IANA assignments.
+const (
+	ProtoUDP  = 17
+	ProtoIGMP = 2
+)
+
+// HeaderBytes is the combined IPv4 (20) + UDP (8) header size the model
+// charges per datagram.
+const HeaderBytes = 28
+
+// MaxUDPPayload is the largest UDP payload that fits one Ethernet frame.
+const MaxUDPPayload = ethernet.MaxPayload - HeaderBytes // 1472
+
+// Datagram is a UDP datagram as seen by the application.
+type Datagram struct {
+	Src     Addr
+	Dst     Addr // unicast address or multicast group
+	SrcPort uint16
+	DstPort uint16
+	TTL     uint8
+	Kind    ethernet.FrameKind // accounting label, carried in the frame
+	Payload []byte
+}
+
+// ErrTooLarge is returned when a datagram payload exceeds MaxUDPPayload;
+// the network layer does not fragment (the transport above does).
+var ErrTooLarge = errors.New("ipnet: datagram exceeds MTU; fragment at the transport layer")
+
+// marshal encodes the IP+UDP headers followed by the payload.
+func (d Datagram) marshal(proto byte) []byte {
+	buf := make([]byte, HeaderBytes+len(d.Payload))
+	buf[0] = 0x45 // version 4, IHL 5
+	buf[1] = proto
+	binary.BigEndian.PutUint16(buf[2:4], uint16(HeaderBytes+len(d.Payload)))
+	buf[4] = d.TTL
+	binary.BigEndian.PutUint32(buf[6:10], uint32(d.Src))
+	binary.BigEndian.PutUint32(buf[10:14], uint32(d.Dst))
+	binary.BigEndian.PutUint16(buf[14:16], d.SrcPort)
+	binary.BigEndian.PutUint16(buf[16:18], d.DstPort)
+	binary.BigEndian.PutUint16(buf[18:20], uint16(len(d.Payload)))
+	copy(buf[HeaderBytes:], d.Payload)
+	return buf
+}
+
+var errShortPacket = errors.New("ipnet: short packet")
+
+func unmarshal(b []byte) (d Datagram, proto byte, err error) {
+	if len(b) < HeaderBytes {
+		return d, 0, errShortPacket
+	}
+	proto = b[1]
+	d.TTL = b[4]
+	d.Src = Addr(binary.BigEndian.Uint32(b[6:10]))
+	d.Dst = Addr(binary.BigEndian.Uint32(b[10:14]))
+	d.SrcPort = binary.BigEndian.Uint16(b[14:16])
+	d.DstPort = binary.BigEndian.Uint16(b[16:18])
+	n := int(binary.BigEndian.Uint16(b[18:20]))
+	if HeaderBytes+n > len(b) {
+		return d, 0, errShortPacket
+	}
+	d.Payload = b[HeaderBytes : HeaderBytes+n]
+	return d, proto, nil
+}
+
+// NodeStats counts network-layer events at one host.
+type NodeStats struct {
+	Sent        int64 // datagrams transmitted
+	Received    int64 // UDP datagrams delivered to the handler
+	IGMPSent    int64 // membership reports transmitted
+	IGMPHeard   int64 // membership reports received (and consumed)
+	BadPackets  int64 // undecodable frames
+	NoHandler   int64 // datagrams dropped because no handler was set
+	OtherProtos int64 // frames with protocols we do not implement
+}
+
+// Node is one host's network stack instance.
+type Node struct {
+	eng     *sim.Engine
+	nic     *ethernet.NIC
+	addr    Addr
+	handler func(Datagram)
+
+	Stats NodeStats
+}
+
+// NewNode wires a stack onto nic with address addr and installs itself as
+// the NIC's receiver.
+func NewNode(eng *sim.Engine, nic *ethernet.NIC, addr Addr) *Node {
+	n := &Node{eng: eng, nic: nic, addr: addr}
+	nic.SetReceiver(n.receive)
+	return n
+}
+
+// Addr returns the node's unicast address.
+func (n *Node) Addr() Addr { return n.addr }
+
+// NIC exposes the underlying interface (for statistics).
+func (n *Node) NIC() *ethernet.NIC { return n.nic }
+
+// SetHandler installs the upcall for received UDP datagrams.
+func (n *Node) SetHandler(fn func(Datagram)) { n.handler = fn }
+
+// SendUDP transmits d. d.Src is stamped with the node address; a zero TTL
+// defaults to 64 (1 for multicast, matching the common OS default that
+// keeps multicast on the local network).
+func (n *Node) SendUDP(d Datagram) error {
+	if len(d.Payload) > MaxUDPPayload {
+		return fmt.Errorf("%w (%d > %d bytes)", ErrTooLarge, len(d.Payload), MaxUDPPayload)
+	}
+	d.Src = n.addr
+	if d.TTL == 0 {
+		if d.Dst.IsMulticast() {
+			d.TTL = 1
+		} else {
+			d.TTL = 64
+		}
+	}
+	kind := d.Kind
+	if kind == ethernet.KindUnknown {
+		kind = ethernet.KindData
+	}
+	n.Stats.Sent++
+	n.nic.Send(ethernet.Frame{
+		Dst:     d.Dst.MAC(),
+		Kind:    kind,
+		Payload: d.marshal(ProtoUDP),
+	})
+	return nil
+}
+
+// Join subscribes the node to multicast group g and transmits an IGMP
+// membership report (the snooping switch also learns the membership
+// through the data-link notification, as real switches learn by snooping
+// these very reports).
+func (n *Node) Join(g Addr) error {
+	if !g.IsMulticast() {
+		return fmt.Errorf("ipnet: join on non-multicast address %v", g)
+	}
+	n.nic.Join(g.MAC())
+	n.Stats.IGMPSent++
+	report := Datagram{Src: n.addr, Dst: g, TTL: 1}
+	n.nic.Send(ethernet.Frame{
+		Dst:     g.MAC(),
+		Kind:    ethernet.KindControl,
+		Payload: report.marshal(ProtoIGMP),
+	})
+	return nil
+}
+
+// Leave drops membership in group g.
+func (n *Node) Leave(g Addr) error {
+	if !g.IsMulticast() {
+		return fmt.Errorf("ipnet: leave on non-multicast address %v", g)
+	}
+	n.nic.Leave(g.MAC())
+	return nil
+}
+
+func (n *Node) receive(f ethernet.Frame) {
+	d, proto, err := unmarshal(f.Payload)
+	if err != nil {
+		n.Stats.BadPackets++
+		return
+	}
+	switch proto {
+	case ProtoUDP:
+		d.Kind = f.Kind
+		if n.handler == nil {
+			n.Stats.NoHandler++
+			return
+		}
+		n.Stats.Received++
+		n.handler(d)
+	case ProtoIGMP:
+		n.Stats.IGMPHeard++
+	default:
+		n.Stats.OtherProtos++
+	}
+}

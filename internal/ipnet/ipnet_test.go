@@ -1,0 +1,280 @@
+package ipnet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ethernet"
+	"repro/internal/sim"
+)
+
+func TestAddrClassification(t *testing.T) {
+	if RankAddr(0).IsMulticast() {
+		t.Error("RankAddr(0) classified as multicast")
+	}
+	if !GroupAddr(1).IsMulticast() {
+		t.Error("GroupAddr(1) not multicast")
+	}
+	if got := RankAddr(0).String(); got != "10.0.0.1" {
+		t.Errorf("RankAddr(0) = %s, want 10.0.0.1", got)
+	}
+	if got := GroupAddr(1).String(); got != "224.0.0.1" {
+		t.Errorf("GroupAddr(1) = %s, want 224.0.0.1", got)
+	}
+}
+
+func TestAddrMACMapping(t *testing.T) {
+	if RankAddr(3).MAC() != ethernet.UnicastMAC(3) {
+		t.Error("rank address maps to wrong MAC")
+	}
+	if GroupAddr(7).MAC() != ethernet.GroupMAC(7) {
+		t.Error("group address maps to wrong MAC")
+	}
+	if !GroupAddr(7).MAC().IsMulticast() {
+		t.Error("group MAC not multicast")
+	}
+}
+
+func TestDatagramRoundTrip(t *testing.T) {
+	f := func(srcPort, dstPort uint16, ttl uint8, payload []byte) bool {
+		if len(payload) > MaxUDPPayload {
+			payload = payload[:MaxUDPPayload]
+		}
+		if ttl == 0 {
+			ttl = 1
+		}
+		in := Datagram{
+			Src: RankAddr(1), Dst: RankAddr(2),
+			SrcPort: srcPort, DstPort: dstPort, TTL: ttl, Payload: payload,
+		}
+		b := in.marshal(ProtoUDP)
+		out, proto, err := unmarshal(b)
+		if err != nil || proto != ProtoUDP {
+			return false
+		}
+		return out.Src == in.Src && out.Dst == in.Dst &&
+			out.SrcPort == in.SrcPort && out.DstPort == in.DstPort &&
+			out.TTL == in.TTL && bytes.Equal(out.Payload, in.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalShortPacket(t *testing.T) {
+	if _, _, err := unmarshal(make([]byte, 10)); err == nil {
+		t.Fatal("short packet decoded without error")
+	}
+	// Length field pointing past the buffer must also fail.
+	d := Datagram{Payload: []byte("abc")}
+	b := d.marshal(ProtoUDP)
+	b = b[:len(b)-1]
+	if _, _, err := unmarshal(b); err == nil {
+		t.Fatal("truncated packet decoded without error")
+	}
+}
+
+// buildNet wires n nodes to a switch (or hub) and returns them with logs.
+func buildNet(e *sim.Engine, n int, useHub bool) ([]*Node, []*[]Datagram) {
+	params := ethernet.DefaultParams()
+	rng := sim.NewRand(99)
+	var attach func(*ethernet.NIC)
+	if useHub {
+		hub := ethernet.NewHub(e, params)
+		attach = hub.Attach
+	} else {
+		sw := ethernet.NewSwitch(e, params)
+		attach = sw.Attach
+	}
+	nodes := make([]*Node, n)
+	logs := make([]*[]Datagram, n)
+	for i := 0; i < n; i++ {
+		nic := ethernet.NewNIC(e, ethernet.UnicastMAC(i), params, rng.Fork())
+		attach(nic)
+		nodes[i] = NewNode(e, nic, RankAddr(i))
+		log := &[]Datagram{}
+		logs[i] = log
+		nodes[i].SetHandler(func(d Datagram) { *log = append(*log, d) })
+	}
+	return nodes, logs
+}
+
+func TestUnicastUDPOverSwitch(t *testing.T) {
+	e := sim.New()
+	nodes, logs := buildNet(e, 3, false)
+	err := nodes[0].SendUDP(Datagram{Dst: RankAddr(1), DstPort: 7, Payload: []byte("ping")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*logs[1]) != 1 {
+		t.Fatalf("dst received %d datagrams, want 1", len(*logs[1]))
+	}
+	d := (*logs[1])[0]
+	if d.Src != RankAddr(0) || string(d.Payload) != "ping" || d.DstPort != 7 {
+		t.Fatalf("datagram mangled: %+v", d)
+	}
+	if len(*logs[2]) != 0 {
+		t.Fatal("bystander received unicast datagram")
+	}
+}
+
+func TestMulticastUDPOverSwitchRequiresJoin(t *testing.T) {
+	e := sim.New()
+	nodes, logs := buildNet(e, 4, false)
+	g := GroupAddr(1)
+	if err := nodes[1].Join(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[2].Join(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil { // let IGMP reports propagate
+		t.Fatal(err)
+	}
+	if err := nodes[0].SendUDP(Datagram{Dst: g, Payload: []byte("mc")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*logs[1]) != 1 || len(*logs[2]) != 1 {
+		t.Fatalf("members got %d,%d datagrams, want 1,1", len(*logs[1]), len(*logs[2]))
+	}
+	if len(*logs[3]) != 0 {
+		t.Fatal("non-member received multicast datagram")
+	}
+}
+
+func TestMulticastOverHub(t *testing.T) {
+	e := sim.New()
+	nodes, logs := buildNet(e, 3, true)
+	g := GroupAddr(2)
+	if err := nodes[2].Join(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[0].SendUDP(Datagram{Dst: g, Payload: []byte("hub-mc")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*logs[2]) != 1 {
+		t.Fatalf("member received %d, want 1", len(*logs[2]))
+	}
+	if len(*logs[1]) != 0 {
+		t.Fatal("non-member received multicast on hub (NIC filter failed)")
+	}
+}
+
+func TestSendUDPRejectsOversizedPayload(t *testing.T) {
+	e := sim.New()
+	nodes, _ := buildNet(e, 2, false)
+	err := nodes[0].SendUDP(Datagram{Dst: RankAddr(1), Payload: make([]byte, MaxUDPPayload+1)})
+	if err == nil {
+		t.Fatal("oversized datagram accepted")
+	}
+}
+
+func TestMaxSizedDatagramFitsOneFrame(t *testing.T) {
+	e := sim.New()
+	nodes, logs := buildNet(e, 2, false)
+	payload := make([]byte, MaxUDPPayload)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := nodes[0].SendUDP(Datagram{Dst: RankAddr(1), Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*logs[1]) != 1 {
+		t.Fatalf("received %d datagrams, want 1", len(*logs[1]))
+	}
+	if !bytes.Equal((*logs[1])[0].Payload, payload) {
+		t.Fatal("payload corrupted end to end")
+	}
+	if nodes[1].NIC().Stats.FramesReceived != 1 {
+		t.Fatalf("frame count = %d, want exactly 1 (no fragmentation at this size)",
+			nodes[1].NIC().Stats.FramesReceived)
+	}
+}
+
+func TestIGMPReportsAreConsumedByStack(t *testing.T) {
+	e := sim.New()
+	nodes, logs := buildNet(e, 3, true)
+	g := GroupAddr(5)
+	if err := nodes[1].Join(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[2].Join(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Node 2's report is heard by member node 1, consumed by the stack,
+	// never surfaced to the handler.
+	if len(*logs[1]) != 0 || len(*logs[2]) != 0 {
+		t.Fatal("IGMP report leaked to the UDP handler")
+	}
+	if nodes[1].Stats.IGMPHeard == 0 {
+		t.Fatal("expected node 1 to hear node 2's membership report")
+	}
+}
+
+func TestDefaultTTL(t *testing.T) {
+	e := sim.New()
+	nodes, logs := buildNet(e, 2, false)
+	g := GroupAddr(3)
+	if err := nodes[1].Join(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[0].SendUDP(Datagram{Dst: g, Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[0].SendUDP(Datagram{Dst: RankAddr(1), Payload: []byte("y")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*logs[1]) != 2 {
+		t.Fatalf("received %d datagrams, want 2", len(*logs[1]))
+	}
+	if (*logs[1])[0].TTL != 1 {
+		t.Errorf("multicast TTL = %d, want 1", (*logs[1])[0].TTL)
+	}
+	if (*logs[1])[1].TTL != 64 {
+		t.Errorf("unicast TTL = %d, want 64", (*logs[1])[1].TTL)
+	}
+}
+
+func TestNoHandlerCountsDrop(t *testing.T) {
+	e := sim.New()
+	params := ethernet.DefaultParams()
+	sw := ethernet.NewSwitch(e, params)
+	rng := sim.NewRand(1)
+	nicA := ethernet.NewNIC(e, ethernet.UnicastMAC(0), params, rng.Fork())
+	nicB := ethernet.NewNIC(e, ethernet.UnicastMAC(1), params, rng.Fork())
+	sw.Attach(nicA)
+	sw.Attach(nicB)
+	a := NewNode(e, nicA, RankAddr(0))
+	b := NewNode(e, nicB, RankAddr(1)) // no handler installed
+	if err := a.SendUDP(Datagram{Dst: RankAddr(1), Payload: []byte("z")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Stats.NoHandler != 1 {
+		t.Fatalf("NoHandler = %d, want 1", b.Stats.NoHandler)
+	}
+}

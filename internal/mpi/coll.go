@@ -1,0 +1,417 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/transport"
+)
+
+// Collective protocol messages travel in a reserved tag space below zero
+// so they can never match a user receive. The per-communicator collective
+// sequence number rides in the transport Seq field, which is what keeps
+// back-to-back collectives separate and makes the safe-program ordering
+// argument of the paper's §4 hold.
+const collTagBase int32 = -1000
+
+// CollCtx is the per-operation handle algorithm implementations use. It
+// is created by BeginColl at the start of each collective call; all
+// messages sent through it carry the operation's sequence number.
+//
+// CollCtx is the "bypass" interface of the paper's Fig. 1: Send/Recv go
+// through the ordinary point-to-point device path, while Multicast and
+// RecvMulticast reach the device's multicast capability directly.
+type CollCtx struct {
+	c   *Comm
+	seq uint32
+}
+
+// BeginColl opens a collective operation and advances the communicator's
+// collective sequence number. Every rank must call collectives in the
+// same order (a "safe" MPI program, as the paper requires).
+//
+// Opening an operation also garbage-collects stragglers of *finished*
+// operations on this communicator from the unexpected queue (e.g. late
+// NACKs that raced a reliability protocol's completion): a protocol
+// message with a lower sequence number can never match again because
+// collective receives always match the current operation exactly.
+func (c *Comm) BeginColl() CollCtx {
+	c.collSeq++
+	kept := c.rt.unexpected[:0]
+	for _, m := range c.rt.unexpected {
+		stale := m.Kind == transport.P2P && m.Comm == c.ctx &&
+			m.Tag <= collTagBase && m.Seq < c.collSeq
+		if !stale {
+			kept = append(kept, m)
+		}
+	}
+	for i := len(kept); i < len(c.rt.unexpected); i++ {
+		c.rt.unexpected[i] = transport.Message{}
+	}
+	c.rt.unexpected = kept
+	return CollCtx{c: c, seq: c.collSeq}
+}
+
+// Comm returns the communicator the operation runs on.
+func (cc CollCtx) Comm() *Comm { return cc.c }
+
+// Seq returns the operation's sequence number.
+func (cc CollCtx) Seq() uint32 { return cc.seq }
+
+// Send transmits a collective protocol message to communicator rank dst.
+// phase distinguishes message roles within one operation. reliable marks
+// traffic that would ride TCP in the paper's MPICH baseline; scouts and
+// other bypass traffic pass false for UDP.
+func (cc CollCtx) Send(dst, phase int, payload []byte, class transport.Class, reliable bool) error {
+	if dst < 0 || dst >= cc.c.Size() {
+		return fmt.Errorf("%w: collective send to %d (size %d)", ErrInvalidRank, dst, cc.c.Size())
+	}
+	return cc.c.rt.ep.Send(cc.c.group[dst], transport.Message{
+		Comm:     cc.c.ctx,
+		Tag:      collTagBase - int32(phase),
+		Seq:      cc.seq,
+		Class:    class,
+		Reliable: reliable,
+		Payload:  payload,
+	})
+}
+
+// Recv blocks for a collective protocol message from communicator rank
+// src (or AnySource) in the given phase of this operation.
+func (cc CollCtx) Recv(src, phase int) (transport.Message, error) {
+	srcWorld := AnySource
+	if src != AnySource {
+		if src < 0 || src >= cc.c.Size() {
+			return transport.Message{}, fmt.Errorf("%w: collective recv from %d (size %d)", ErrInvalidRank, src, cc.c.Size())
+		}
+		srcWorld = cc.c.group[src]
+	}
+	want := collTagBase - int32(phase)
+	return cc.c.rt.recvMatch(func(m *transport.Message) bool {
+		if m.Kind != transport.P2P || m.Comm != cc.c.ctx || m.Tag != want || m.Seq != cc.seq {
+			return false
+		}
+		return srcWorld == AnySource || m.Src == srcWorld
+	})
+}
+
+// SrcRank translates the world rank in a received message to a
+// communicator rank.
+func (cc CollCtx) SrcRank(m transport.Message) int { return cc.c.inverse[m.Src] }
+
+// CanMulticast reports whether the bypass path is available.
+func (cc CollCtx) CanMulticast() bool { return cc.c.rt.mc != nil }
+
+// Multicast sends payload to every member of the communicator's group in
+// a single device operation. The sender does not receive its own message.
+func (cc CollCtx) Multicast(payload []byte, class transport.Class) error {
+	if cc.c.rt.mc == nil {
+		return ErrNoMulticast
+	}
+	return cc.c.rt.mc.Multicast(cc.c.ctx, transport.Message{
+		Comm:    cc.c.ctx,
+		Seq:     cc.seq,
+		Class:   class,
+		Payload: payload,
+	})
+}
+
+// RecvMulticast blocks for this operation's multicast message.
+func (cc CollCtx) RecvMulticast() (transport.Message, error) {
+	if cc.c.rt.mc == nil {
+		return transport.Message{}, ErrNoMulticast
+	}
+	return cc.c.rt.recvMatch(func(m *transport.Message) bool {
+		return m.Kind == transport.Mcast && m.Comm == cc.c.ctx && m.Seq == cc.seq
+	})
+}
+
+// RecvMulticastTimeout is RecvMulticast with a timeout in nanoseconds on
+// the device clock; ok=false reports expiry. Receiver-initiated
+// reliability protocols use it to detect a missed multicast.
+func (cc CollCtx) RecvMulticastTimeout(timeout int64) (transport.Message, bool, error) {
+	if cc.c.rt.mc == nil {
+		return transport.Message{}, false, ErrNoMulticast
+	}
+	return cc.c.rt.recvMatchTimeout(func(m *transport.Message) bool {
+		return m.Kind == transport.Mcast && m.Comm == cc.c.ctx && m.Seq == cc.seq
+	}, timeout)
+}
+
+// RecvControl blocks for any point-to-point protocol message of this
+// operation regardless of phase; the caller dispatches on Class. Repair
+// servers use it to react to acknowledgments and NACKs in arrival order.
+func (cc CollCtx) RecvControl() (transport.Message, error) {
+	return cc.c.rt.recvMatch(func(m *transport.Message) bool {
+		return m.Kind == transport.P2P && m.Comm == cc.c.ctx && m.Seq == cc.seq && m.Tag <= collTagBase
+	})
+}
+
+// RecvTimeout is Recv with a timeout in nanoseconds on the device clock;
+// ok=false reports expiry. It requires transport.DeadlineRecver.
+func (cc CollCtx) RecvTimeout(src, phase int, timeout int64) (transport.Message, bool, error) {
+	srcWorld := AnySource
+	if src != AnySource {
+		if src < 0 || src >= cc.c.Size() {
+			return transport.Message{}, false, fmt.Errorf("%w: collective recv from %d (size %d)", ErrInvalidRank, src, cc.c.Size())
+		}
+		srcWorld = cc.c.group[src]
+	}
+	want := collTagBase - int32(phase)
+	return cc.c.rt.recvMatchTimeout(func(m *transport.Message) bool {
+		if m.Kind != transport.P2P || m.Comm != cc.c.ctx || m.Tag != want || m.Seq != cc.seq {
+			return false
+		}
+		return srcWorld == AnySource || m.Src == srcWorld
+	}, timeout)
+}
+
+// ---------------------------------------------------------------------------
+// Public collective API. Each dispatches to the selected algorithm or to
+// the built-in naive reference implementation.
+
+// Bcast broadcasts buf from root to every rank; all ranks supply a buffer
+// of identical length and all except root receive into it.
+func (c *Comm) Bcast(buf []byte, root int) error {
+	if root < 0 || root >= c.Size() {
+		return fmt.Errorf("%w: bcast root %d", ErrInvalidRank, root)
+	}
+	if c.algs.Bcast != nil {
+		return c.algs.Bcast(c, buf, root)
+	}
+	return naiveBcast(c, buf, root)
+}
+
+// Barrier blocks until every rank of the communicator has entered.
+func (c *Comm) Barrier() error {
+	if c.algs.Barrier != nil {
+		return c.algs.Barrier(c)
+	}
+	return naiveBarrier(c)
+}
+
+// Reduce combines every rank's send buffer element-wise with op and
+// leaves the result in recv on root (recv is ignored elsewhere).
+func (c *Comm) Reduce(send, recv []byte, dt Datatype, op Op, root int) error {
+	if root < 0 || root >= c.Size() {
+		return fmt.Errorf("%w: reduce root %d", ErrInvalidRank, root)
+	}
+	if c.algs.Reduce != nil {
+		return c.algs.Reduce(c, send, recv, dt, op, root)
+	}
+	return naiveReduce(c, send, recv, dt, op, root)
+}
+
+// Allreduce is Reduce followed by a broadcast of the result to all ranks.
+func (c *Comm) Allreduce(send, recv []byte, dt Datatype, op Op) error {
+	if c.algs.Allreduce != nil {
+		return c.algs.Allreduce(c, send, recv, dt, op)
+	}
+	if err := c.Reduce(send, recv, dt, op, 0); err != nil {
+		return err
+	}
+	return c.Bcast(recv, 0)
+}
+
+// Gather concatenates every rank's equal-sized send buffer into recv on
+// root (recv must be Size()*len(send) bytes there; ignored elsewhere).
+func (c *Comm) Gather(send, recv []byte, root int) error {
+	if root < 0 || root >= c.Size() {
+		return fmt.Errorf("%w: gather root %d", ErrInvalidRank, root)
+	}
+	if c.algs.Gather != nil {
+		return c.algs.Gather(c, send, recv, root)
+	}
+	return naiveGather(c, send, recv, root)
+}
+
+// Scatter splits root's send buffer (Size() equal chunks) and delivers
+// the i-th chunk to rank i's recv buffer.
+func (c *Comm) Scatter(send, recv []byte, root int) error {
+	if root < 0 || root >= c.Size() {
+		return fmt.Errorf("%w: scatter root %d", ErrInvalidRank, root)
+	}
+	if c.algs.Scatter != nil {
+		return c.algs.Scatter(c, send, recv, root)
+	}
+	return naiveScatter(c, send, recv, root)
+}
+
+// Allgather concatenates every rank's send buffer into every rank's recv
+// buffer (Size()*len(send) bytes).
+func (c *Comm) Allgather(send, recv []byte) error {
+	if c.algs.Allgather != nil {
+		return c.algs.Allgather(c, send, recv)
+	}
+	if err := c.Gather(send, recv, 0); err != nil {
+		return err
+	}
+	return c.Bcast(recv, 0)
+}
+
+// Alltoall sends the i-th chunk of send to rank i and fills the j-th
+// chunk of recv with the chunk received from rank j.
+func (c *Comm) Alltoall(send, recv []byte) error {
+	if c.algs.Alltoall != nil {
+		return c.algs.Alltoall(c, send, recv)
+	}
+	return naiveAlltoall(c, send, recv)
+}
+
+// ---------------------------------------------------------------------------
+// Naive reference algorithms: correct on any transport, used as defaults
+// and as oracles in tests. The root simply loops over all ranks.
+
+func naiveBcast(c *Comm, buf []byte, root int) error {
+	cc := c.BeginColl()
+	if c.rank == root {
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			if err := cc.Send(r, 0, buf, transport.ClassData, true); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	m, err := cc.Recv(root, 0)
+	if err != nil {
+		return err
+	}
+	if len(m.Payload) != len(buf) {
+		return fmt.Errorf("mpi: bcast buffer %d bytes, message %d", len(buf), len(m.Payload))
+	}
+	copy(buf, m.Payload)
+	return nil
+}
+
+func naiveBarrier(c *Comm) error {
+	cc := c.BeginColl()
+	if c.rank == 0 {
+		for i := 0; i < c.Size()-1; i++ {
+			if _, err := cc.Recv(AnySource, 0); err != nil {
+				return err
+			}
+		}
+		for r := 1; r < c.Size(); r++ {
+			if err := cc.Send(r, 1, nil, transport.ClassControl, true); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := cc.Send(0, 0, nil, transport.ClassControl, true); err != nil {
+		return err
+	}
+	_, err := cc.Recv(0, 1)
+	return err
+}
+
+func naiveReduce(c *Comm, send, recv []byte, dt Datatype, op Op, root int) error {
+	cc := c.BeginColl()
+	if c.rank != root {
+		return cc.Send(root, 0, send, transport.ClassData, true)
+	}
+	if len(recv) != len(send) {
+		return fmt.Errorf("mpi: reduce recv buffer %d bytes, want %d", len(recv), len(send))
+	}
+	copy(recv, send)
+	// Combine in deterministic rank order for floating-point stability.
+	pending := make(map[int][]byte, c.Size()-1)
+	for i := 0; i < c.Size()-1; i++ {
+		m, err := cc.Recv(AnySource, 0)
+		if err != nil {
+			return err
+		}
+		pending[cc.SrcRank(m)] = m.Payload
+	}
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		if err := ReduceBytes(op, dt, recv, pending[r]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func naiveGather(c *Comm, send, recv []byte, root int) error {
+	cc := c.BeginColl()
+	if c.rank != root {
+		return cc.Send(root, 0, send, transport.ClassData, true)
+	}
+	n := len(send)
+	if len(recv) != n*c.Size() {
+		return fmt.Errorf("mpi: gather recv buffer %d bytes, want %d", len(recv), n*c.Size())
+	}
+	copy(recv[root*n:], send)
+	for i := 0; i < c.Size()-1; i++ {
+		m, err := cc.Recv(AnySource, 0)
+		if err != nil {
+			return err
+		}
+		r := cc.SrcRank(m)
+		if len(m.Payload) != n {
+			return fmt.Errorf("mpi: gather chunk from %d is %d bytes, want %d", r, len(m.Payload), n)
+		}
+		copy(recv[r*n:], m.Payload)
+	}
+	return nil
+}
+
+func naiveScatter(c *Comm, send, recv []byte, root int) error {
+	cc := c.BeginColl()
+	n := len(recv)
+	if c.rank == root {
+		if len(send) != n*c.Size() {
+			return fmt.Errorf("mpi: scatter send buffer %d bytes, want %d", len(send), n*c.Size())
+		}
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				copy(recv, send[r*n:(r+1)*n])
+				continue
+			}
+			if err := cc.Send(r, 0, send[r*n:(r+1)*n], transport.ClassData, true); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	m, err := cc.Recv(root, 0)
+	if err != nil {
+		return err
+	}
+	if len(m.Payload) != n {
+		return fmt.Errorf("mpi: scatter chunk is %d bytes, want %d", len(m.Payload), n)
+	}
+	copy(recv, m.Payload)
+	return nil
+}
+
+func naiveAlltoall(c *Comm, send, recv []byte) error {
+	cc := c.BeginColl()
+	size := c.Size()
+	if len(send)%size != 0 || len(recv) != len(send) {
+		return fmt.Errorf("mpi: alltoall buffers %d/%d bytes for %d ranks", len(send), len(recv), size)
+	}
+	n := len(send) / size
+	copy(recv[c.rank*n:(c.rank+1)*n], send[c.rank*n:(c.rank+1)*n])
+	for r := 0; r < size; r++ {
+		if r == c.rank {
+			continue
+		}
+		if err := cc.Send(r, 0, send[r*n:(r+1)*n], transport.ClassData, true); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < size-1; i++ {
+		m, err := cc.Recv(AnySource, 0)
+		if err != nil {
+			return err
+		}
+		r := cc.SrcRank(m)
+		copy(recv[r*n:(r+1)*n], m.Payload)
+	}
+	return nil
+}

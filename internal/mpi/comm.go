@@ -1,0 +1,420 @@
+// Package mpi implements the subset of the Message Passing Interface the
+// paper builds on: communicators, tagged blocking point-to-point
+// operations with MPI matching semantics (wildcards and unexpected-message
+// queues), and the full set of collective operations with pluggable
+// algorithms.
+//
+// The layering mirrors MPICH's as drawn in the paper's Fig. 1. Collective
+// operations are, by default, implemented over point-to-point messages;
+// package baseline supplies the MPICH algorithms (binomial-tree broadcast,
+// three-phase barrier) and package core supplies the paper's multicast
+// implementations, which bypass the point-to-point path and talk to the
+// device's multicast capability directly.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/transport"
+)
+
+// Wildcards for Recv.
+const (
+	// AnySource matches a message from any rank.
+	AnySource = -1
+	// AnyTag matches a message with any tag.
+	AnyTag = -1
+)
+
+// WorldContext is the context id of the world communicator. Every derived
+// communicator gets a distinct id, which also names its multicast group.
+const WorldContext uint32 = 1
+
+// Exported error conditions.
+var (
+	// ErrTruncated reports a receive buffer smaller than the message.
+	ErrTruncated = errors.New("mpi: message truncated (receive buffer too small)")
+	// ErrInvalidRank reports a rank outside the communicator.
+	ErrInvalidRank = errors.New("mpi: invalid rank")
+	// ErrInvalidTag reports a negative user tag (the negative space is
+	// reserved for collective protocols).
+	ErrInvalidTag = errors.New("mpi: invalid tag (user tags must be non-negative)")
+	// ErrNoMulticast reports a multicast collective on a transport
+	// without multicast capability.
+	ErrNoMulticast = errors.New("mpi: transport does not support multicast")
+)
+
+// Runtime is one rank's MPI instance: the endpoint plus the matching
+// engine shared by all communicators of this rank. Create one per rank
+// with NewRuntime, then derive the world communicator.
+type Runtime struct {
+	ep transport.Endpoint
+	mc transport.Multicaster // nil when the device has no multicast
+
+	// unexpected buffers messages that arrived before a matching receive
+	// was posted, in arrival order (MPI's unexpected-message queue).
+	unexpected []transport.Message
+
+	// mcastSeen records, per communicator context, the highest multicast
+	// collective sequence number already consumed. Retransmissions from
+	// acknowledgment-based reliability protocols arrive with an
+	// already-consumed sequence number and are discarded here, so
+	// duplicates never accumulate in the unexpected queue.
+	mcastSeen map[uint32]uint32
+}
+
+// NewRuntime wraps an endpoint. The multicast capability is discovered by
+// interface assertion, exactly as the paper's implementation discovers
+// that it can bypass the point-to-point layers.
+func NewRuntime(ep transport.Endpoint) *Runtime {
+	rt := &Runtime{ep: ep}
+	if mc, ok := ep.(transport.Multicaster); ok {
+		rt.mc = mc
+	}
+	return rt
+}
+
+// Endpoint returns the underlying device endpoint.
+func (rt *Runtime) Endpoint() transport.Endpoint { return rt.ep }
+
+// CanMulticast reports whether the device supports multicast.
+func (rt *Runtime) CanMulticast() bool { return rt.mc != nil }
+
+// Close shuts down the underlying endpoint.
+func (rt *Runtime) Close() error { return rt.ep.Close() }
+
+// stale reports whether a multicast message duplicates one this rank
+// already consumed (a reliability-protocol retransmission).
+func (rt *Runtime) stale(m *transport.Message) bool {
+	return m.Kind == transport.Mcast && rt.mcastSeen[m.Comm] >= m.Seq && rt.mcastSeen[m.Comm] != 0
+}
+
+// markConsumed advances the multicast watermark for the message's
+// communicator.
+func (rt *Runtime) markConsumed(m *transport.Message) {
+	if m.Kind != transport.Mcast {
+		return
+	}
+	if rt.mcastSeen == nil {
+		rt.mcastSeen = make(map[uint32]uint32)
+	}
+	if m.Seq > rt.mcastSeen[m.Comm] {
+		rt.mcastSeen[m.Comm] = m.Seq
+	}
+}
+
+// recvMatch returns the first message satisfying pred, consulting the
+// unexpected queue before pulling from the device. Non-matching arrivals
+// are queued, preserving order; stale multicast duplicates are dropped.
+func (rt *Runtime) recvMatch(pred func(*transport.Message) bool) (transport.Message, error) {
+	if m, ok := rt.scanUnexpected(pred); ok {
+		return m, nil
+	}
+	for {
+		m, err := rt.ep.Recv()
+		if err != nil {
+			return transport.Message{}, err
+		}
+		if rt.stale(&m) {
+			continue
+		}
+		if pred(&m) {
+			rt.markConsumed(&m)
+			return m, nil
+		}
+		rt.unexpected = append(rt.unexpected, m)
+	}
+}
+
+// recvMatchTimeout is recvMatch with a deadline; ok=false on expiry. It
+// requires the device to implement transport.DeadlineRecver.
+func (rt *Runtime) recvMatchTimeout(pred func(*transport.Message) bool, timeout int64) (transport.Message, bool, error) {
+	if m, ok := rt.scanUnexpected(pred); ok {
+		return m, true, nil
+	}
+	dr, ok := rt.ep.(transport.DeadlineRecver)
+	if !ok {
+		return transport.Message{}, false, fmt.Errorf("mpi: %T does not support timed receives", rt.ep)
+	}
+	deadline := rt.ep.Now() + timeout
+	for {
+		remain := deadline - rt.ep.Now()
+		if remain <= 0 {
+			return transport.Message{}, false, nil
+		}
+		m, got, err := dr.RecvTimeout(remain)
+		if err != nil {
+			return transport.Message{}, false, err
+		}
+		if !got {
+			return transport.Message{}, false, nil
+		}
+		if rt.stale(&m) {
+			continue
+		}
+		if pred(&m) {
+			rt.markConsumed(&m)
+			return m, true, nil
+		}
+		rt.unexpected = append(rt.unexpected, m)
+	}
+}
+
+func (rt *Runtime) scanUnexpected(pred func(*transport.Message) bool) (transport.Message, bool) {
+	kept := rt.unexpected[:0]
+	var found transport.Message
+	ok := false
+	for i := range rt.unexpected {
+		m := rt.unexpected[i]
+		if !ok && pred(&m) {
+			found = m
+			ok = true
+			continue
+		}
+		if rt.stale(&m) {
+			continue
+		}
+		kept = append(kept, m)
+	}
+	// Zero the tail so dropped messages do not pin payloads.
+	for i := len(kept); i < len(rt.unexpected); i++ {
+		rt.unexpected[i] = transport.Message{}
+	}
+	rt.unexpected = kept
+	if ok {
+		rt.markConsumed(&found)
+	}
+	return found, ok
+}
+
+// UnexpectedDepth reports the current unexpected-queue length (useful in
+// tests asserting that protocols drain what they produce).
+func (rt *Runtime) UnexpectedDepth() int { return len(rt.unexpected) }
+
+// Comm is a communicator: an ordered group of ranks with a private
+// communication context. Rank arguments on all methods are
+// communicator-relative.
+type Comm struct {
+	rt      *Runtime
+	ctx     uint32
+	group   []int       // comm rank -> world rank
+	inverse map[int]int // world rank -> comm rank
+	rank    int         // this process's comm rank
+	collSeq uint32      // per-communicator collective sequence number
+	derived uint32      // counter for deterministic child context ids
+	algs    Algorithms
+	joined  bool
+}
+
+// Algorithms selects the implementation of each collective operation.
+// Nil fields fall back to the built-in naive reference algorithms (root
+// loops over ranks), which are correct on any transport and serve as the
+// oracle in tests. Package baseline provides the MPICH set; package core
+// provides the paper's multicast set.
+type Algorithms struct {
+	Bcast         func(c *Comm, buf []byte, root int) error
+	Barrier       func(c *Comm) error
+	Reduce        func(c *Comm, send, recv []byte, dt Datatype, op Op, root int) error
+	Allreduce     func(c *Comm, send, recv []byte, dt Datatype, op Op) error
+	Gather        func(c *Comm, send, recv []byte, root int) error
+	Scatter       func(c *Comm, send, recv []byte, root int) error
+	Allgather     func(c *Comm, send, recv []byte) error
+	Alltoall      func(c *Comm, send, recv []byte) error
+	Scan          func(c *Comm, send, recv []byte, dt Datatype, op Op) error
+	ReduceScatter func(c *Comm, send, recv []byte, dt Datatype, op Op) error
+}
+
+// Merge returns a copy of a with nil fields filled from b.
+func (a Algorithms) Merge(b Algorithms) Algorithms {
+	if a.Bcast == nil {
+		a.Bcast = b.Bcast
+	}
+	if a.Barrier == nil {
+		a.Barrier = b.Barrier
+	}
+	if a.Reduce == nil {
+		a.Reduce = b.Reduce
+	}
+	if a.Allreduce == nil {
+		a.Allreduce = b.Allreduce
+	}
+	if a.Gather == nil {
+		a.Gather = b.Gather
+	}
+	if a.Scatter == nil {
+		a.Scatter = b.Scatter
+	}
+	if a.Allgather == nil {
+		a.Allgather = b.Allgather
+	}
+	if a.Alltoall == nil {
+		a.Alltoall = b.Alltoall
+	}
+	if a.Scan == nil {
+		a.Scan = b.Scan
+	}
+	if a.ReduceScatter == nil {
+		a.ReduceScatter = b.ReduceScatter
+	}
+	return a
+}
+
+// World creates the world communicator over rt with the given collective
+// algorithm selection. Every rank must call World exactly once with the
+// same algorithms.
+func World(rt *Runtime, algs Algorithms) (*Comm, error) {
+	n := rt.ep.Size()
+	group := make([]int, n)
+	for i := range group {
+		group[i] = i
+	}
+	return newComm(rt, WorldContext, group, algs)
+}
+
+func newComm(rt *Runtime, ctx uint32, group []int, algs Algorithms) (*Comm, error) {
+	inv := make(map[int]int, len(group))
+	for i, w := range group {
+		inv[w] = i
+	}
+	me, ok := inv[rt.ep.Rank()]
+	if !ok {
+		return nil, fmt.Errorf("mpi: world rank %d not in communicator group", rt.ep.Rank())
+	}
+	c := &Comm{
+		rt:      rt,
+		ctx:     ctx,
+		group:   group,
+		inverse: inv,
+		rank:    me,
+		algs:    algs,
+	}
+	// Receivers must belong to the communicator's multicast group before
+	// any collective runs — the receiver-directed half of IP multicast.
+	if rt.mc != nil {
+		if err := rt.mc.Join(ctx); err != nil {
+			return nil, fmt.Errorf("mpi: joining multicast group %d: %w", ctx, err)
+		}
+		c.joined = true
+	}
+	return c, nil
+}
+
+// Rank returns the calling process's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.group) }
+
+// Context returns the communicator's context id (its multicast group).
+func (c *Comm) Context() uint32 { return c.ctx }
+
+// Runtime returns the per-rank runtime the communicator runs on.
+func (c *Comm) Runtime() *Runtime { return c.rt }
+
+// WorldRank translates a communicator rank to a world rank.
+func (c *Comm) WorldRank(commRank int) int { return c.group[commRank] }
+
+// Now returns monotonic nanoseconds on the device clock (virtual time
+// under the simulator); use it to time operations.
+func (c *Comm) Now() int64 { return c.rt.ep.Now() }
+
+// Free leaves the communicator's multicast group. The communicator must
+// not be used afterwards. Freeing the world communicator does not close
+// the runtime; use Runtime.Close for that.
+func (c *Comm) Free() error {
+	if c.joined && c.rt.mc != nil {
+		c.joined = false
+		return c.rt.mc.Leave(c.ctx)
+	}
+	return nil
+}
+
+// childContext derives a context id for the n-th communicator derived
+// from this one, optionally salted (Split uses the color). The derivation
+// is a pure function of parent context and counter, so every member
+// computes the same id without communication.
+func (c *Comm) childContext(salt uint32) uint32 {
+	h := fnv.New32a()
+	var b [12]byte
+	putU32 := func(off int, v uint32) {
+		b[off] = byte(v >> 24)
+		b[off+1] = byte(v >> 16)
+		b[off+2] = byte(v >> 8)
+		b[off+3] = byte(v)
+	}
+	putU32(0, c.ctx)
+	putU32(4, c.derived)
+	putU32(8, salt)
+	h.Write(b[:])
+	id := h.Sum32()
+	if id <= WorldContext { // keep clear of the world context
+		id += 2
+	}
+	return id
+}
+
+// Dup creates a communicator with the same group but a fresh context —
+// collective traffic on the two never interferes, which is how MPI keeps
+// "same process group, different context" broadcasts separate (§4 of the
+// paper). Every member must call Dup in the same order.
+func (c *Comm) Dup() (*Comm, error) {
+	ctx := c.childContext(0)
+	c.derived++
+	group := append([]int(nil), c.group...)
+	return newComm(c.rt, ctx, group, c.algs)
+}
+
+// Split partitions the communicator: ranks passing the same color form a
+// new communicator, ordered by (key, parent rank). Every member must call
+// Split collectively. A negative color returns (nil, nil) for ranks that
+// opt out, like MPI_UNDEFINED.
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	// Gather everyone's (color, key) with the allgather collective so
+	// each rank can compute every group deterministically.
+	send := make([]byte, 8)
+	putI32(send[0:4], int32(color))
+	putI32(send[4:8], int32(key))
+	recv := make([]byte, 8*c.Size())
+	if err := c.Allgather(send, recv); err != nil {
+		return nil, fmt.Errorf("mpi: split allgather: %w", err)
+	}
+	type member struct{ color, key, rank int }
+	var mine []member
+	for r := 0; r < c.Size(); r++ {
+		col := int(getI32(recv[8*r : 8*r+4]))
+		k := int(getI32(recv[8*r+4 : 8*r+8]))
+		if col == color {
+			mine = append(mine, member{color: col, key: k, rank: r})
+		}
+	}
+	c.derived++
+	if color < 0 {
+		return nil, nil
+	}
+	sort.Slice(mine, func(i, j int) bool {
+		if mine[i].key != mine[j].key {
+			return mine[i].key < mine[j].key
+		}
+		return mine[i].rank < mine[j].rank
+	})
+	group := make([]int, len(mine))
+	for i, m := range mine {
+		group[i] = c.group[m.rank]
+	}
+	ctx := c.childContext(uint32(color) + 1)
+	return newComm(c.rt, ctx, group, c.algs)
+}
+
+func putI32(b []byte, v int32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}
+
+func getI32(b []byte) int32 {
+	return int32(b[0])<<24 | int32(b[1])<<16 | int32(b[2])<<8 | int32(b[3])
+}

@@ -1,0 +1,210 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Datatype identifies the element type of a reduction buffer.
+type Datatype int
+
+const (
+	// Byte is an opaque 8-bit element.
+	Byte Datatype = iota
+	// Int32 is a big-endian signed 32-bit integer.
+	Int32
+	// Int64 is a big-endian signed 64-bit integer.
+	Int64
+	// Float64 is a big-endian IEEE-754 double.
+	Float64
+)
+
+// Size returns the element size in bytes.
+func (d Datatype) Size() int {
+	switch d {
+	case Byte:
+		return 1
+	case Int32:
+		return 4
+	case Int64:
+		return 8
+	case Float64:
+		return 8
+	default:
+		panic(fmt.Sprintf("mpi: unknown datatype %d", d))
+	}
+}
+
+func (d Datatype) String() string {
+	switch d {
+	case Byte:
+		return "byte"
+	case Int32:
+		return "int32"
+	case Int64:
+		return "int64"
+	case Float64:
+		return "float64"
+	default:
+		return fmt.Sprintf("datatype(%d)", int(d))
+	}
+}
+
+// Op is a reduction operator.
+type Op int
+
+const (
+	// OpSum adds elements.
+	OpSum Op = iota
+	// OpProd multiplies elements.
+	OpProd
+	// OpMax keeps the maximum.
+	OpMax
+	// OpMin keeps the minimum.
+	OpMin
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSum:
+		return "sum"
+	case OpProd:
+		return "prod"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// ReduceBytes combines src into acc element-wise: acc = acc (op) src.
+// Both buffers must hold the same whole number of dt elements.
+func ReduceBytes(op Op, dt Datatype, acc, src []byte) error {
+	if len(acc) != len(src) {
+		return fmt.Errorf("mpi: reduce length mismatch: %d vs %d", len(acc), len(src))
+	}
+	if len(acc)%dt.Size() != 0 {
+		return fmt.Errorf("mpi: reduce buffer of %d bytes not a multiple of %s size %d", len(acc), dt, dt.Size())
+	}
+	n := len(acc) / dt.Size()
+	switch dt {
+	case Byte:
+		for i := 0; i < n; i++ {
+			acc[i] = byte(reduceI64(op, int64(acc[i]), int64(src[i])))
+		}
+	case Int32:
+		for i := 0; i < n; i++ {
+			a := int32(binary.BigEndian.Uint32(acc[4*i:]))
+			b := int32(binary.BigEndian.Uint32(src[4*i:]))
+			binary.BigEndian.PutUint32(acc[4*i:], uint32(int32(reduceI64(op, int64(a), int64(b)))))
+		}
+	case Int64:
+		for i := 0; i < n; i++ {
+			a := int64(binary.BigEndian.Uint64(acc[8*i:]))
+			b := int64(binary.BigEndian.Uint64(src[8*i:]))
+			binary.BigEndian.PutUint64(acc[8*i:], uint64(reduceI64(op, a, b)))
+		}
+	case Float64:
+		for i := 0; i < n; i++ {
+			a := math.Float64frombits(binary.BigEndian.Uint64(acc[8*i:]))
+			b := math.Float64frombits(binary.BigEndian.Uint64(src[8*i:]))
+			binary.BigEndian.PutUint64(acc[8*i:], math.Float64bits(reduceF64(op, a, b)))
+		}
+	default:
+		return fmt.Errorf("mpi: unknown datatype %d", dt)
+	}
+	return nil
+}
+
+func reduceI64(op Op, a, b int64) int64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpProd:
+		return a * b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	default:
+		panic(fmt.Sprintf("mpi: unknown op %d", op))
+	}
+}
+
+func reduceF64(op Op, a, b float64) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpProd:
+		return a * b
+	case OpMax:
+		return math.Max(a, b)
+	case OpMin:
+		return math.Min(a, b)
+	default:
+		panic(fmt.Sprintf("mpi: unknown op %d", op))
+	}
+}
+
+// Float64sToBytes encodes vs big-endian for use in typed collectives.
+func Float64sToBytes(vs []float64) []byte {
+	b := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		binary.BigEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return b
+}
+
+// BytesToFloat64s decodes a buffer produced by Float64sToBytes.
+func BytesToFloat64s(b []byte) []float64 {
+	vs := make([]float64, len(b)/8)
+	for i := range vs {
+		vs[i] = math.Float64frombits(binary.BigEndian.Uint64(b[8*i:]))
+	}
+	return vs
+}
+
+// Int64sToBytes encodes vs big-endian.
+func Int64sToBytes(vs []int64) []byte {
+	b := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		binary.BigEndian.PutUint64(b[8*i:], uint64(v))
+	}
+	return b
+}
+
+// BytesToInt64s decodes a buffer produced by Int64sToBytes.
+func BytesToInt64s(b []byte) []int64 {
+	vs := make([]int64, len(b)/8)
+	for i := range vs {
+		vs[i] = int64(binary.BigEndian.Uint64(b[8*i:]))
+	}
+	return vs
+}
+
+// Int32sToBytes encodes vs big-endian.
+func Int32sToBytes(vs []int32) []byte {
+	b := make([]byte, 4*len(vs))
+	for i, v := range vs {
+		binary.BigEndian.PutUint32(b[4*i:], uint32(v))
+	}
+	return b
+}
+
+// BytesToInt32s decodes a buffer produced by Int32sToBytes.
+func BytesToInt32s(b []byte) []int32 {
+	vs := make([]int32, len(b)/4)
+	for i := range vs {
+		vs[i] = int32(binary.BigEndian.Uint32(b[4*i:]))
+	}
+	return vs
+}

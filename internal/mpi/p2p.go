@@ -1,0 +1,81 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/transport"
+)
+
+// Status describes a received message.
+type Status struct {
+	// Source is the communicator rank of the sender.
+	Source int
+	// Tag is the message tag.
+	Tag int
+	// Len is the payload length in bytes.
+	Len int
+}
+
+// Send transmits data to communicator rank dst with the given tag.
+// Sends are buffered: the call returns once the message is handed to the
+// device. User tags must be non-negative; the negative space carries
+// collective protocols.
+func (c *Comm) Send(dst, tag int, data []byte) error {
+	if dst < 0 || dst >= c.Size() {
+		return fmt.Errorf("%w: send to %d in communicator of size %d", ErrInvalidRank, dst, c.Size())
+	}
+	if tag < 0 {
+		return fmt.Errorf("%w: %d", ErrInvalidTag, tag)
+	}
+	return c.rt.ep.Send(c.group[dst], transport.Message{
+		Comm:     c.ctx,
+		Tag:      int32(tag),
+		Class:    transport.ClassData,
+		Reliable: true, // user point-to-point traffic modeled as TCP
+		Payload:  data,
+	})
+}
+
+// Recv receives a message from src (or AnySource) with tag (or AnyTag)
+// into buf and returns its status. If the message is larger than buf the
+// data is truncated and ErrTruncated returned (with the status still
+// valid), matching MPI semantics.
+func (c *Comm) Recv(src, tag int, buf []byte) (Status, error) {
+	if src != AnySource && (src < 0 || src >= c.Size()) {
+		return Status{}, fmt.Errorf("%w: recv from %d in communicator of size %d", ErrInvalidRank, src, c.Size())
+	}
+	if tag != AnyTag && tag < 0 {
+		return Status{}, fmt.Errorf("%w: %d", ErrInvalidTag, tag)
+	}
+	srcWorld := AnySource
+	if src != AnySource {
+		srcWorld = c.group[src]
+	}
+	m, err := c.rt.recvMatch(func(m *transport.Message) bool {
+		if m.Kind != transport.P2P || m.Comm != c.ctx || m.Tag < 0 {
+			return false
+		}
+		if srcWorld != AnySource && m.Src != srcWorld {
+			return false
+		}
+		return tag == AnyTag || m.Tag == int32(tag)
+	})
+	if err != nil {
+		return Status{}, err
+	}
+	st := Status{Source: c.inverse[m.Src], Tag: int(m.Tag), Len: len(m.Payload)}
+	n := copy(buf, m.Payload)
+	if n < len(m.Payload) {
+		return st, fmt.Errorf("%w: got %d bytes into a %d-byte buffer", ErrTruncated, len(m.Payload), len(buf))
+	}
+	return st, nil
+}
+
+// SendRecv performs a send and a receive as one deadlock-free operation
+// (sends are buffered, so issuing the send first is safe).
+func (c *Comm) SendRecv(dst, sendTag int, sendData []byte, src, recvTag int, recvBuf []byte) (Status, error) {
+	if err := c.Send(dst, sendTag, sendData); err != nil {
+		return Status{}, err
+	}
+	return c.Recv(src, recvTag, recvBuf)
+}

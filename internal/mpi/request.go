@@ -1,0 +1,118 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/transport"
+)
+
+// Request is the handle of a nonblocking operation. Obtain one from
+// Isend or Irecv and complete it with Wait (or Comm.Waitall).
+//
+// Progress semantics: sends are buffered and complete immediately;
+// receives make progress when Wait (or any blocking receive on the same
+// rank) runs. This is the "weak progress" model common to single-
+// threaded MPI implementations, sufficient for the classic
+// post-early/complete-late overlap pattern:
+//
+//	req, _ := c.Irecv(left, tagHalo, buf)
+//	compute()                 // overlap
+//	st, err := req.Wait()
+type Request struct {
+	c      *Comm
+	done   bool
+	waited bool
+	st     Status
+	err    error
+
+	// receive-side state (nil for sends)
+	buf  []byte
+	pred func(*transport.Message) bool
+}
+
+// ErrRequestDone reports a Wait on an already-completed request.
+var ErrRequestDone = errors.New("mpi: request already completed")
+
+// Isend starts a buffered nonblocking send. Because all sends in this
+// implementation are buffered at the device, the returned request is
+// already complete; it exists so code written against the MPI pattern
+// ports directly.
+func (c *Comm) Isend(dst, tag int, data []byte) (*Request, error) {
+	if err := c.Send(dst, tag, data); err != nil {
+		return nil, err
+	}
+	return &Request{c: c, done: true, st: Status{Source: c.rank, Tag: tag, Len: len(data)}}, nil
+}
+
+// Irecv posts a nonblocking receive from src (or AnySource) with tag (or
+// AnyTag) into buf. Matching happens at Wait time, against the
+// unexpected-message queue first, so messages that already arrived are
+// found in order.
+func (c *Comm) Irecv(src, tag int, buf []byte) (*Request, error) {
+	if src != AnySource && (src < 0 || src >= c.Size()) {
+		return nil, fmt.Errorf("%w: irecv from %d in communicator of size %d", ErrInvalidRank, src, c.Size())
+	}
+	if tag != AnyTag && tag < 0 {
+		return nil, fmt.Errorf("%w: %d", ErrInvalidTag, tag)
+	}
+	srcWorld := AnySource
+	if src != AnySource {
+		srcWorld = c.group[src]
+	}
+	return &Request{
+		c:   c,
+		buf: buf,
+		pred: func(m *transport.Message) bool {
+			if m.Kind != transport.P2P || m.Comm != c.ctx || m.Tag < 0 {
+				return false
+			}
+			if srcWorld != AnySource && m.Src != srcWorld {
+				return false
+			}
+			return tag == AnyTag || m.Tag == int32(tag)
+		},
+	}, nil
+}
+
+// Done reports whether the request has completed.
+func (r *Request) Done() bool { return r.done }
+
+// Wait blocks until the operation completes and returns its status.
+// Waiting a second time returns ErrRequestDone.
+func (r *Request) Wait() (Status, error) {
+	if r.waited {
+		return r.st, ErrRequestDone
+	}
+	r.waited = true
+	if r.done {
+		return r.st, r.err
+	}
+	m, err := r.c.rt.recvMatch(r.pred)
+	r.done = true
+	if err != nil {
+		r.err = err
+		return Status{}, err
+	}
+	r.st = Status{Source: r.c.inverse[m.Src], Tag: int(m.Tag), Len: len(m.Payload)}
+	n := copy(r.buf, m.Payload)
+	if n < len(m.Payload) {
+		r.err = fmt.Errorf("%w: got %d bytes into a %d-byte buffer", ErrTruncated, len(m.Payload), len(r.buf))
+	}
+	return r.st, r.err
+}
+
+// Waitall completes every request, returning the first error while still
+// draining the rest (so no message is stranded).
+func (c *Comm) Waitall(reqs []*Request) error {
+	var first error
+	for _, r := range reqs {
+		if r == nil || r.waited {
+			continue
+		}
+		if _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

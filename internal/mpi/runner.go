@@ -1,0 +1,51 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// RunMem executes one rank program per rank of an in-process MemNet world
+// of size n, each on its own goroutine, and returns the first error. It
+// is the quickest way to run MPI programs for tests and examples.
+func RunMem(n int, algs Algorithms, fn func(c *Comm) error) error {
+	net := transport.NewMemNet(n)
+	eps := make([]transport.Endpoint, n)
+	for i := 0; i < n; i++ {
+		eps[i] = net.Endpoint(i)
+	}
+	return RunEndpoints(eps, algs, fn)
+}
+
+// RunEndpoints executes fn once per endpoint, each on its own goroutine,
+// wiring up a Runtime and world communicator per rank. It is used by the
+// in-memory and UDP transports; the simulator has its own runner because
+// rank programs there execute in virtual-time processes.
+func RunEndpoints(eps []transport.Endpoint, algs Algorithms, fn func(c *Comm) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(eps))
+	for i, ep := range eps {
+		wg.Add(1)
+		go func(i int, ep transport.Endpoint) {
+			defer wg.Done()
+			rt := NewRuntime(ep)
+			world, err := World(rt, algs)
+			if err != nil {
+				errs[i] = fmt.Errorf("rank %d: %w", i, err)
+				return
+			}
+			if err := fn(world); err != nil {
+				errs[i] = fmt.Errorf("rank %d: %w", i, err)
+			}
+		}(i, ep)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

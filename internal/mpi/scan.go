@@ -1,0 +1,71 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/transport"
+)
+
+// Scan computes an inclusive prefix reduction: rank i's recv buffer ends
+// up holding send(0) op send(1) op … op send(i), combined in rank order.
+func (c *Comm) Scan(send, recv []byte, dt Datatype, op Op) error {
+	if c.algs.Scan != nil {
+		return c.algs.Scan(c, send, recv, dt, op)
+	}
+	return naiveScan(c, send, recv, dt, op)
+}
+
+// ReduceScatter reduces Size() equal chunks element-wise across all
+// ranks and scatters the result: rank i receives the fully reduced i-th
+// chunk in recv (len(send) = Size()*len(recv)).
+func (c *Comm) ReduceScatter(send, recv []byte, dt Datatype, op Op) error {
+	if c.algs.ReduceScatter != nil {
+		return c.algs.ReduceScatter(c, send, recv, dt, op)
+	}
+	return naiveReduceScatter(c, send, recv, dt, op)
+}
+
+// naiveScan chains the prefix along the ranks: rank i waits for the
+// running prefix from i-1, folds in its own contribution, and forwards
+// to i+1. Latency O(N), the reference implementation.
+func naiveScan(c *Comm, send, recv []byte, dt Datatype, op Op) error {
+	if len(recv) != len(send) {
+		return fmt.Errorf("mpi: scan recv buffer %d bytes, want %d", len(recv), len(send))
+	}
+	cc := c.BeginColl()
+	copy(recv, send)
+	if c.rank > 0 {
+		m, err := cc.Recv(c.rank-1, 0)
+		if err != nil {
+			return err
+		}
+		if len(m.Payload) != len(send) {
+			return fmt.Errorf("mpi: scan prefix from %d is %d bytes, want %d", c.rank-1, len(m.Payload), len(send))
+		}
+		// recv = prefix(0..rank-1) op send — fold our value into the
+		// incoming prefix, keeping left-to-right order.
+		prefix := append([]byte(nil), m.Payload...)
+		if err := ReduceBytes(op, dt, prefix, send); err != nil {
+			return err
+		}
+		copy(recv, prefix)
+	}
+	if c.rank+1 < c.Size() {
+		return cc.Send(c.rank+1, 0, recv, transport.ClassData, true)
+	}
+	return nil
+}
+
+// naiveReduceScatter reduces everything to rank 0 and scatters the
+// chunks back out — the reference composition.
+func naiveReduceScatter(c *Comm, send, recv []byte, dt Datatype, op Op) error {
+	size := c.Size()
+	if len(send) != size*len(recv) {
+		return fmt.Errorf("mpi: reduce-scatter send %d bytes for %d chunks of %d", len(send), size, len(recv))
+	}
+	full := make([]byte, len(send))
+	if err := c.Reduce(send, full, dt, op, 0); err != nil {
+		return err
+	}
+	return c.Scatter(full, recv, 0)
+}

@@ -1,0 +1,171 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// with cooperatively scheduled processes.
+//
+// The engine maintains a virtual clock in nanoseconds and an event queue.
+// Network components (NICs, hubs, switches) are pure event-driven objects;
+// application code (MPI ranks) runs in Procs — goroutines that execute one
+// at a time under the engine's control, so simulated programs can use
+// ordinary sequential Go code with blocking operations (Sleep, queue Recv)
+// that advance virtual time instead of wall time.
+//
+// Determinism: events that fire at the same virtual time run in the order
+// they were scheduled (a monotone sequence number breaks ties), and all
+// randomness flows through explicitly seeded sources, so a simulation with
+// the same inputs always produces the same timeline.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = int64
+
+// Common durations, mirroring time package conventions.
+const (
+	Nanosecond  Duration = 1
+	Microsecond Duration = 1000 * Nanosecond
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// Microseconds reports t as a floating-point number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / 1000.0 }
+
+func (t Time) String() string { return fmt.Sprintf("%.3fµs", t.Microseconds()) }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// create one with New.
+//
+// An Engine is not safe for concurrent use: all interaction must happen
+// either before Run, from event callbacks, or from code running inside a
+// Proc spawned on this engine. This is by design — the simulation is
+// single-threaded even though Procs are goroutines, because exactly one
+// of {engine loop, some Proc} executes at any instant.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	procs  []*Proc
+	// cur is the Proc currently holding the execution token, or nil when
+	// the engine loop itself is running (e.g. inside event callbacks).
+	cur *Proc
+
+	// failure, if non-nil, aborts Run. Set by proc panics.
+	failure error
+}
+
+// New returns an empty simulation at time zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run after delay elapses. A negative delay is treated
+// as zero. Events scheduled for the same instant run in scheduling order.
+func (e *Engine) At(delay Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: e.now + Time(delay), seq: e.seq, fn: fn})
+}
+
+// DeadlockError is returned by Run when the event queue drains while one
+// or more Procs are still blocked: nothing can ever wake them.
+type DeadlockError struct {
+	// Blocked lists the names of the blocked processes.
+	Blocked []string
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock: %d proc(s) blocked forever: %v", len(d.Blocked), d.Blocked)
+}
+
+// Run processes events until the queue is empty, then verifies that every
+// spawned Proc has finished. It returns the first error from a Proc
+// function, an error wrapping a Proc panic, or a *DeadlockError if some
+// Proc remains blocked with no pending events.
+func (e *Engine) Run() error {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(event)
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		ev.fn()
+		if e.failure != nil {
+			return e.failure
+		}
+	}
+	var blocked []string
+	for _, p := range e.procs {
+		if p.state != procDone {
+			blocked = append(blocked, p.name)
+		}
+	}
+	if len(blocked) > 0 {
+		sort.Strings(blocked)
+		return &DeadlockError{Blocked: blocked}
+	}
+	for _, p := range e.procs {
+		if p.err != nil {
+			return p.err
+		}
+	}
+	return nil
+}
+
+// RunUntil processes events with timestamps not after deadline. It is
+// mainly useful in tests that examine intermediate simulation state.
+func (e *Engine) RunUntil(deadline Time) error {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		ev.fn()
+		if e.failure != nil {
+			return e.failure
+		}
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return nil
+}
+
+// Pending reports the number of scheduled events not yet fired.
+func (e *Engine) Pending() int { return len(e.events) }

@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+type procState int
+
+const (
+	procReady procState = iota
+	procRunning
+	procParked
+	procDone
+)
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// with virtual time. At most one Proc runs at any instant; a Proc yields
+// control back to the engine whenever it sleeps or blocks, and the engine
+// resumes it when the corresponding wake event fires.
+//
+// All Proc methods must be called from within the Proc's own function.
+type Proc struct {
+	eng   *Engine
+	name  string
+	state procState
+	err   error
+
+	resume chan struct{}
+	yield  chan struct{}
+}
+
+// Spawn creates a Proc named name running fn and schedules it to start at
+// the current virtual time. The error returned by fn is reported by
+// Engine.Run after the simulation drains.
+func (e *Engine) Spawn(name string, fn func(p *Proc) error) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		state:  procReady,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.procs = append(e.procs, p)
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				p.err = fmt.Errorf("sim: proc %q panicked: %v\n%s", name, r, debug.Stack())
+				e.failure = p.err
+			}
+			p.state = procDone
+			p.yield <- struct{}{}
+		}()
+		p.err = fn(p)
+	}()
+	e.At(0, func() { e.dispatch(p) })
+	return p
+}
+
+// dispatch hands the execution token to p and blocks the engine loop until
+// p parks or finishes. Must only be called from the engine loop (an event
+// callback), never from inside another Proc.
+func (e *Engine) dispatch(p *Proc) {
+	if p.state == procDone {
+		return
+	}
+	if e.cur != nil {
+		panic("sim: dispatch while a proc is running")
+	}
+	e.cur = p
+	p.state = procRunning
+	p.resume <- struct{}{}
+	<-p.yield
+	e.cur = nil
+}
+
+// park yields control to the engine until some event resumes the proc.
+func (p *Proc) park() {
+	if p.eng.cur != p {
+		panic("sim: park called outside proc context")
+	}
+	p.state = procParked
+	p.eng.cur = nil
+	p.yield <- struct{}{}
+	<-p.resume
+	p.state = procRunning
+	p.eng.cur = p
+}
+
+// Nudge schedules a wake-up for p at the current virtual time. If p is not
+// parked when the wake fires, the nudge is a no-op; parked code must
+// therefore always re-check its blocking condition in a loop (spurious
+// wake-ups are allowed, exactly as with condition variables). Nudge is the
+// only way event-driven code may interact with a Proc and is safe to call
+// from event callbacks and from other Procs.
+func (p *Proc) Nudge() {
+	p.eng.At(0, func() {
+		if p.state == procParked {
+			p.eng.dispatch(p)
+		}
+	})
+}
+
+// Name returns the name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this proc belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Sleep suspends the proc for d nanoseconds of virtual time. It models
+// both idle waiting and CPU busy-time (the simulator does not distinguish
+// them; callers use Sleep for host processing overheads).
+func (p *Proc) Sleep(d Duration) {
+	if d <= 0 {
+		return
+	}
+	deadline := p.eng.now + Time(d)
+	p.eng.At(d, func() {
+		if p.state == procParked {
+			p.eng.dispatch(p)
+		}
+	})
+	for p.eng.now < deadline {
+		p.park()
+	}
+}
+
+// Yield lets any other work scheduled for the current instant run before
+// the proc continues.
+func (p *Proc) Yield() {
+	p.Nudge()
+	p.park()
+}
+
+// ErrTimeout is returned by deadline-limited waits.
+var ErrTimeout = errors.New("sim: timed out")
+
+// WaitFor parks the proc until cond() is true or the deadline passes.
+// cond is evaluated each time the proc is woken (by a Nudge from whatever
+// code makes the condition true, or by the internal timer). A deadline of
+// zero or negative means wait forever. Returns ErrTimeout on expiry.
+func (p *Proc) WaitFor(cond func() bool, deadline Time) error {
+	if cond() {
+		return nil
+	}
+	if deadline > 0 {
+		p.eng.At(Duration(deadline-p.eng.now), func() {
+			if p.state == procParked {
+				p.eng.dispatch(p)
+			}
+		})
+	}
+	for {
+		if cond() {
+			return nil
+		}
+		if deadline > 0 && p.eng.now >= deadline {
+			return ErrTimeout
+		}
+		p.park()
+	}
+}

@@ -1,0 +1,83 @@
+package sim
+
+// Queue is an unbounded FIFO message queue that simulated processes can
+// block on. Producers may be event callbacks (e.g. a NIC delivering a
+// frame) or other Procs; consumers are Procs. The zero value is not
+// usable; create queues with NewQueue.
+type Queue[T any] struct {
+	eng     *Engine
+	items   []T
+	waiters map[*Proc]struct{}
+	closed  bool
+}
+
+// NewQueue returns an empty queue bound to eng.
+func NewQueue[T any](eng *Engine) *Queue[T] {
+	return &Queue[T]{eng: eng, waiters: make(map[*Proc]struct{})}
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push appends v and wakes every blocked consumer so it can re-check.
+func (q *Queue[T]) Push(v T) {
+	q.items = append(q.items, v)
+	q.wakeAll()
+}
+
+// Close marks the queue closed; blocked and future Recv calls return
+// ok=false once the queue drains.
+func (q *Queue[T]) Close() {
+	q.closed = true
+	q.wakeAll()
+}
+
+func (q *Queue[T]) wakeAll() {
+	for p := range q.waiters {
+		p.Nudge()
+	}
+}
+
+// Recv blocks p until an item is available and returns it. ok is false if
+// the queue was closed and is empty.
+func (q *Queue[T]) Recv(p *Proc) (v T, ok bool) {
+	return q.RecvDeadline(p, 0)
+}
+
+// RecvDeadline is Recv with a virtual-time deadline; a zero deadline waits
+// forever. On expiry it returns ok=false with the zero value (callers that
+// must distinguish timeout from close can check Closed).
+func (q *Queue[T]) RecvDeadline(p *Proc, deadline Time) (v T, ok bool) {
+	if deadline > 0 {
+		p.eng.At(Duration(deadline-p.eng.now), func() { p.Nudge() })
+	}
+	q.waiters[p] = struct{}{}
+	defer delete(q.waiters, p)
+	for {
+		if len(q.items) > 0 {
+			v = q.items[0]
+			var zero T
+			q.items[0] = zero
+			q.items = q.items[1:]
+			return v, true
+		}
+		if q.closed {
+			return v, false
+		}
+		if deadline > 0 && p.eng.now >= deadline {
+			return v, false
+		}
+		p.park()
+	}
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.closed }
+
+// Peek returns the head item without removing it.
+func (q *Queue[T]) Peek() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	return q.items[0], true
+}

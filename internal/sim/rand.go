@@ -1,0 +1,46 @@
+package sim
+
+// Rand is a small deterministic pseudo-random source (splitmix64) used for
+// backoff draws and skew injection. It is intentionally independent of
+// math/rand so simulation timelines are stable across Go releases.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed. Distinct seeds give
+// independent-looking streams; seed 0 is valid.
+func NewRand(seed uint64) *Rand {
+	return &Rand{state: seed + 0x9e3779b97f4a7c15}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Duration returns a uniform duration in [0, max). A non-positive max
+// yields zero.
+func (r *Rand) Duration(max Duration) Duration {
+	if max <= 0 {
+		return 0
+	}
+	return Duration(r.Uint64() % uint64(max))
+}
+
+// Fork derives an independent generator; useful to give each component
+// its own stream while keeping a single top-level seed.
+func (r *Rand) Fork() *Rand {
+	return NewRand(r.Uint64())
+}

@@ -1,0 +1,494 @@
+// Package simnet binds the transport abstraction to the discrete-event
+// Fast Ethernet simulator, substituting for the paper's physical testbed
+// (nine Pentium III workstations on a 100 Mbps hub or switch).
+//
+// Rank programs run as virtual-time processes; every Send charges the
+// calibrated host overheads, hands UDP datagrams to the simulated stack,
+// and latency is read from the simulated clock. The profile constants
+// are documented in DESIGN.md §5 and recorded with every experiment in
+// EXPERIMENTS.md.
+//
+// The package also models the central premise of the paper: IP multicast
+// is receiver-directed and unreliable. In StrictPosted mode a multicast
+// fragment that arrives while the destination rank has no receive posted
+// is silently lost (the VIA-style discipline the paper's future work
+// discusses); otherwise a bounded receive ring buffers bursts and
+// overflows are lost. The scout synchronization algorithms in package
+// core exist precisely to make such losses impossible.
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/ethernet"
+	"repro/internal/ipnet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// Topology selects the physical network of the paper's two testbeds.
+type Topology int
+
+const (
+	// Hub is the shared-medium repeater (3Com SuperStack II): one
+	// CSMA/CD collision domain.
+	Hub Topology = iota
+	// Switch is the store-and-forward switch (HP ProCurve) with IGMP
+	// snooping.
+	Switch
+)
+
+func (t Topology) String() string {
+	if t == Hub {
+		return "hub"
+	}
+	return "switch"
+}
+
+// Profile holds the calibrated timing model.
+type Profile struct {
+	// Ethernet carries the data-link constants.
+	Ethernet ethernet.Params
+	// OSend is the per-message host overhead on the sending side
+	// (syscall, buffer handling).
+	OSend sim.Duration
+	// ORecv is the per-message host overhead on the receiving side.
+	ORecv sim.Duration
+	// OFrag is the additional per-fragment host cost, charged on both
+	// sides of multi-frame messages.
+	OFrag sim.Duration
+	// OByte is the per-payload-byte host cost (buffer copies through the
+	// socket layer — roughly 100 MB/s effective on the testbed's Pentium
+	// III hosts), charged on both sides of a message. This is what makes
+	// an N-1-copy MPICH tree pay for the payload at every hop while a
+	// multicast pays once at the root.
+	OByte sim.Duration
+	// TCPPenalty is the extra per-message cost of the reliable
+	// connection-oriented protocol the MPICH baseline uses for
+	// point-to-point traffic (the paper's MPICH ran over TCP while the
+	// multicast implementation ran over UDP).
+	TCPPenalty sim.Duration
+	// RecvRing bounds the number of fully reassembled messages an
+	// endpoint buffers while its rank is busy; arrivals beyond it are
+	// dropped (socket-buffer overflow).
+	RecvRing int
+	// StrictPosted, when true, drops any multicast fragment arriving
+	// while the destination rank is not blocked in Recv — the paper's
+	// "if a receiver is not ready … the message is lost" semantics in
+	// their sharpest form.
+	StrictPosted bool
+	// LossRate injects independent random loss of multicast fragments
+	// (0 disables). Point-to-point traffic is never dropped, matching
+	// the paper's model: the MPICH baseline and the scouts ride reliable
+	// paths while IP multicast is the unreliable one. Used to exercise
+	// the ACK/NACK recovery protocols.
+	LossRate float64
+	// Seed drives all randomness (CSMA/CD backoff, loss injection).
+	Seed uint64
+}
+
+// DefaultProfile returns the era-calibrated constants from DESIGN.md §5.
+func DefaultProfile() Profile {
+	return Profile{
+		Ethernet:   ethernet.DefaultParams(),
+		OSend:      34 * sim.Microsecond,
+		ORecv:      34 * sim.Microsecond,
+		OFrag:      10 * sim.Microsecond,
+		OByte:      12 * sim.Nanosecond,
+		TCPPenalty: 8 * sim.Microsecond,
+		RecvRing:   256,
+		Seed:       1,
+	}
+}
+
+// MaxFragPayload is the message payload carried per simulated UDP
+// datagram after the transport header.
+const MaxFragPayload = ipnet.MaxUDPPayload - transport.HeaderLen
+
+// Stats aggregates loss counters across the network.
+type Stats struct {
+	McastDropsNotPosted int64 // strict-mode losses (receiver not ready)
+	RingOverflows       int64 // receive-ring overflow losses
+	InjectedLosses      int64 // random losses from Profile.LossRate
+	KernelAcks          int64 // TCP-style acknowledgment frames absorbed
+}
+
+// kernelAck marks transport-invisible acknowledgment frames that model
+// the reverse TCP ack traffic reliable point-to-point messages generate.
+// The paper's MPICH baseline ran over TCP, so every data transfer loads
+// the network with acknowledgments too — on a shared hub they contend
+// with data frames for the one collision domain, which is a large part
+// of why "the MPICH implementation puts more messages into the network"
+// hurts the hub at large message sizes (Fig. 11). The acks never reach
+// the application and are not counted in the Wire counters (the paper's
+// frame formulas do not count TCP acks either).
+const kernelAck transport.Kind = 99
+
+// Network is one simulated cluster: an engine, a hub or switch, and one
+// endpoint per rank.
+type Network struct {
+	eng   *sim.Engine
+	prof  Profile
+	topo  Topology
+	eps   []*Endpoint
+	rng   *sim.Rand
+	hub   *ethernet.Hub
+	sw    *ethernet.Switch
+	Wire  trace.Counters // frames put on the wire, by class
+	Stats Stats
+}
+
+// New builds a cluster of n ranks on the given topology.
+func New(n int, topo Topology, prof Profile) *Network {
+	if n <= 0 {
+		panic("simnet: network size must be positive")
+	}
+	if prof.RecvRing <= 0 {
+		prof.RecvRing = 1
+	}
+	eng := sim.New()
+	nw := &Network{eng: eng, prof: prof, topo: topo, rng: sim.NewRand(prof.Seed)}
+	var attach func(*ethernet.NIC)
+	switch topo {
+	case Hub:
+		nw.hub = ethernet.NewHub(eng, prof.Ethernet)
+		attach = nw.hub.Attach
+	case Switch:
+		nw.sw = ethernet.NewSwitch(eng, prof.Ethernet)
+		attach = nw.sw.Attach
+	default:
+		panic(fmt.Sprintf("simnet: unknown topology %d", topo))
+	}
+	for i := 0; i < n; i++ {
+		nic := ethernet.NewNIC(eng, ethernet.UnicastMAC(i), prof.Ethernet, nw.rng.Fork())
+		attach(nic)
+		node := ipnet.NewNode(eng, nic, ipnet.RankAddr(i))
+		ep := &Endpoint{
+			nw:      nw,
+			rank:    i,
+			node:    node,
+			inbox:   sim.NewQueue[arrived](eng),
+			lossRng: nw.rng.Fork(),
+		}
+		node.SetHandler(ep.handleDatagram)
+		nw.eps = append(nw.eps, ep)
+	}
+	return nw
+}
+
+// Engine exposes the simulation engine (for tests and custom scenarios).
+func (nw *Network) Engine() *sim.Engine { return nw.eng }
+
+// Topology returns the network's topology.
+func (nw *Network) Topology() Topology { return nw.topo }
+
+// Endpoint returns rank i's endpoint.
+func (nw *Network) Endpoint(i int) *Endpoint { return nw.eps[i] }
+
+// Size returns the number of ranks.
+func (nw *Network) Size() int { return len(nw.eps) }
+
+// HubStats returns hub counters (nil stats if the topology is a switch).
+func (nw *Network) HubStats() ethernet.HubStats {
+	if nw.hub == nil {
+		return ethernet.HubStats{}
+	}
+	return nw.hub.Stats
+}
+
+// SwitchStats returns switch counters (zero if the topology is a hub).
+func (nw *Network) SwitchStats() ethernet.SwitchStats {
+	if nw.sw == nil {
+		return ethernet.SwitchStats{}
+	}
+	return nw.sw.Stats
+}
+
+// RankError reports which rank program failed.
+type RankError struct {
+	Rank int
+	Err  error
+}
+
+func (e *RankError) Error() string { return fmt.Sprintf("rank %d: %v", e.Rank, e.Err) }
+func (e *RankError) Unwrap() error { return e.Err }
+
+// Run executes one rank program per endpoint inside virtual-time
+// processes and drives the simulation to completion.
+func (nw *Network) Run(fns []func(ep *Endpoint) error) error {
+	if len(fns) != len(nw.eps) {
+		return fmt.Errorf("simnet: %d rank programs for %d endpoints", len(fns), len(nw.eps))
+	}
+	for i, fn := range fns {
+		ep, fn := nw.eps[i], fn
+		rank := i
+		nw.eng.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) error {
+			ep.proc = p
+			if err := fn(ep); err != nil {
+				return &RankError{Rank: rank, Err: err}
+			}
+			return nil
+		})
+	}
+	return nw.eng.Run()
+}
+
+// arrived pairs a reassembled message with its fragment count so the
+// receive path can charge per-fragment host overhead.
+type arrived struct {
+	msg   transport.Message
+	frags int
+}
+
+// Endpoint is one rank's attachment to the simulated network. It
+// implements transport.Endpoint and transport.Multicaster. All methods
+// must be called from the rank program started by Network.Run.
+type Endpoint struct {
+	nw      *Network
+	rank    int
+	proc    *sim.Proc
+	node    *ipnet.Node
+	inbox   *sim.Queue[arrived]
+	reasm   transport.Reassembler
+	fragCnt map[reasmID]int
+	msgID   uint64
+	posted  int
+	lossRng *sim.Rand
+	closed  bool
+}
+
+type reasmID struct {
+	src   int
+	msgID uint64
+}
+
+var (
+	_ transport.Endpoint    = (*Endpoint)(nil)
+	_ transport.Multicaster = (*Endpoint)(nil)
+)
+
+// Rank implements transport.Endpoint.
+func (ep *Endpoint) Rank() int { return ep.rank }
+
+// Size implements transport.Endpoint.
+func (ep *Endpoint) Size() int { return len(ep.nw.eps) }
+
+// Now implements transport.Endpoint with the simulated clock.
+func (ep *Endpoint) Now() int64 { return int64(ep.nw.eng.Now()) }
+
+// Proc exposes the simulated process (to model computation with Sleep).
+func (ep *Endpoint) Proc() *sim.Proc { return ep.proc }
+
+// Node exposes the network-layer stack (for statistics in tests).
+func (ep *Endpoint) Node() *ipnet.Node { return ep.node }
+
+func classToFrameKind(c transport.Class) ethernet.FrameKind {
+	switch c {
+	case transport.ClassData:
+		return ethernet.KindData
+	case transport.ClassScout:
+		return ethernet.KindScout
+	case transport.ClassAck:
+		return ethernet.KindAck
+	case transport.ClassNack:
+		return ethernet.KindNack
+	default:
+		return ethernet.KindControl
+	}
+}
+
+// Send implements transport.Endpoint.
+func (ep *Endpoint) Send(dst int, m transport.Message) error {
+	if ep.closed {
+		return transport.ErrClosed
+	}
+	if dst < 0 || dst >= len(ep.nw.eps) {
+		return fmt.Errorf("simnet: send to rank %d outside world of %d", dst, len(ep.nw.eps))
+	}
+	m.Kind = transport.P2P
+	return ep.transmit(ipnet.RankAddr(dst), m)
+}
+
+// Join implements transport.Multicaster.
+func (ep *Endpoint) Join(group uint32) error {
+	if ep.closed {
+		return transport.ErrClosed
+	}
+	return ep.node.Join(ipnet.GroupAddr(group))
+}
+
+// Leave implements transport.Multicaster.
+func (ep *Endpoint) Leave(group uint32) error {
+	if ep.closed {
+		return transport.ErrClosed
+	}
+	return ep.node.Leave(ipnet.GroupAddr(group))
+}
+
+// Multicast implements transport.Multicaster: one transmission reaches
+// every joined member, exactly as one IP multicast datagram does.
+func (ep *Endpoint) Multicast(group uint32, m transport.Message) error {
+	if ep.closed {
+		return transport.ErrClosed
+	}
+	m.Kind = transport.Mcast
+	return ep.transmit(ipnet.GroupAddr(group), m)
+}
+
+func (ep *Endpoint) transmit(dst ipnet.Addr, m transport.Message) error {
+	p := ep.proc
+	if p == nil {
+		panic("simnet: endpoint used outside Network.Run")
+	}
+	m.Src = ep.rank
+	ep.msgID++
+	frags := transport.Split(m, ep.msgID, MaxFragPayload)
+	prof := &ep.nw.prof
+	// Host-side cost: per-message overhead, per-fragment cost, and the
+	// reliable-protocol penalty for TCP-like traffic.
+	cost := prof.OSend + sim.Duration(len(frags))*prof.OFrag + sim.Duration(len(m.Payload))*prof.OByte
+	if m.Reliable {
+		cost += prof.TCPPenalty
+	}
+	p.Sleep(cost)
+	ep.nw.Wire.CountSend(m.Class, len(frags), len(m.Payload))
+	for _, f := range frags {
+		err := ep.node.SendUDP(ipnet.Datagram{
+			Dst:     dst,
+			DstPort: 5000,
+			Kind:    classToFrameKind(m.Class),
+			Payload: transport.EncodeFragment(f),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// handleDatagram runs in event context when a UDP datagram reaches the
+// rank's stack.
+func (ep *Endpoint) handleDatagram(d ipnet.Datagram) {
+	if ep.closed {
+		return
+	}
+	prof := &ep.nw.prof
+	f, err := transport.DecodeFragment(d.Payload)
+	if err != nil {
+		return
+	}
+	if prof.LossRate > 0 && f.Msg.Kind == transport.Mcast {
+		if float64(ep.lossRng.Uint64()%1_000_000)/1_000_000 < prof.LossRate {
+			ep.nw.Stats.InjectedLosses++
+			return
+		}
+	}
+	if prof.StrictPosted && f.Msg.Kind == transport.Mcast && ep.posted == 0 {
+		// The paper's core failure mode: a multicast frame arriving
+		// while the receiver has not posted its receive is lost.
+		ep.nw.Stats.McastDropsNotPosted++
+		return
+	}
+	if f.Msg.Kind == kernelAck {
+		ep.nw.Stats.KernelAcks++
+		return
+	}
+	id := reasmID{src: f.Msg.Src, msgID: f.MsgID}
+	if ep.fragCnt == nil {
+		ep.fragCnt = make(map[reasmID]int)
+	}
+	ep.fragCnt[id]++
+	m, done, err := ep.reasm.Add(f)
+	if err != nil {
+		delete(ep.fragCnt, id)
+		return
+	}
+	if !done {
+		return
+	}
+	nfrags := ep.fragCnt[id]
+	delete(ep.fragCnt, id)
+	if m.Reliable && m.Kind == transport.P2P {
+		ep.sendKernelAcks(m.Src, (nfrags+1)/2)
+	}
+	if ep.inbox.Len() >= prof.RecvRing {
+		ep.nw.Stats.RingOverflows++
+		return
+	}
+	ep.inbox.Push(arrived{msg: m, frags: nfrags})
+}
+
+// sendKernelAcks emits n minimum-size acknowledgment frames back to the
+// sender, modeling TCP's delayed ack (one ack per two segments). They
+// ride the same wire as everything else — and contend for it on a hub —
+// but cost the hosts nothing at the transport layer.
+func (ep *Endpoint) sendKernelAcks(dst, n int) {
+	for i := 0; i < n; i++ {
+		ep.msgID++
+		frag := transport.Fragment{
+			Msg:   transport.Message{Kind: kernelAck, Src: ep.rank},
+			MsgID: ep.msgID,
+			Count: 1,
+		}
+		_ = ep.node.SendUDP(ipnet.Datagram{
+			Dst:     ipnet.RankAddr(dst),
+			DstPort: 5001,
+			Kind:    ethernet.KindAck,
+			Payload: transport.EncodeFragment(frag),
+		})
+	}
+}
+
+// Recv implements transport.Endpoint. Blocking in Recv is what "the
+// receive is posted" means for StrictPosted multicast delivery.
+func (ep *Endpoint) Recv() (transport.Message, error) {
+	p := ep.proc
+	if p == nil {
+		panic("simnet: endpoint used outside Network.Run")
+	}
+	if ep.closed {
+		return transport.Message{}, transport.ErrClosed
+	}
+	ep.posted++
+	a, ok := ep.inbox.Recv(p)
+	ep.posted--
+	if !ok {
+		return transport.Message{}, transport.ErrClosed
+	}
+	prof := &ep.nw.prof
+	p.Sleep(prof.ORecv + sim.Duration(a.frags)*prof.OFrag + sim.Duration(len(a.msg.Payload))*prof.OByte)
+	return a.msg, nil
+}
+
+// RecvTimeout implements transport.DeadlineRecver against virtual time.
+func (ep *Endpoint) RecvTimeout(timeout int64) (transport.Message, bool, error) {
+	p := ep.proc
+	if p == nil {
+		panic("simnet: endpoint used outside Network.Run")
+	}
+	if ep.closed {
+		return transport.Message{}, false, transport.ErrClosed
+	}
+	ep.posted++
+	a, ok := ep.inbox.RecvDeadline(p, ep.nw.eng.Now()+sim.Time(timeout))
+	ep.posted--
+	if !ok {
+		if ep.inbox.Closed() {
+			return transport.Message{}, false, transport.ErrClosed
+		}
+		return transport.Message{}, false, nil
+	}
+	prof := &ep.nw.prof
+	p.Sleep(prof.ORecv + sim.Duration(a.frags)*prof.OFrag + sim.Duration(len(a.msg.Payload))*prof.OByte)
+	return a.msg, true, nil
+}
+
+// Close implements transport.Endpoint.
+func (ep *Endpoint) Close() error {
+	if !ep.closed {
+		ep.closed = true
+		ep.inbox.Close()
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+// Package trace provides protocol-level wire accounting: how many frames
+// and bytes of each message class (data, scout, ack, …) a run put on the
+// network. The counters verify the frame-count formulas from the paper's
+// §3 analysis, e.g. that an MPICH-style broadcast of M bytes to N
+// processes costs ceil(M/T)·(N-1) data frames while the multicast
+// implementation costs N-1 scout frames plus ceil(M/T) data frames.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/transport"
+)
+
+// Counters accumulates per-class frame and byte counts. The zero value is
+// ready to use. Counters are not safe for concurrent mutation; the
+// simulator is single-threaded and wall-clock transports must wrap access
+// externally if they share one.
+type Counters struct {
+	frames map[transport.Class]int64
+	bytes  map[transport.Class]int64
+}
+
+// CountSend records frames wire frames totalling bytes payload bytes of
+// the given class.
+func (c *Counters) CountSend(class transport.Class, frames int, bytes int) {
+	if c.frames == nil {
+		c.frames = make(map[transport.Class]int64)
+		c.bytes = make(map[transport.Class]int64)
+	}
+	c.frames[class] += int64(frames)
+	c.bytes[class] += int64(bytes)
+}
+
+// Frames returns the frame count of class.
+func (c *Counters) Frames(class transport.Class) int64 { return c.frames[class] }
+
+// Bytes returns the payload byte count of class.
+func (c *Counters) Bytes(class transport.Class) int64 { return c.bytes[class] }
+
+// TotalFrames returns frames across all classes.
+func (c *Counters) TotalFrames() int64 {
+	var t int64
+	for _, v := range c.frames {
+		t += v
+	}
+	return t
+}
+
+// Snapshot returns a copy for later Diff.
+func (c *Counters) Snapshot() Snapshot {
+	s := Snapshot{frames: make(map[transport.Class]int64), bytes: make(map[transport.Class]int64)}
+	for k, v := range c.frames {
+		s.frames[k] = v
+	}
+	for k, v := range c.bytes {
+		s.bytes[k] = v
+	}
+	return s
+}
+
+// Snapshot is an immutable copy of counters at a point in time.
+type Snapshot struct {
+	frames map[transport.Class]int64
+	bytes  map[transport.Class]int64
+}
+
+// FramesSince returns the class frame count accumulated in c since s was
+// taken.
+func (c *Counters) FramesSince(s Snapshot, class transport.Class) int64 {
+	return c.frames[class] - s.frames[class]
+}
+
+// BytesSince returns the class byte count accumulated since s.
+func (c *Counters) BytesSince(s Snapshot, class transport.Class) int64 {
+	return c.bytes[class] - s.bytes[class]
+}
+
+// String renders the counters sorted by class for logs and debugging.
+func (c *Counters) String() string {
+	var classes []transport.Class
+	for k := range c.frames {
+		classes = append(classes, k)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	var b strings.Builder
+	for i, k := range classes {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%df/%dB", k, c.frames[k], c.bytes[k])
+	}
+	return b.String()
+}
+
+// FramesForMessage returns the number of network frames a message of
+// size bytes needs when each frame carries at most frag payload bytes —
+// the ceil(M/T) factor in the paper's formulas (one frame minimum).
+func FramesForMessage(size, frag int) int {
+	if size <= 0 {
+		return 1
+	}
+	return (size + frag - 1) / frag
+}

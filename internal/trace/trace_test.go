@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/transport"
+)
+
+func TestCountersAccumulate(t *testing.T) {
+	var c Counters
+	c.CountSend(transport.ClassData, 3, 4000)
+	c.CountSend(transport.ClassData, 1, 500)
+	c.CountSend(transport.ClassScout, 6, 0)
+	if got := c.Frames(transport.ClassData); got != 4 {
+		t.Errorf("data frames = %d, want 4", got)
+	}
+	if got := c.Bytes(transport.ClassData); got != 4500 {
+		t.Errorf("data bytes = %d, want 4500", got)
+	}
+	if got := c.Frames(transport.ClassScout); got != 6 {
+		t.Errorf("scout frames = %d, want 6", got)
+	}
+	if got := c.TotalFrames(); got != 10 {
+		t.Errorf("total frames = %d, want 10", got)
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	var c Counters
+	c.CountSend(transport.ClassAck, 2, 0)
+	snap := c.Snapshot()
+	c.CountSend(transport.ClassAck, 5, 10)
+	c.CountSend(transport.ClassData, 1, 100)
+	if got := c.FramesSince(snap, transport.ClassAck); got != 5 {
+		t.Errorf("acks since snapshot = %d, want 5", got)
+	}
+	if got := c.BytesSince(snap, transport.ClassAck); got != 10 {
+		t.Errorf("ack bytes since snapshot = %d, want 10", got)
+	}
+	if got := c.FramesSince(snap, transport.ClassData); got != 1 {
+		t.Errorf("data since snapshot = %d, want 1", got)
+	}
+}
+
+func TestStringIsStable(t *testing.T) {
+	var c Counters
+	c.CountSend(transport.ClassScout, 1, 0)
+	c.CountSend(transport.ClassData, 2, 99)
+	s := c.String()
+	if !strings.Contains(s, "data=2f/99B") || !strings.Contains(s, "scout=1f/0B") {
+		t.Errorf("String() = %q", s)
+	}
+	if strings.Index(s, "data") > strings.Index(s, "scout") {
+		t.Errorf("classes not sorted: %q", s)
+	}
+}
+
+func TestFramesForMessage(t *testing.T) {
+	cases := []struct{ size, frag, want int }{
+		{0, 1428, 1}, // empty message still needs one frame
+		{1, 1428, 1},
+		{1428, 1428, 1}, // exactly one fragment
+		{1429, 1428, 2}, // one byte over
+		{5000, 1428, 4},
+		{2856, 1428, 2}, // exact multiple
+	}
+	for _, tc := range cases {
+		if got := FramesForMessage(tc.size, tc.frag); got != tc.want {
+			t.Errorf("FramesForMessage(%d,%d) = %d, want %d", tc.size, tc.frag, got, tc.want)
+		}
+	}
+}
+
+func TestFramesForMessageProperty(t *testing.T) {
+	// frames·frag must cover size, and (frames-1)·frag must not.
+	f := func(size uint16, fragSeed uint8) bool {
+		frag := int(fragSeed)%1400 + 16
+		n := FramesForMessage(int(size), frag)
+		if n < 1 {
+			return false
+		}
+		if int(size) > 0 && n*frag < int(size) {
+			return false
+		}
+		return int(size) <= frag*1 || (n-1)*frag < int(size)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroValueCounters(t *testing.T) {
+	var c Counters
+	if c.TotalFrames() != 0 || c.Frames(transport.ClassData) != 0 {
+		t.Fatal("zero counters not zero")
+	}
+	snap := c.Snapshot()
+	c.CountSend(transport.ClassData, 1, 1)
+	if c.FramesSince(snap, transport.ClassData) != 1 {
+		t.Fatal("diff from zero snapshot wrong")
+	}
+}

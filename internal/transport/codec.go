@@ -1,0 +1,223 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire format shared by the simulated and the real UDP transports. Every
+// fragment carries a fixed header followed by a slice of the message
+// payload:
+//
+//	offset size field
+//	0      4    magic 0x4D50494D ("MPIM")
+//	4      1    version (1)
+//	5      1    kind
+//	6      1    class
+//	7      1    flags (bit 0: reliable)
+//	8      4    comm
+//	12     4    src world rank
+//	16     4    tag (two's complement)
+//	20     4    seq
+//	24     8    message id (unique per sender)
+//	32     2    fragment index
+//	34     2    fragment count
+//	36     4    total payload length
+//	40     4    fragment byte offset
+//	44     -    fragment payload
+const (
+	HeaderLen   = 44
+	wireMagic   = 0x4D50494D
+	wireVersion = 1
+
+	flagReliable = 1 << 0
+)
+
+// Fragment is one wire unit of a (possibly multi-fragment) message.
+type Fragment struct {
+	Msg      Message // payload holds only this fragment's slice
+	MsgID    uint64
+	Index    uint16
+	Count    uint16
+	TotalLen uint32
+	Offset   uint32 // byte offset of this fragment within the message
+}
+
+// ErrBadPacket reports an undecodable wire packet.
+var ErrBadPacket = errors.New("transport: bad packet")
+
+// EncodeFragment serializes f into a fresh buffer.
+func EncodeFragment(f Fragment) []byte {
+	b := make([]byte, HeaderLen+len(f.Msg.Payload))
+	binary.BigEndian.PutUint32(b[0:4], wireMagic)
+	b[4] = wireVersion
+	b[5] = byte(f.Msg.Kind)
+	b[6] = byte(f.Msg.Class)
+	if f.Msg.Reliable {
+		b[7] |= flagReliable
+	}
+	binary.BigEndian.PutUint32(b[8:12], f.Msg.Comm)
+	binary.BigEndian.PutUint32(b[12:16], uint32(int32(f.Msg.Src)))
+	binary.BigEndian.PutUint32(b[16:20], uint32(f.Msg.Tag))
+	binary.BigEndian.PutUint32(b[20:24], f.Msg.Seq)
+	binary.BigEndian.PutUint64(b[24:32], f.MsgID)
+	binary.BigEndian.PutUint16(b[32:34], f.Index)
+	binary.BigEndian.PutUint16(b[34:36], f.Count)
+	binary.BigEndian.PutUint32(b[36:40], f.TotalLen)
+	binary.BigEndian.PutUint32(b[40:44], f.Offset)
+	copy(b[HeaderLen:], f.Msg.Payload)
+	return b
+}
+
+// DecodeFragment parses a wire packet. The returned fragment's payload
+// aliases b.
+func DecodeFragment(b []byte) (Fragment, error) {
+	var f Fragment
+	if len(b) < HeaderLen {
+		return f, fmt.Errorf("%w: %d bytes", ErrBadPacket, len(b))
+	}
+	if binary.BigEndian.Uint32(b[0:4]) != wireMagic {
+		return f, fmt.Errorf("%w: bad magic", ErrBadPacket)
+	}
+	if b[4] != wireVersion {
+		return f, fmt.Errorf("%w: version %d", ErrBadPacket, b[4])
+	}
+	f.Msg.Kind = Kind(b[5])
+	f.Msg.Class = Class(b[6])
+	f.Msg.Reliable = b[7]&flagReliable != 0
+	f.Msg.Comm = binary.BigEndian.Uint32(b[8:12])
+	f.Msg.Src = int(int32(binary.BigEndian.Uint32(b[12:16])))
+	f.Msg.Tag = int32(binary.BigEndian.Uint32(b[16:20]))
+	f.Msg.Seq = binary.BigEndian.Uint32(b[20:24])
+	f.MsgID = binary.BigEndian.Uint64(b[24:32])
+	f.Index = binary.BigEndian.Uint16(b[32:34])
+	f.Count = binary.BigEndian.Uint16(b[34:36])
+	f.TotalLen = binary.BigEndian.Uint32(b[36:40])
+	f.Offset = binary.BigEndian.Uint32(b[40:44])
+	f.Msg.Payload = b[HeaderLen:]
+	if f.Count == 0 || f.Index >= f.Count {
+		return f, fmt.Errorf("%w: fragment %d/%d", ErrBadPacket, f.Index, f.Count)
+	}
+	if int(f.Offset)+len(f.Msg.Payload) > int(f.TotalLen) {
+		return f, fmt.Errorf("%w: fragment overflows message", ErrBadPacket)
+	}
+	return f, nil
+}
+
+// Split cuts m into fragments whose payloads are at most maxPayload bytes
+// each, stamping them with msgID. A zero-length message yields a single
+// empty fragment.
+func Split(m Message, msgID uint64, maxPayload int) []Fragment {
+	if maxPayload <= 0 {
+		panic("transport: non-positive fragment size")
+	}
+	total := len(m.Payload)
+	count := (total + maxPayload - 1) / maxPayload
+	if count == 0 {
+		count = 1
+	}
+	if count > 0xFFFF {
+		panic(fmt.Sprintf("transport: message needs %d fragments (max 65535)", count))
+	}
+	frags := make([]Fragment, 0, count)
+	for i := 0; i < count; i++ {
+		lo := i * maxPayload
+		hi := lo + maxPayload
+		if hi > total {
+			hi = total
+		}
+		fm := m
+		fm.Payload = m.Payload[lo:hi]
+		frags = append(frags, Fragment{
+			Msg:      fm,
+			MsgID:    msgID,
+			Index:    uint16(i),
+			Count:    uint16(count),
+			TotalLen: uint32(total),
+			Offset:   uint32(lo),
+		})
+	}
+	return frags
+}
+
+// Reassembler collects fragments into complete messages. Duplicate
+// fragments (retransmissions) are tolerated. The zero value is ready to
+// use.
+type Reassembler struct {
+	pending map[reasmKey]*reasmState
+}
+
+type reasmKey struct {
+	src   int
+	msgID uint64
+}
+
+type reasmState struct {
+	buf      []byte
+	got      []bool
+	received int
+	count    int
+	template Message
+}
+
+// Add incorporates one fragment. If it completes a message, the message
+// is returned with done=true. The returned payload never aliases the
+// fragment buffer.
+func (r *Reassembler) Add(f Fragment) (m Message, done bool, err error) {
+	if f.Count == 1 {
+		m = f.Msg
+		m.Payload = append([]byte(nil), f.Msg.Payload...)
+		return m, true, nil
+	}
+	if r.pending == nil {
+		r.pending = make(map[reasmKey]*reasmState)
+	}
+	key := reasmKey{src: f.Msg.Src, msgID: f.MsgID}
+	st := r.pending[key]
+	if st == nil {
+		st = &reasmState{
+			buf:      make([]byte, f.TotalLen),
+			got:      make([]bool, f.Count),
+			count:    int(f.Count),
+			template: f.Msg,
+		}
+		r.pending[key] = st
+	}
+	if int(f.Count) != st.count || int(f.TotalLen) != len(st.buf) {
+		return m, false, fmt.Errorf("%w: inconsistent fragments for message %d/%d", ErrBadPacket, f.Msg.Src, f.MsgID)
+	}
+	if st.got[f.Index] {
+		return m, false, nil // duplicate (retransmission)
+	}
+	copy(st.buf[f.Offset:], f.Msg.Payload)
+	st.got[f.Index] = true
+	st.received++
+	if st.received < st.count {
+		return m, false, nil
+	}
+	delete(r.pending, key)
+	m = st.template
+	m.Payload = st.buf
+	return m, true, nil
+}
+
+// Pending reports the number of partially reassembled messages.
+func (r *Reassembler) Pending() int { return len(r.pending) }
+
+// Missing returns the indexes of fragments not yet received for the
+// message identified by (src, msgID). A nil slice means the message is
+// unknown (never seen or already completed).
+func (r *Reassembler) Missing(src int, msgID uint64) []int {
+	st := r.pending[reasmKey{src: src, msgID: msgID}]
+	if st == nil {
+		return nil
+	}
+	var miss []int
+	for i, ok := range st.got {
+		if !ok {
+			miss = append(miss, i)
+		}
+	}
+	return miss
+}

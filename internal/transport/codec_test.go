@@ -1,0 +1,227 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestFragmentRoundTrip(t *testing.T) {
+	f := func(comm uint32, src int16, tag int32, seq uint32, msgID uint64, reliable bool, payload []byte) bool {
+		in := Fragment{
+			Msg: Message{
+				Kind: Mcast, Comm: comm, Src: int(src), Tag: tag, Seq: seq,
+				Class: ClassData, Reliable: reliable, Payload: payload,
+			},
+			MsgID: msgID, Index: 0, Count: 1,
+			TotalLen: uint32(len(payload)), Offset: 0,
+		}
+		b := EncodeFragment(in)
+		out, err := DecodeFragment(b)
+		if err != nil {
+			return false
+		}
+		return out.Msg.Kind == in.Msg.Kind && out.Msg.Comm == comm &&
+			out.Msg.Src == int(src) && out.Msg.Tag == tag && out.Msg.Seq == seq &&
+			out.Msg.Reliable == reliable && out.MsgID == msgID &&
+			bytes.Equal(out.Msg.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		make([]byte, 10),
+		make([]byte, HeaderLen), // zero magic
+	}
+	for i, b := range cases {
+		if _, err := DecodeFragment(b); err == nil {
+			t.Errorf("case %d: garbage decoded without error", i)
+		}
+	}
+	// Corrupt the version byte of an otherwise valid packet.
+	good := EncodeFragment(Fragment{Msg: Message{Kind: P2P}, Count: 1})
+	good[4] = 99
+	if _, err := DecodeFragment(good); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Fragment index >= count.
+	bad := EncodeFragment(Fragment{Msg: Message{Kind: P2P}, Index: 3, Count: 2})
+	if _, err := DecodeFragment(bad); err == nil {
+		t.Error("fragment index out of range accepted")
+	}
+}
+
+func TestSplitSmallMessageIsSingleFragment(t *testing.T) {
+	m := Message{Payload: []byte("hello")}
+	frags := Split(m, 1, 1000)
+	if len(frags) != 1 {
+		t.Fatalf("got %d fragments, want 1", len(frags))
+	}
+	if frags[0].Count != 1 || frags[0].Index != 0 {
+		t.Fatalf("fragment header wrong: %+v", frags[0])
+	}
+}
+
+func TestSplitEmptyMessage(t *testing.T) {
+	frags := Split(Message{}, 1, 1000)
+	if len(frags) != 1 || len(frags[0].Msg.Payload) != 0 {
+		t.Fatalf("empty message split wrong: %d frags", len(frags))
+	}
+}
+
+func TestSplitExactBoundary(t *testing.T) {
+	m := Message{Payload: make([]byte, 2000)}
+	frags := Split(m, 1, 1000)
+	if len(frags) != 2 {
+		t.Fatalf("got %d fragments, want 2", len(frags))
+	}
+	if len(frags[0].Msg.Payload) != 1000 || len(frags[1].Msg.Payload) != 1000 {
+		t.Fatal("boundary split sizes wrong")
+	}
+	if frags[1].Offset != 1000 {
+		t.Fatalf("second fragment offset = %d, want 1000", frags[1].Offset)
+	}
+}
+
+func TestSplitReassembleRoundTrip(t *testing.T) {
+	f := func(size uint16, maxFrag uint8) bool {
+		mf := int(maxFrag)%500 + 1
+		payload := make([]byte, size)
+		for i := range payload {
+			payload[i] = byte(i * 3)
+		}
+		m := Message{Kind: P2P, Src: 4, Tag: 9, Payload: payload}
+		frags := Split(m, 77, mf)
+		var r Reassembler
+		for i, fr := range frags {
+			// Simulate the wire: encode and decode each fragment.
+			decoded, err := DecodeFragment(EncodeFragment(fr))
+			if err != nil {
+				return false
+			}
+			out, done, err := r.Add(decoded)
+			if err != nil {
+				return false
+			}
+			if done != (i == len(frags)-1) {
+				return false
+			}
+			if done {
+				return bytes.Equal(out.Payload, payload) && out.Tag == 9 && out.Src == 4
+			}
+		}
+		return len(frags) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReassembleOutOfOrder(t *testing.T) {
+	payload := make([]byte, 3000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	frags := Split(Message{Src: 1, Payload: payload}, 5, 1000)
+	if len(frags) != 3 {
+		t.Fatalf("got %d fragments, want 3", len(frags))
+	}
+	var r Reassembler
+	order := []int{2, 0, 1}
+	for k, idx := range order {
+		m, done, err := r.Add(frags[idx])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done != (k == 2) {
+			t.Fatalf("done after %d fragments", k+1)
+		}
+		if done && !bytes.Equal(m.Payload, payload) {
+			t.Fatal("out-of-order reassembly corrupted payload")
+		}
+	}
+}
+
+func TestReassembleTolearatesDuplicates(t *testing.T) {
+	payload := make([]byte, 2500)
+	frags := Split(Message{Src: 2, Payload: payload}, 9, 1000)
+	var r Reassembler
+	if _, done, err := r.Add(frags[0]); err != nil || done {
+		t.Fatal("first fragment")
+	}
+	if _, done, err := r.Add(frags[0]); err != nil || done {
+		t.Fatal("duplicate fragment must be ignored")
+	}
+	if _, done, err := r.Add(frags[1]); err != nil || done {
+		t.Fatal("second fragment")
+	}
+	m, done, err := r.Add(frags[2])
+	if err != nil || !done {
+		t.Fatal("final fragment should complete")
+	}
+	if len(m.Payload) != 2500 {
+		t.Fatalf("payload length %d, want 2500", len(m.Payload))
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("pending = %d after completion", r.Pending())
+	}
+}
+
+func TestReassemblerMissing(t *testing.T) {
+	payload := make([]byte, 3000)
+	frags := Split(Message{Src: 3, Payload: payload}, 11, 1000)
+	var r Reassembler
+	if _, _, err := r.Add(frags[1]); err != nil {
+		t.Fatal(err)
+	}
+	miss := r.Missing(3, 11)
+	if len(miss) != 2 || miss[0] != 0 || miss[1] != 2 {
+		t.Fatalf("Missing = %v, want [0 2]", miss)
+	}
+	if r.Missing(99, 11) != nil {
+		t.Fatal("unknown message should report nil")
+	}
+}
+
+func TestReassemblerInterleavedSenders(t *testing.T) {
+	// Two senders' multi-fragment messages interleave without cross-talk.
+	pa := bytes.Repeat([]byte{0xAA}, 2500)
+	pb := bytes.Repeat([]byte{0xBB}, 2500)
+	fa := Split(Message{Src: 1, Payload: pa}, 1, 1000)
+	fb := Split(Message{Src: 2, Payload: pb}, 1, 1000) // same msgID, different src
+	var r Reassembler
+	var gotA, gotB Message
+	for i := 0; i < 3; i++ {
+		if m, done, err := r.Add(fa[i]); err != nil {
+			t.Fatal(err)
+		} else if done {
+			gotA = m
+		}
+		if m, done, err := r.Add(fb[i]); err != nil {
+			t.Fatal(err)
+		} else if done {
+			gotB = m
+		}
+	}
+	if !bytes.Equal(gotA.Payload, pa) || !bytes.Equal(gotB.Payload, pb) {
+		t.Fatal("interleaved senders corrupted reassembly")
+	}
+}
+
+func TestAddCopiesSingleFragmentPayload(t *testing.T) {
+	buf := []byte("abcdef")
+	frags := Split(Message{Src: 1, Payload: buf}, 1, 100)
+	var r Reassembler
+	m, done, _ := r.Add(frags[0])
+	if !done {
+		t.Fatal("single fragment should complete")
+	}
+	buf[0] = 'X'
+	if m.Payload[0] == 'X' {
+		t.Fatal("reassembled payload aliases the wire buffer")
+	}
+}

@@ -1,0 +1,106 @@
+package transport_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/transport"
+	"repro/internal/transport/transporttest"
+)
+
+// memHarness runs rank programs as plain goroutines over a MemNet.
+type memHarness struct {
+	net *transport.MemNet
+}
+
+func (h *memHarness) Size() int { return h.net.Size() }
+
+func (h *memHarness) Run(t *testing.T, fns []func(ep transport.Endpoint) error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, len(fns))
+	for i, fn := range fns {
+		wg.Add(1)
+		go func(i int, fn func(transport.Endpoint) error) {
+			defer wg.Done()
+			errs[i] = fn(h.net.Endpoint(i))
+		}(i, fn)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+}
+
+func TestMemNetConformance(t *testing.T) {
+	transporttest.RunAll(t, func(t *testing.T, n int) transporttest.Harness {
+		return &memHarness{net: transport.NewMemNet(n)}
+	})
+}
+
+func TestMemNetCloseUnblocksRecv(t *testing.T) {
+	net := transport.NewMemNet(2)
+	ep := net.Endpoint(0)
+	done := make(chan error, 1)
+	go func() {
+		_, err := ep.Recv()
+		done <- err
+	}()
+	if err := ep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != transport.ErrClosed {
+		t.Fatalf("Recv after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestMemNetSendToClosedEndpoint(t *testing.T) {
+	net := transport.NewMemNet(2)
+	if err := net.Endpoint(1).Close(); err != nil {
+		t.Fatal(err)
+	}
+	err := net.Endpoint(0).Send(1, transport.Message{Tag: 1})
+	if err != transport.ErrClosed {
+		t.Fatalf("Send to closed endpoint = %v, want ErrClosed", err)
+	}
+}
+
+func TestMemNetSendOutOfRange(t *testing.T) {
+	net := transport.NewMemNet(2)
+	if err := net.Endpoint(0).Send(5, transport.Message{}); err == nil {
+		t.Fatal("send to rank 5 in world of 2 succeeded")
+	}
+	if err := net.Endpoint(0).Send(-1, transport.Message{}); err == nil {
+		t.Fatal("send to rank -1 succeeded")
+	}
+}
+
+func TestMemNetPayloadIsolation(t *testing.T) {
+	// Mutating the caller's buffer after Send must not affect delivery.
+	net := transport.NewMemNet(2)
+	buf := []byte("original")
+	if err := net.Endpoint(0).Send(1, transport.Message{Payload: buf}); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "CLOBBERD")
+	m, err := net.Endpoint(1).Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Payload) != "original" {
+		t.Fatalf("payload aliased sender buffer: %q", m.Payload)
+	}
+}
+
+func TestMemNetDoubleCloseIsSafe(t *testing.T) {
+	net := transport.NewMemNet(1)
+	ep := net.Endpoint(0)
+	if err := ep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Close(); err != nil {
+		t.Fatal("second close errored")
+	}
+}

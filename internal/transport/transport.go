@@ -1,0 +1,147 @@
+// Package transport defines the device-layer abstraction the MPI library
+// runs on — the analogue of MPICH's Abstract Device Interface in the
+// paper's Fig. 1 — plus the shared wire format, fragmentation helpers and
+// an in-process reference implementation.
+//
+// Three transports implement the interfaces:
+//
+//   - MemNet (this package): goroutines and channels, for unit tests and
+//     fast in-process runs.
+//   - simnet: the discrete-event Fast Ethernet simulator used to
+//     regenerate the paper's figures.
+//   - udpnet: real UDP sockets with genuine IP multicast via package net.
+//
+// Point-to-point sends are buffered (they return once the message is
+// handed to the device; there is no rendezvous). Multicast delivery is
+// receiver-directed exactly as in IP multicast: only endpoints that have
+// joined the group receive, and the sender never receives its own
+// multicast.
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind distinguishes the two delivery modes a message can arrive by.
+type Kind uint8
+
+const (
+	// P2P is a point-to-point message addressed to one rank.
+	P2P Kind = 1
+	// Mcast is a message delivered via a multicast group.
+	Mcast Kind = 2
+)
+
+func (k Kind) String() string {
+	switch k {
+	case P2P:
+		return "p2p"
+	case Mcast:
+		return "mcast"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Class labels a message's protocol role for wire accounting. The
+// simulator and the trace package count frames per class, which is how
+// the frame-count formulas of the paper's §3 are verified.
+type Class uint8
+
+const (
+	ClassData    Class = iota // application payload
+	ClassScout                // readiness scout (no data)
+	ClassAck                  // acknowledgment
+	ClassNack                 // retransmission request
+	ClassControl              // barrier release and other control traffic
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassData:
+		return "data"
+	case ClassScout:
+		return "scout"
+	case ClassAck:
+		return "ack"
+	case ClassNack:
+		return "nack"
+	case ClassControl:
+		return "control"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Message is the unit of exchange between endpoints. The transport layer
+// moves messages of any size, fragmenting and reassembling internally
+// when the medium has an MTU.
+type Message struct {
+	Kind Kind
+	// Comm is the communicator context the message belongs to.
+	Comm uint32
+	// Src is the world rank of the sender. Transports stamp it on send.
+	Src int
+	// Tag is the MPI matching tag for point-to-point traffic; collective
+	// protocols use a reserved negative tag space (see package mpi).
+	Tag int32
+	// Seq carries the collective sequence number for multicast matching.
+	Seq uint32
+	// Class labels the protocol role for accounting.
+	Class Class
+	// Reliable marks messages sent over a connection-oriented reliable
+	// protocol (the paper's MPICH baseline runs point-to-point traffic
+	// over TCP, while scouts and multicast data travel over UDP). The
+	// simulator charges Profile.TCPPenalty per reliable message.
+	Reliable bool
+	Payload  []byte
+}
+
+// Endpoint is one rank's attachment to the network. All methods are
+// called from the owning rank's goroutine (or simulated process) only.
+type Endpoint interface {
+	// Rank returns this endpoint's world rank.
+	Rank() int
+	// Size returns the number of endpoints in the world.
+	Size() int
+	// Send transmits m to world rank dst. It returns once the message is
+	// handed to the device; delivery is asynchronous.
+	Send(dst int, m Message) error
+	// Recv blocks until the next message arrives and returns it. It
+	// returns ErrClosed after Close.
+	Recv() (Message, error)
+	// Now returns monotonic nanoseconds on the endpoint's clock —
+	// virtual time for the simulator, wall time otherwise. Latency
+	// measurements must use this clock.
+	Now() int64
+	// Close shuts the endpoint down.
+	Close() error
+}
+
+// Multicaster is the optional device capability the paper's collectives
+// require. Baseline (MPICH-style) collectives run on any Endpoint; the
+// multicast collectives in package core type-assert to Multicaster and
+// bypass the point-to-point path entirely, mirroring how the paper's
+// implementation bypasses the MPICH layering.
+type Multicaster interface {
+	// Join subscribes the endpoint to group. Messages multicast to a
+	// group are delivered to every member except the sender.
+	Join(group uint32) error
+	// Leave unsubscribes from group.
+	Leave(group uint32) error
+	// Multicast sends m to every member of group in one operation.
+	Multicast(group uint32, m Message) error
+}
+
+// DeadlineRecver is the optional capability of receiving with a timeout,
+// needed by acknowledgment-based reliability protocols (the PVM-style
+// sender-repeats-until-acked broadcast the paper compares against).
+type DeadlineRecver interface {
+	// RecvTimeout behaves like Endpoint.Recv but gives up after timeout
+	// nanoseconds (on the endpoint's clock), returning ok=false.
+	RecvTimeout(timeout int64) (m Message, ok bool, err error)
+}
+
+// ErrClosed is returned by operations on a closed endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")

@@ -1,0 +1,22 @@
+package udpnet
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/transport"
+)
+
+// Run builds an n-rank world over real UDP sockets, executes fn once per
+// rank (each on its own goroutine, all traffic through the kernel), and
+// tears the world down. The first rank error is returned.
+func Run(cfg Config, algs mpi.Algorithms, fn func(c *mpi.Comm) error) error {
+	nw, err := New(cfg)
+	if err != nil {
+		return err
+	}
+	defer nw.Close()
+	eps := make([]transport.Endpoint, nw.Size())
+	for i := range eps {
+		eps[i] = nw.Endpoint(i)
+	}
+	return mpi.RunEndpoints(eps, algs, fn)
+}

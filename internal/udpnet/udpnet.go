@@ -1,0 +1,421 @@
+// Package udpnet implements the transport over real UDP sockets with
+// genuine IP multicast via package net — the same kernel code path the
+// paper's implementation used on its Fast Ethernet cluster.
+//
+// A world is a set of endpoints in one process (or, with cmd/mpirun, one
+// per process on one host): each rank owns a unicast socket for
+// point-to-point traffic and joins one multicast group per communicator
+// with net.ListenMulticastUDP. Multicast sends address the class-D group
+// derived from the communicator context (the paper's 224.0.0.0 –
+// 239.255.255.255 range); the Linux IP_MULTICAST_LOOP default loops
+// outgoing multicast back to local members, so all ranks on the host
+// receive a single transmission.
+//
+// IP multicast offers no delivery guarantee. The scout-synchronized
+// collectives of package core provide the readiness guarantee; within a
+// host the kernel's socket buffers do the rest. Environments without
+// multicast support (no route for 224.0.0.0/4, restricted containers)
+// are detected by Probe and reported so callers can skip or fall back.
+package udpnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Config describes a localhost world.
+type Config struct {
+	// N is the world size.
+	N int
+	// McastPort is the UDP port shared by all multicast groups.
+	// Endpoints bind the group address, so sharing a port is safe.
+	McastPort int
+	// FragSize bounds the message payload per datagram (default 1400,
+	// conservatively under the 1472-byte UDP maximum the paper's
+	// Ethernet allowed).
+	FragSize int
+	// GroupNet is the /16 prefix multicast groups are mapped into
+	// (default "239.77.0.0", inside the administratively scoped range).
+	GroupNet string
+	// ReadBuffer sizes each socket's kernel receive buffer (default 1 MiB).
+	ReadBuffer int
+}
+
+// DefaultConfig returns a working localhost configuration.
+func DefaultConfig(n int) Config {
+	return Config{
+		N:          n,
+		McastPort:  45999,
+		FragSize:   1400,
+		GroupNet:   "239.77.0.0",
+		ReadBuffer: 1 << 20,
+	}
+}
+
+func (c *Config) fill() {
+	if c.McastPort == 0 {
+		c.McastPort = 45999
+	}
+	if c.FragSize == 0 {
+		c.FragSize = 1400
+	}
+	if c.GroupNet == "" {
+		c.GroupNet = "239.77.0.0"
+	}
+	if c.ReadBuffer == 0 {
+		c.ReadBuffer = 1 << 20
+	}
+}
+
+// groupIP maps a communicator context to a class-D address inside the
+// configured /16.
+func (c *Config) groupIP(group uint32) net.IP {
+	base := net.ParseIP(c.GroupNet).To4()
+	return net.IPv4(base[0], base[1], byte(group>>8), byte(group))
+}
+
+// Net is one in-host world of endpoints.
+type Net struct {
+	cfg   Config
+	iface *net.Interface // interface used for joins (nil = kernel default)
+	eps   []*Endpoint
+	start time.Time
+}
+
+// New builds the world: one unicast socket per rank on an ephemeral
+// loopback port (ranks learn each other's addresses in-process).
+func New(cfg Config) (*Net, error) {
+	cfg.fill()
+	if cfg.N <= 0 {
+		return nil, errors.New("udpnet: world size must be positive")
+	}
+	nw := &Net{cfg: cfg, iface: multicastInterface(), start: time.Now()}
+	peers := make([]*net.UDPAddr, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		// Bind INADDR_ANY: a socket bound to 127.0.0.1 cannot originate
+		// multicast (the loopback source is dropped as martian on the
+		// egress interface). Unicast peers are still addressed via
+		// loopback below.
+		conn, err := net.ListenUDP("udp4", &net.UDPAddr{})
+		if err != nil {
+			nw.Close()
+			return nil, fmt.Errorf("udpnet: unicast socket for rank %d: %w", i, err)
+		}
+		_ = conn.SetReadBuffer(cfg.ReadBuffer)
+		ep := &Endpoint{
+			net:    nw,
+			rank:   i,
+			uc:     conn,
+			inbox:  make(chan transport.Message, 4096),
+			groups: make(map[uint32]*net.UDPConn),
+			done:   make(chan struct{}),
+		}
+		port := conn.LocalAddr().(*net.UDPAddr).Port
+		peers[i] = &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: port}
+		nw.eps = append(nw.eps, ep)
+	}
+	for _, ep := range nw.eps {
+		ep.peers = peers
+		ep.wg.Add(1)
+		go ep.readLoop(ep.uc)
+	}
+	return nw, nil
+}
+
+// multicastInterface returns the loopback interface if it supports
+// multicast, else the first up multicast-capable interface, else nil
+// (kernel default).
+func multicastInterface() *net.Interface {
+	ifs, err := net.Interfaces()
+	if err != nil {
+		return nil
+	}
+	var fallback *net.Interface
+	for i := range ifs {
+		ifc := ifs[i]
+		if ifc.Flags&net.FlagUp == 0 || ifc.Flags&net.FlagMulticast == 0 {
+			continue
+		}
+		if ifc.Flags&net.FlagLoopback != 0 {
+			return &ifc
+		}
+		if fallback == nil {
+			fallback = &ifc
+		}
+	}
+	return fallback
+}
+
+// Endpoint returns rank i's endpoint.
+func (nw *Net) Endpoint(i int) *Endpoint { return nw.eps[i] }
+
+// Size returns the world size.
+func (nw *Net) Size() int { return len(nw.eps) }
+
+// Close shuts down every endpoint.
+func (nw *Net) Close() {
+	for _, ep := range nw.eps {
+		if ep != nil {
+			_ = ep.Close()
+		}
+	}
+}
+
+// Stats counts transport events at one endpoint.
+type Stats struct {
+	DatagramsSent     int64
+	DatagramsReceived int64
+	BadPackets        int64
+	OwnMulticast      int64 // own multicast heard via loopback, filtered
+}
+
+// Endpoint is one rank's sockets.
+type Endpoint struct {
+	net   *Net
+	rank  int
+	uc    *net.UDPConn
+	peers []*net.UDPAddr
+
+	mu     sync.Mutex
+	groups map[uint32]*net.UDPConn
+	reasm  transport.Reassembler
+	msgID  uint64
+	closed bool
+	stats  Stats
+
+	inbox chan transport.Message
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+var (
+	_ transport.Endpoint       = (*Endpoint)(nil)
+	_ transport.Multicaster    = (*Endpoint)(nil)
+	_ transport.DeadlineRecver = (*Endpoint)(nil)
+)
+
+// Rank implements transport.Endpoint.
+func (ep *Endpoint) Rank() int { return ep.rank }
+
+// Size implements transport.Endpoint.
+func (ep *Endpoint) Size() int { return len(ep.peers) }
+
+// Now implements transport.Endpoint with the wall clock.
+func (ep *Endpoint) Now() int64 { return time.Since(ep.net.start).Nanoseconds() }
+
+// Stats returns a copy of the endpoint's counters.
+func (ep *Endpoint) Stats() Stats {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.stats
+}
+
+// Send implements transport.Endpoint: fragments m and writes each
+// fragment to the destination's unicast socket.
+func (ep *Endpoint) Send(dst int, m transport.Message) error {
+	if dst < 0 || dst >= len(ep.peers) {
+		return fmt.Errorf("udpnet: send to rank %d outside world of %d", dst, len(ep.peers))
+	}
+	m.Kind = transport.P2P
+	return ep.write(ep.peers[dst], m)
+}
+
+// Multicast implements transport.Multicaster: fragments m and writes each
+// fragment to the group address once. The kernel (and the LAN, on real
+// hardware) fans it out to members; our own looped-back copy is filtered
+// in readLoop.
+func (ep *Endpoint) Multicast(group uint32, m transport.Message) error {
+	m.Kind = transport.Mcast
+	dst := &net.UDPAddr{IP: ep.net.cfg.groupIP(group), Port: ep.net.cfg.McastPort}
+	return ep.write(dst, m)
+}
+
+func (ep *Endpoint) write(dst *net.UDPAddr, m transport.Message) error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return transport.ErrClosed
+	}
+	ep.msgID++
+	id := ep.msgID
+	ep.mu.Unlock()
+
+	m.Src = ep.rank
+	for _, f := range transport.Split(m, id, ep.net.cfg.FragSize) {
+		if _, err := ep.uc.WriteToUDP(transport.EncodeFragment(f), dst); err != nil {
+			return fmt.Errorf("udpnet: write to %v: %w", dst, err)
+		}
+		ep.mu.Lock()
+		ep.stats.DatagramsSent++
+		ep.mu.Unlock()
+	}
+	return nil
+}
+
+// Join implements transport.Multicaster: it opens a socket bound to the
+// group address (net.ListenMulticastUDP performs the IGMP join) and
+// starts a reader for it.
+func (ep *Endpoint) Join(group uint32) error {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return transport.ErrClosed
+	}
+	if _, ok := ep.groups[group]; ok {
+		return nil
+	}
+	addr := &net.UDPAddr{IP: ep.net.cfg.groupIP(group), Port: ep.net.cfg.McastPort}
+	conn, err := net.ListenMulticastUDP("udp4", ep.net.iface, addr)
+	if err != nil {
+		return fmt.Errorf("udpnet: joining group %v: %w", addr, err)
+	}
+	_ = conn.SetReadBuffer(ep.net.cfg.ReadBuffer)
+	ep.groups[group] = conn
+	ep.wg.Add(1)
+	go ep.readLoop(conn)
+	return nil
+}
+
+// Leave implements transport.Multicaster.
+func (ep *Endpoint) Leave(group uint32) error {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	conn, ok := ep.groups[group]
+	if !ok {
+		return nil
+	}
+	delete(ep.groups, group)
+	return conn.Close()
+}
+
+// readLoop decodes datagrams from one socket into the shared inbox.
+func (ep *Endpoint) readLoop(conn *net.UDPConn) {
+	defer ep.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		f, err := transport.DecodeFragment(buf[:n])
+		if err != nil {
+			ep.mu.Lock()
+			ep.stats.BadPackets++
+			ep.mu.Unlock()
+			continue
+		}
+		ep.mu.Lock()
+		if f.Msg.Kind == transport.Mcast && f.Msg.Src == ep.rank {
+			// Our own multicast looped back by the kernel.
+			ep.stats.OwnMulticast++
+			ep.mu.Unlock()
+			continue
+		}
+		m, done, err := ep.reasm.Add(f)
+		if err == nil && done {
+			ep.stats.DatagramsReceived++
+		}
+		closed := ep.closed
+		ep.mu.Unlock()
+		if err != nil || !done || closed {
+			continue
+		}
+		select {
+		case ep.inbox <- m:
+		case <-ep.done:
+			return
+		}
+	}
+}
+
+// Recv implements transport.Endpoint.
+func (ep *Endpoint) Recv() (transport.Message, error) {
+	select {
+	case m := <-ep.inbox:
+		return m, nil
+	case <-ep.done:
+		// Drain anything already queued before reporting closure.
+		select {
+		case m := <-ep.inbox:
+			return m, nil
+		default:
+			return transport.Message{}, transport.ErrClosed
+		}
+	}
+}
+
+// RecvTimeout implements transport.DeadlineRecver.
+func (ep *Endpoint) RecvTimeout(timeout int64) (transport.Message, bool, error) {
+	t := time.NewTimer(time.Duration(timeout))
+	defer t.Stop()
+	select {
+	case m := <-ep.inbox:
+		return m, true, nil
+	case <-t.C:
+		return transport.Message{}, false, nil
+	case <-ep.done:
+		return transport.Message{}, false, transport.ErrClosed
+	}
+}
+
+// Close implements transport.Endpoint.
+func (ep *Endpoint) Close() error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil
+	}
+	ep.closed = true
+	close(ep.done)
+	conns := []*net.UDPConn{ep.uc}
+	for _, c := range ep.groups {
+		conns = append(conns, c)
+	}
+	ep.groups = make(map[uint32]*net.UDPConn)
+	ep.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	ep.wg.Wait()
+	return nil
+}
+
+// Probe reports whether IP multicast actually works here: it joins a
+// probe group, multicasts one datagram and waits briefly for the looped-
+// back copy. Callers (tests, examples) skip multicast paths when it
+// returns an error.
+func Probe() error {
+	cfg := DefaultConfig(1)
+	cfg.McastPort = 45988 // keep clear of real worlds
+	addr := &net.UDPAddr{IP: net.IPv4(239, 77, 255, 250), Port: cfg.McastPort}
+	recv, err := net.ListenMulticastUDP("udp4", multicastInterface(), addr)
+	if err != nil {
+		return fmt.Errorf("udpnet: probe join failed: %w", err)
+	}
+	defer recv.Close()
+	send, err := net.ListenUDP("udp4", &net.UDPAddr{})
+	if err != nil {
+		return fmt.Errorf("udpnet: probe socket failed: %w", err)
+	}
+	defer send.Close()
+	payload := []byte("mcast-probe")
+	if _, err := send.WriteToUDP(payload, addr); err != nil {
+		return fmt.Errorf("udpnet: probe send failed (no multicast route?): %w", err)
+	}
+	_ = recv.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+	buf := make([]byte, 64)
+	for {
+		n, _, err := recv.ReadFromUDP(buf)
+		if err != nil {
+			return fmt.Errorf("udpnet: probe receive failed (multicast loopback unavailable?): %w", err)
+		}
+		if string(buf[:n]) == string(payload) {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package udpnet_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/transport"
+	"repro/internal/transport/transporttest"
+	"repro/internal/udpnet"
+)
+
+// mcastPort hands out distinct multicast ports per test so concurrent
+// worlds on one host do not cross-deliver.
+var mcastPort atomic.Int32
+
+func init() { mcastPort.Store(46100) }
+
+func testConfig(n int) udpnet.Config {
+	cfg := udpnet.DefaultConfig(n)
+	cfg.McastPort = int(mcastPort.Add(2))
+	return cfg
+}
+
+func requireMulticast(t *testing.T) {
+	t.Helper()
+	if err := udpnet.Probe(); err != nil {
+		t.Skipf("IP multicast unavailable in this environment: %v", err)
+	}
+}
+
+// udpHarness adapts the world to the transport conformance suite.
+type udpHarness struct {
+	nw *udpnet.Net
+}
+
+func (h *udpHarness) Size() int { return h.nw.Size() }
+
+func (h *udpHarness) Run(t *testing.T, fns []func(ep transport.Endpoint) error) {
+	t.Helper()
+	defer h.nw.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, len(fns))
+	for i, fn := range fns {
+		wg.Add(1)
+		go func(i int, fn func(transport.Endpoint) error) {
+			defer wg.Done()
+			errs[i] = fn(h.nw.Endpoint(i))
+		}(i, fn)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+}
+
+func TestUDPConformance(t *testing.T) {
+	requireMulticast(t)
+	transporttest.RunAll(t, func(t *testing.T, n int) transporttest.Harness {
+		nw, err := udpnet.New(testConfig(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &udpHarness{nw: nw}
+	})
+}
+
+func TestUnicastOnlyWithoutMulticast(t *testing.T) {
+	// Point-to-point traffic must work even where multicast does not, so
+	// no probe/skip here.
+	nw, err := udpnet.New(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	want := bytes.Repeat([]byte{7}, 9000) // several fragments
+	done := make(chan error, 2)
+	go func() {
+		done <- nw.Endpoint(0).Send(1, transport.Message{Tag: 3, Payload: want})
+	}()
+	go func() {
+		m, err := nw.Endpoint(1).Recv()
+		if err != nil {
+			done <- err
+			return
+		}
+		if m.Tag != 3 || !bytes.Equal(m.Payload, want) {
+			done <- fmt.Errorf("message corrupted: tag=%d len=%d", m.Tag, len(m.Payload))
+			return
+		}
+		done <- nil
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMPIOverRealUDPMulticast(t *testing.T) {
+	requireMulticast(t)
+	algs := core.Algorithms(core.Binary).Merge(baseline.Algorithms())
+	want := bytes.Repeat([]byte{0xC3}, 4000)
+	err := udpnet.Run(testConfig(5), algs, func(c *mpi.Comm) error {
+		buf := make([]byte, len(want))
+		if c.Rank() == 0 {
+			copy(buf, want)
+		}
+		if err := c.Bcast(buf, 0); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, want) {
+			return fmt.Errorf("rank %d corrupted", c.Rank())
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		// A reduction over the baseline path for good measure.
+		send := mpi.Int64sToBytes([]int64{int64(c.Rank())})
+		recv := make([]byte, len(send))
+		if err := c.Allreduce(send, recv, mpi.Int64, mpi.OpSum); err != nil {
+			return err
+		}
+		if got := mpi.BytesToInt64s(recv)[0]; got != 10 {
+			return fmt.Errorf("allreduce = %d, want 10", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulticastSingleDatagramManyReceivers(t *testing.T) {
+	requireMulticast(t)
+	// The receiver-directed economy: one send, N-1 deliveries. Verify by
+	// datagram counters: the root sends exactly 1 data datagram for a
+	// small payload (plus the scouts it received as unicast).
+	const n = 4
+	nw, err := udpnet.New(testConfig(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	eps := make([]transport.Endpoint, n)
+	for i := range eps {
+		eps[i] = nw.Endpoint(i)
+	}
+	algs := core.Algorithms(core.Linear)
+	err = mpi.RunEndpoints(eps, algs, func(c *mpi.Comm) error {
+		buf := make([]byte, 100)
+		if c.Rank() == 0 {
+			for i := range buf {
+				buf[i] = 9
+			}
+		}
+		return c.Bcast(buf, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := nw.Endpoint(0).Stats()
+	if root.DatagramsSent != 1 {
+		t.Errorf("root sent %d datagrams, want exactly 1 multicast", root.DatagramsSent)
+	}
+	for r := 1; r < n; r++ {
+		st := nw.Endpoint(r).Stats()
+		if st.DatagramsSent != 1 { // its scout
+			t.Errorf("rank %d sent %d datagrams, want 1 scout", r, st.DatagramsSent)
+		}
+	}
+}
+
+func TestSlowReceiverOverRealMulticast(t *testing.T) {
+	requireMulticast(t)
+	// The paper's scenario on real sockets: rank 2 is slow to enter the
+	// broadcast. The scout protocol must still deliver (the root cannot
+	// multicast until rank 2's scout arrives).
+	algs := core.Algorithms(core.Binary)
+	want := []byte("slow-receiver-safe")
+	err := udpnet.Run(testConfig(4), algs, func(c *mpi.Comm) error {
+		if c.Rank() == 2 {
+			// Busy-wait on the wall clock (no sleeps in the harness).
+			start := c.Now()
+			for c.Now()-start < 50_000_000 { // 50 ms
+			}
+		}
+		buf := make([]byte, len(want))
+		if c.Rank() == 1 {
+			copy(buf, want)
+		}
+		if err := c.Bcast(buf, 1); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, want) {
+			return fmt.Errorf("rank %d corrupted: %q", c.Rank(), buf)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAckBcastOverRealUDP(t *testing.T) {
+	requireMulticast(t)
+	opts := core.AckOptions{Timeout: 20_000_000, MaxRetries: 16}
+	err := udpnet.Run(testConfig(3), core.AckAlgorithms(opts), func(c *mpi.Comm) error {
+		buf := make([]byte, 256)
+		if c.Rank() == 0 {
+			for i := range buf {
+				buf[i] = byte(i)
+			}
+		}
+		if err := c.Bcast(buf, 0); err != nil {
+			return err
+		}
+		for i := range buf {
+			if buf[i] != byte(i) {
+				return fmt.Errorf("rank %d corrupted at %d", c.Rank(), i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseIdempotentAndUnblocks(t *testing.T) {
+	nw, err := udpnet.New(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := nw.Endpoint(0)
+	done := make(chan error, 1)
+	go func() {
+		_, err := ep.Recv()
+		done <- err
+	}()
+	if err := ep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != transport.ErrClosed {
+		t.Fatalf("Recv after close = %v, want ErrClosed", err)
+	}
+	if err := ep.Close(); err != nil {
+		t.Fatal("second close errored")
+	}
+	nw.Close()
+}
