@@ -153,6 +153,50 @@ func BenchmarkAblationSequencer(b *testing.B) {
 	}
 }
 
+// BenchmarkExtAllgatherHub8 compares the multicast allgather rounds
+// against the baseline unicast ring (Fig. 14's points) at 8 processes
+// over the shared hub.
+func BenchmarkExtAllgatherHub8(b *testing.B) {
+	for _, alg := range []bench.Algorithm{bench.MPICH, bench.McastBinary} {
+		for _, size := range []int{250, 1500, 4000} {
+			b.Run(fmt.Sprintf("%s/chunk=%d", alg, size), func(b *testing.B) {
+				sc := bcastScenario(8, simnet.Hub, alg, size)
+				sc.Op = bench.OpAllgather
+				simBench(b, sc)
+			})
+		}
+	}
+}
+
+// BenchmarkExtAllreduceHub8 compares the binomial-reduce + multicast
+// broadcast composition against MPICH's reduce + binomial broadcast
+// (Fig. 15's points) at 8 processes over the shared hub.
+func BenchmarkExtAllreduceHub8(b *testing.B) {
+	for _, alg := range []bench.Algorithm{bench.MPICH, bench.McastBinary} {
+		for _, size := range []int{248, 1504, 4000} {
+			b.Run(fmt.Sprintf("%s/size=%d", alg, size), func(b *testing.B) {
+				sc := bcastScenario(8, simnet.Hub, alg, size)
+				sc.Op = bench.OpAllreduce
+				simBench(b, sc)
+			})
+		}
+	}
+}
+
+// BenchmarkExtRootedHub8 measures the scout-gated scatter and gather
+// variants against their baselines at 8 processes over the shared hub.
+func BenchmarkExtRootedHub8(b *testing.B) {
+	for _, op := range []bench.Op{bench.OpScatter, bench.OpGather} {
+		for _, alg := range []bench.Algorithm{bench.MPICH, bench.McastBinary} {
+			b.Run(fmt.Sprintf("%s/%s", op, alg), func(b *testing.B) {
+				sc := bcastScenario(8, simnet.Hub, alg, 1000)
+				sc.Op = op
+				simBench(b, sc)
+			})
+		}
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Wall-clock benchmarks: real transports and hot paths.
 

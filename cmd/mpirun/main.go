@@ -8,6 +8,8 @@
 //
 //	mpirun -n 8 -workload bcast -algorithm mcast-binary -size 4000
 //	mpirun -n 4 -workload barrier -algorithm mpich
+//	mpirun -n 8 -workload allgather -algorithm mcast-binary -size 1500
+//	mpirun -n 8 -workload allreduce -algorithm mcast-linear -size 4000
 //	mpirun -n 6 -workload pi
 //	mpirun -probe      # check whether IP multicast works here
 package main
@@ -23,14 +25,15 @@ import (
 	"repro/internal/core"
 	"repro/internal/mpi"
 	"repro/internal/udpnet"
+	"repro/internal/workload"
 )
 
 func main() {
 	var (
 		n     = flag.Int("n", 4, "number of ranks")
-		work  = flag.String("workload", "bcast", "bcast | barrier | pi")
+		work  = flag.String("workload", "bcast", "bcast | barrier | allgather | allreduce | scatter | gather | pi")
 		alg   = flag.String("algorithm", "mcast-binary", "mpich | mcast-binary | mcast-linear | sequencer")
-		size  = flag.Int("size", 1000, "message size in bytes (bcast)")
+		size  = flag.Int("size", 1000, "message size in bytes (per-rank chunk for the rooted and all-to-all collectives)")
 		reps  = flag.Int("reps", 20, "repetitions")
 		port  = flag.Int("mcast-port", 45999, "multicast UDP port")
 		probe = flag.Bool("probe", false, "probe multicast support and exit")
@@ -61,7 +64,7 @@ func main() {
 	cfg := udpnet.DefaultConfig(*n)
 	cfg.McastPort = *port
 	switch *work {
-	case "bcast", "barrier":
+	case "bcast", "barrier", "allgather", "allreduce", "scatter", "gather":
 		err = runLatency(cfg, algs, *work, *size, *reps)
 	case "pi":
 		err = runPi(cfg, algs)
@@ -93,13 +96,7 @@ func algorithms(name string) (mpi.Algorithms, error) {
 func runLatency(cfg udpnet.Config, algs mpi.Algorithms, work string, size, reps int) error {
 	samples := make([]float64, reps) // µs, max across ranks per rep
 	err := udpnet.Run(cfg, algs, func(c *mpi.Comm) error {
-		buf := make([]byte, size)
-		op := func() error {
-			if work == "barrier" {
-				return c.Barrier()
-			}
-			return c.Bcast(buf, 0)
-		}
+		op := workload.Make(c, workload.Op(work), size, 0)
 		for w := 0; w < 3; w++ { // warmup
 			if err := op(); err != nil {
 				return err

@@ -5,7 +5,19 @@
 // testbed (hub and switch) that regenerates every figure of the paper's
 // evaluation, and a real UDP/IP-multicast transport.
 //
+// Beyond the paper's two operations, internal/core composes the
+// scout-gated multicast primitive into a full collective suite:
+// AllgatherMcast runs N scout-gated rounds (N·ceil(M/T) data frames
+// where the unicast ring moves N(N-1)·ceil(M/T)), AllreduceMcast pairs
+// a binomial reduce with the multicast broadcast of the result, and
+// ScatterMcast/GatherMcast reuse the scout machinery for rooted
+// distribution and overrun-safe collection. Figures 14 and 15 (and the
+// BenchmarkExt* benchmarks in bench_test.go) measure the suite against
+// the MPICH baselines.
+//
 // See README.md for the tour, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
-// The top-level bench_test.go exposes one benchmark per paper figure.
+// The top-level bench_test.go exposes one benchmark per paper figure,
+// and smoke_test.go runs every protocol/collective through the harness
+// under plain `go test`.
 package repro

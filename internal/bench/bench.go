@@ -16,6 +16,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/workload"
 )
 
 // Algorithm names a collective implementation under test.
@@ -69,14 +70,23 @@ func Set(a Algorithm) (mpi.Algorithms, error) {
 	}
 }
 
-// Op selects the collective operation measured.
-type Op string
+// Op selects the collective operation measured; MsgSize is the per-rank
+// chunk in bytes for the rooted and all-to-all collectives.
+type Op = workload.Op
 
 const (
-	// OpBcast measures MPI_Bcast of MsgSize bytes from rank 0.
-	OpBcast Op = "bcast"
+	// OpBcast measures MPI_Bcast of MsgSize bytes from Root.
+	OpBcast = workload.OpBcast
 	// OpBarrier measures MPI_Barrier.
-	OpBarrier Op = "barrier"
+	OpBarrier = workload.OpBarrier
+	// OpAllgather measures MPI_Allgather with MsgSize bytes per rank.
+	OpAllgather = workload.OpAllgather
+	// OpAllreduce measures MPI_Allreduce of exactly MsgSize bytes.
+	OpAllreduce = workload.OpAllreduce
+	// OpScatter measures MPI_Scatter of MsgSize bytes per rank from Root.
+	OpScatter = workload.OpScatter
+	// OpGather measures MPI_Gather of MsgSize bytes per rank to Root.
+	OpGather = workload.OpGather
 )
 
 // Scenario is one measurement configuration.
@@ -206,15 +216,7 @@ func runOnce(s Scenario, algs mpi.Algorithms, seed uint64) (float64, error) {
 	latencies := make([]int64, s.Procs)
 
 	nw, err := cluster.RunSim(s.Procs, s.Topology, prof, algs, func(c *mpi.Comm) error {
-		buf := make([]byte, s.MsgSize)
-		op := func() error {
-			switch s.Op {
-			case OpBarrier:
-				return c.Barrier()
-			default:
-				return c.Bcast(buf, s.Root)
-			}
-		}
+		op := workload.Make(c, s.Op, s.MsgSize, s.Root)
 		for w := 0; w < s.Warmups; w++ {
 			if err := op(); err != nil {
 				return err

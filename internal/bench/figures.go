@@ -102,6 +102,8 @@ func Defs() []Def {
 		{"11", "MPI_Bcast hub vs switch, 4 processes", fig11},
 		{"12", "MPI_Bcast scaling: 3, 6, 9 processes over switch", fig12},
 		{"13", "MPI_Barrier over hub vs number of processes", fig13},
+		{"14", "Extension: MPI_Allgather multicast rounds vs unicast ring", fig14},
+		{"15", "Extension: MPI_Allreduce multicast composition vs MPICH", fig15},
 		{"a1", "Ablation: ACK-based (PVM) reliability vs scouts", figA1},
 		{"a2", "Ablation: message loss without synchronization", figA2},
 		{"a3", "Ablation: frame counts vs the paper's formulas", figA3},
@@ -119,8 +121,9 @@ func Lookup(id string) (Def, bool) {
 	return Def{}, false
 }
 
-// sweepSizes measures latency-vs-message-size curves for each algorithm.
-func sweepSizes(o Options, procs int, topo simnet.Topology, algs []Algorithm, strict bool, skew sim.Duration) ([]Series, error) {
+// sweepSizes measures latency-vs-message-size curves for each algorithm
+// running the given collective.
+func sweepSizes(o Options, procs int, topo simnet.Topology, op Op, algs []Algorithm, strict bool, skew sim.Duration) ([]Series, error) {
 	var out []Series
 	for _, a := range algs {
 		s := Series{Label: string(a)}
@@ -132,6 +135,7 @@ func sweepSizes(o Options, procs int, topo simnet.Topology, algs []Algorithm, st
 			sc.Procs = procs
 			sc.Topology = topo
 			sc.Algorithm = a
+			sc.Op = op
 			sc.MsgSize = size
 			sc.Reps = o.Reps
 			sc.Seed = o.Seed
@@ -141,7 +145,7 @@ func sweepSizes(o Options, procs int, topo simnet.Topology, algs []Algorithm, st
 			}
 			r, err := Run(sc)
 			if err != nil {
-				return nil, fmt.Errorf("sweep %s size %d: %w", a, size, err)
+				return nil, fmt.Errorf("sweep %s/%s size %d: %w", a, op, size, err)
 			}
 			s.Points = append(s.Points, Point{
 				X: float64(size), Median: r.Median(), Min: r.Min(), Max: r.Max(),
@@ -155,7 +159,7 @@ func sweepSizes(o Options, procs int, topo simnet.Topology, algs []Algorithm, st
 
 func bcastFigure(id string, o Options, procs int, topo simnet.Topology, expect string) (Renderable, error) {
 	o = o.fill()
-	series, err := sweepSizes(o, procs, topo, []Algorithm{MPICH, McastLinear, McastBinary}, false, 0)
+	series, err := sweepSizes(o, procs, topo, OpBcast, []Algorithm{MPICH, McastLinear, McastBinary}, false, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -194,7 +198,7 @@ func fig11(o Options) (Renderable, error) {
 	var series []Series
 	for _, topo := range []simnet.Topology{simnet.Hub, simnet.Switch} {
 		for _, a := range []Algorithm{MPICH, McastBinary} {
-			ss, err := sweepSizes(o, 4, topo, []Algorithm{a}, false, 0)
+			ss, err := sweepSizes(o, 4, topo, OpBcast, []Algorithm{a}, false, 0)
 			if err != nil {
 				return nil, err
 			}
@@ -217,7 +221,7 @@ func fig12(o Options) (Renderable, error) {
 	var series []Series
 	for _, procs := range []int{3, 6, 9} {
 		for _, a := range []Algorithm{MPICH, McastLinear} {
-			ss, err := sweepSizes(o, procs, simnet.Switch, []Algorithm{a}, false, 0)
+			ss, err := sweepSizes(o, procs, simnet.Switch, OpBcast, []Algorithm{a}, false, 0)
 			if err != nil {
 				return nil, err
 			}
@@ -272,9 +276,46 @@ func fig13(o Options) (Renderable, error) {
 	}, nil
 }
 
+// suiteFigure sweeps one of the extension collectives across process
+// counts and payload sizes on the shared hub, multicast suite vs MPICH
+// baseline — the comparison the paper's future-work section asks for.
+func suiteFigure(id, title string, o Options, op Op, expect string) (Renderable, error) {
+	var series []Series
+	for _, procs := range []int{4, 8} {
+		for _, a := range []Algorithm{MPICH, McastBinary} {
+			ss, err := sweepSizes(o, procs, simnet.Hub, op, []Algorithm{a}, false, 0)
+			if err != nil {
+				return nil, fmt.Errorf("figure %s: %w", id, err)
+			}
+			ss[0].Label = fmt.Sprintf("%s (%d proc)", a, procs)
+			series = append(series, ss[0])
+		}
+	}
+	return &Figure{
+		ID:          id,
+		Title:       title,
+		XLabel:      "chunk size per rank (bytes)",
+		YLabel:      "latency (µs)",
+		Expectation: expect,
+		Series:      series,
+	}, nil
+}
+
+func fig14(o Options) (Renderable, error) {
+	o = o.fill()
+	return suiteFigure("14", "MPI_Allgather: multicast rounds vs unicast ring over Fast Ethernet hub", o, OpAllgather,
+		"The ring moves N(N-1) copies of a chunk over the shared medium, the multicast rounds move N; past one Ethernet frame the multicast allgather wins and the gap grows with both N and chunk size.")
+}
+
+func fig15(o Options) (Renderable, error) {
+	o = o.fill()
+	return suiteFigure("15", "MPI_Allreduce: binomial reduce + multicast bcast vs MPICH over Fast Ethernet hub", o, OpAllreduce,
+		"Both run a binomial reduce, but the multicast variant rides the UDP bypass (no per-message TCP penalty) and its broadcast half sends ceil(M/T) frames instead of (N-1)·ceil(M/T); the two effects compound, so the composition wins at every size and more so at N=8.")
+}
+
 func figA1(o Options) (Renderable, error) {
 	o = o.fill()
-	series, err := sweepSizes(o, 4, simnet.Switch,
+	series, err := sweepSizes(o, 4, simnet.Switch, OpBcast,
 		[]Algorithm{MPICH, McastBinary, McastAck}, false, 60*sim.Microsecond)
 	if err != nil {
 		return nil, err

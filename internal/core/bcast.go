@@ -29,6 +29,13 @@
 // reports does not improve performance), an Orca-style sequencer
 // broadcast, the multicast barrier, and an intentionally unsynchronized
 // broadcast used to demonstrate the loss failure mode.
+//
+// Beyond the paper's two operations, suite.go composes the scout-gated
+// multicast primitive into a full collective suite — AllgatherMcast,
+// AllreduceMcast, ScatterMcast and GatherMcast — with the frame-count
+// model documented there: the allgather sends N·ceil(M/T) data frames
+// where the unicast ring sends N·(N-1)·ceil(M/T), and the allreduce's
+// broadcast half sends ceil(M/T) frames instead of (N-1)·ceil(M/T).
 package core
 
 import (
@@ -55,9 +62,11 @@ func (m Mode) String() string {
 	return "linear"
 }
 
-// Algorithms returns the collective set with Bcast and Barrier running
-// over IP multicast using the given scout mode. The remaining collectives
-// are left nil so callers can Merge a baseline set underneath:
+// Algorithms returns the multicast collective suite for the given scout
+// mode: Bcast and Barrier as the paper describes them, plus the
+// Allgather, Allreduce, Scatter and Gather compositions of suite.go.
+// The remaining collectives are left nil so callers can Merge a baseline
+// set underneath:
 //
 //	algs := core.Algorithms(core.Binary).Merge(baseline.Algorithms())
 func Algorithms(mode Mode) mpi.Algorithms {
@@ -65,8 +74,16 @@ func Algorithms(mode Mode) mpi.Algorithms {
 	switch mode {
 	case Linear:
 		a.Bcast = BcastLinear
+		a.Allgather = AllgatherMcastLinear
+		a.Allreduce = AllreduceMcastLinear
+		a.Scatter = ScatterMcastLinear
+		a.Gather = GatherMcastLinear
 	default:
 		a.Bcast = BcastBinary
+		a.Allgather = AllgatherMcast
+		a.Allreduce = AllreduceMcast
+		a.Scatter = ScatterMcast
+		a.Gather = GatherMcast
 	}
 	return a
 }
@@ -77,6 +94,7 @@ const (
 	phaseAck     = 1 // acknowledgments (ACK/NACK protocols)
 	phaseForward = 2 // root-to-sequencer forwarding
 	phaseNack    = 3 // repair requests (NACK protocol)
+	phaseChunk   = 4 // per-rank data chunks (gather/reduce suite)
 )
 
 // largestPow2 returns the largest power of two <= n (n >= 1).

@@ -1,0 +1,241 @@
+package core
+
+// The multicast collective suite: the paper stops at Bcast and Barrier,
+// but its scout machinery composes directly into the richer rooted and
+// all-to-all collectives (the "future work" direction of §6, and the
+// composition results of Träff's collective-decomposition work). Every
+// operation below is built from the same two primitives as the paper's
+// broadcast — a scout gather that proves every receiver has posted, and
+// a single IP multicast that therefore cannot be lost.
+//
+// Frame-count model (N ranks, per-rank chunk of M bytes, frame payload
+// T, s = N-1 scout frames per scout-gated multicast):
+//
+//	AllgatherMcast:  N rounds, each s scouts + ceil(M/T) data
+//	                 = N(N-1) scouts + N·ceil(M/T) data frames,
+//	                 versus N(N-1)·ceil(M/T) data frames for the
+//	                 ring/naive unicast algorithms. Scouts are empty
+//	                 56-byte frames, so once M exceeds one frame the
+//	                 data saving dominates on a shared medium.
+//	AllreduceMcast:  binomial reduce to rank 0 ((N-1)·ceil(M/T) p2p
+//	                 data frames over the UDP bypass) + one scout-gated
+//	                 multicast (s scouts + ceil(M/T) data), versus
+//	                 2(N-1)·ceil(M/T) reliable frames for the MPICH
+//	                 reduce+broadcast composition.
+//	ScatterMcast:    s scouts + ceil(N·M/T) data frames in a single
+//	                 multicast of the whole send buffer; each rank keeps
+//	                 its slice. Wins for sub-frame chunks (one frame
+//	                 replaces N-1); for large chunks the baseline's
+//	                 (N-1)·ceil(M/T) targeted unicasts move fewer bytes.
+//	GatherMcast:     s scouts + 1 multicast release + (N-1)·ceil(M/T)
+//	                 chunk frames. The data still has to converge on the
+//	                 root, so no frame is saved; the release gates the
+//	                 senders until the root has entered the gather, which
+//	                 bounds the root's unexpected-message queue and
+//	                 prevents the fast-senders-overrun-one-receiver
+//	                 failure mode of experiment A4.
+//
+// Each round opens its own collective operation (BeginColl), so the
+// per-operation sequence number keeps back-to-back multicasts of one
+// collective apart — the same safe-program ordering argument as §4.
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/transport"
+)
+
+// allgatherWith runs N scout-gated rounds; in round r rank r multicasts
+// its chunk once and every other rank receives it.
+func allgatherWith(c *mpi.Comm, send, recv []byte, gather func(mpi.CollCtx, int) error) error {
+	size := c.Size()
+	n := len(send)
+	if len(recv) != n*size {
+		return fmt.Errorf("core: allgather recv buffer %d bytes, want %d", len(recv), n*size)
+	}
+	copy(recv[c.Rank()*n:], send)
+	if size == 1 {
+		return nil
+	}
+	for r := 0; r < size; r++ {
+		cc := c.BeginColl()
+		if !cc.CanMulticast() {
+			return mpi.ErrNoMulticast
+		}
+		if err := gather(cc, r); err != nil {
+			return err
+		}
+		if c.Rank() == r {
+			if err := cc.Multicast(recv[r*n:(r+1)*n], transport.ClassData); err != nil {
+				return err
+			}
+			continue
+		}
+		m, err := cc.RecvMulticast()
+		if err != nil {
+			return err
+		}
+		if len(m.Payload) != n {
+			return fmt.Errorf("core: allgather chunk from %d is %d bytes, want %d", r, len(m.Payload), n)
+		}
+		copy(recv[r*n:(r+1)*n], m.Payload)
+	}
+	return nil
+}
+
+// AllgatherMcast gathers every rank's equal-sized chunk to every rank in
+// N scout-gated multicast rounds (binary scout gather).
+func AllgatherMcast(c *mpi.Comm, send, recv []byte) error {
+	return allgatherWith(c, send, recv, gatherScoutsBinary)
+}
+
+// AllgatherMcastLinear is AllgatherMcast with linear scout gathering.
+func AllgatherMcastLinear(c *mpi.Comm, send, recv []byte) error {
+	return allgatherWith(c, send, recv, gatherScoutsLinear)
+}
+
+// reduceToRoot runs a binomial reduction of send to root over the UDP
+// bypass path (the point-to-point half of the multicast allreduce). Only
+// root's recv is written. The signature matches the Allreduce composer
+// in bcast.go, which pairs it with the scout-synchronized broadcast.
+func reduceToRoot(c *mpi.Comm, send, recv []byte, dt mpi.Datatype, op mpi.Op, root int) error {
+	cc := c.BeginColl()
+	size := c.Size()
+	rel := (c.Rank() - root + size) % size
+	acc := append([]byte(nil), send...)
+	for mask := 1; mask < size; mask <<= 1 {
+		if rel&mask != 0 {
+			return cc.Send((rel-mask+root)%size, phaseChunk, acc, transport.ClassData, false)
+		}
+		if peer := rel + mask; peer < size {
+			m, err := cc.Recv((peer+root)%size, phaseChunk)
+			if err != nil {
+				return err
+			}
+			if err := mpi.ReduceBytes(op, dt, acc, m.Payload); err != nil {
+				return err
+			}
+		}
+	}
+	// Only the root (rel 0) reaches here: every other rank sent and returned.
+	copy(recv, acc)
+	return nil
+}
+
+var (
+	allreduceBinary = Allreduce(reduceToRoot, Binary)
+	allreduceLinear = Allreduce(reduceToRoot, Linear)
+)
+
+// AllreduceMcast is the composition the paper's future work points at:
+// a binomial reduce to rank 0 followed by a scout-synchronized multicast
+// of the result (binary scout gather).
+func AllreduceMcast(c *mpi.Comm, send, recv []byte, dt mpi.Datatype, op mpi.Op) error {
+	return allreduceBinary(c, send, recv, dt, op)
+}
+
+// AllreduceMcastLinear is AllreduceMcast with linear scout gathering.
+func AllreduceMcastLinear(c *mpi.Comm, send, recv []byte, dt mpi.Datatype, op mpi.Op) error {
+	return allreduceLinear(c, send, recv, dt, op)
+}
+
+func scatterWith(c *mpi.Comm, send, recv []byte, root int, gather func(mpi.CollCtx, int) error) error {
+	size := c.Size()
+	n := len(recv)
+	if c.Rank() == root && len(send) != n*size {
+		return fmt.Errorf("core: scatter send buffer %d bytes, want %d", len(send), n*size)
+	}
+	if size == 1 {
+		copy(recv, send)
+		return nil
+	}
+	cc := c.BeginColl()
+	if !cc.CanMulticast() {
+		return mpi.ErrNoMulticast
+	}
+	if err := gather(cc, root); err != nil {
+		return err
+	}
+	if c.Rank() == root {
+		if err := cc.Multicast(send, transport.ClassData); err != nil {
+			return err
+		}
+		copy(recv, send[root*n:(root+1)*n])
+		return nil
+	}
+	m, err := cc.RecvMulticast()
+	if err != nil {
+		return err
+	}
+	if len(m.Payload) != n*size {
+		return fmt.Errorf("core: scatter message %d bytes, want %d", len(m.Payload), n*size)
+	}
+	copy(recv, m.Payload[c.Rank()*n:(c.Rank()+1)*n])
+	return nil
+}
+
+// ScatterMcast distributes root's buffer with one scout-gated multicast
+// of the whole buffer; each rank keeps its own slice (binary scouts).
+func ScatterMcast(c *mpi.Comm, send, recv []byte, root int) error {
+	return scatterWith(c, send, recv, root, gatherScoutsBinary)
+}
+
+// ScatterMcastLinear is ScatterMcast with linear scout gathering.
+func ScatterMcastLinear(c *mpi.Comm, send, recv []byte, root int) error {
+	return scatterWith(c, send, recv, root, gatherScoutsLinear)
+}
+
+func gatherWith(c *mpi.Comm, send, recv []byte, root int, gather func(mpi.CollCtx, int) error) error {
+	size := c.Size()
+	n := len(send)
+	if c.Rank() == root && len(recv) != n*size {
+		return fmt.Errorf("core: gather recv buffer %d bytes, want %d", len(recv), n*size)
+	}
+	if size == 1 {
+		copy(recv, send)
+		return nil
+	}
+	cc := c.BeginColl()
+	if !cc.CanMulticast() {
+		return mpi.ErrNoMulticast
+	}
+	if err := gather(cc, root); err != nil {
+		return err
+	}
+	if c.Rank() != root {
+		// The release proves the root has entered the gather, so the
+		// chunk cannot land in an unbounded unexpected queue.
+		if _, err := cc.RecvMulticast(); err != nil {
+			return err
+		}
+		return cc.Send(root, phaseChunk, send, transport.ClassData, false)
+	}
+	copy(recv[root*n:], send)
+	if err := cc.Multicast(nil, transport.ClassControl); err != nil {
+		return err
+	}
+	for i := 0; i < size-1; i++ {
+		m, err := cc.Recv(mpi.AnySource, phaseChunk)
+		if err != nil {
+			return err
+		}
+		r := cc.SrcRank(m)
+		if len(m.Payload) != n {
+			return fmt.Errorf("core: gather chunk from %d is %d bytes, want %d", r, len(m.Payload), n)
+		}
+		copy(recv[r*n:], m.Payload)
+	}
+	return nil
+}
+
+// GatherMcast collects equal-sized chunks to root, gated by scouts and a
+// multicast release so senders cannot overrun the root (binary scouts).
+func GatherMcast(c *mpi.Comm, send, recv []byte, root int) error {
+	return gatherWith(c, send, recv, root, gatherScoutsBinary)
+}
+
+// GatherMcastLinear is GatherMcast with linear scout gathering.
+func GatherMcastLinear(c *mpi.Comm, send, recv []byte, root int) error {
+	return gatherWith(c, send, recv, root, gatherScoutsLinear)
+}

@@ -1,0 +1,68 @@
+// Package workload binds MPI collective operations to per-rank buffers
+// for latency measurement. It is shared by the bench harness (simulated
+// testbed) and cmd/mpirun (real UDP multicast) so both surfaces measure
+// exactly the same operation, and depends only on the mpi layer.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// Op names a measurable collective operation.
+type Op string
+
+const (
+	// OpBcast measures MPI_Bcast of size bytes from the root.
+	OpBcast Op = "bcast"
+	// OpBarrier measures MPI_Barrier.
+	OpBarrier Op = "barrier"
+	// OpAllgather measures MPI_Allgather with size bytes per rank.
+	OpAllgather Op = "allgather"
+	// OpAllreduce measures MPI_Allreduce of exactly size bytes
+	// (mpi.Byte elements under OpMax, so any size is measurable).
+	OpAllreduce Op = "allreduce"
+	// OpScatter measures MPI_Scatter of size bytes per rank from the root.
+	OpScatter Op = "scatter"
+	// OpGather measures MPI_Gather of size bytes per rank to the root.
+	OpGather Op = "gather"
+)
+
+// Make binds op to per-rank buffers on c; size is the per-rank chunk in
+// bytes for the rooted and all-to-all collectives. An unknown op yields
+// a function that always errors, so a typo'd scenario fails instead of
+// silently measuring the wrong collective.
+func Make(c *mpi.Comm, op Op, size, root int) func() error {
+	switch op {
+	case OpBcast:
+		buf := make([]byte, size)
+		return func() error { return c.Bcast(buf, root) }
+	case OpBarrier:
+		return func() error { return c.Barrier() }
+	case OpAllgather:
+		send := make([]byte, size)
+		recv := make([]byte, size*c.Size())
+		return func() error { return c.Allgather(send, recv) }
+	case OpAllreduce:
+		send := make([]byte, size)
+		recv := make([]byte, size)
+		return func() error { return c.Allreduce(send, recv, mpi.Byte, mpi.OpMax) }
+	case OpScatter:
+		var send []byte
+		if c.Rank() == root {
+			send = make([]byte, size*c.Size())
+		}
+		recv := make([]byte, size)
+		return func() error { return c.Scatter(send, recv, root) }
+	case OpGather:
+		send := make([]byte, size)
+		var recv []byte
+		if c.Rank() == root {
+			recv = make([]byte, size*c.Size())
+		}
+		return func() error { return c.Gather(send, recv, root) }
+	default:
+		return func() error { return fmt.Errorf("workload: unknown op %q", op) }
+	}
+}

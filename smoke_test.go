@@ -1,0 +1,91 @@
+package repro
+
+// Smoke tests for the figure harness: one tiny scenario per protocol and
+// per collective, so a regression in the measurement pipeline fails
+// `go test` instead of only surfacing under -bench.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/simnet"
+)
+
+// TestScenarioSmoke runs a minimal bench.Run for every protocol the
+// harness knows, on both topologies' default ops.
+func TestScenarioSmoke(t *testing.T) {
+	algs := []bench.Algorithm{
+		bench.MPICH, bench.McastBinary, bench.McastLinear,
+		bench.McastAck, bench.McastNack, bench.Sequencer,
+	}
+	for _, alg := range algs {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			sc := bench.DefaultScenario()
+			sc.Algorithm = alg
+			sc.MsgSize = 600
+			sc.Reps = 2
+			r, err := bench.Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(r.Samples) != 2 || r.Median() <= 0 {
+				t.Fatalf("implausible result: %+v", r)
+			}
+		})
+	}
+}
+
+// TestCollectiveScenarioSmoke covers every measurable collective op with
+// the multicast suite and the baseline.
+func TestCollectiveScenarioSmoke(t *testing.T) {
+	ops := []bench.Op{
+		bench.OpBcast, bench.OpBarrier, bench.OpAllgather,
+		bench.OpAllreduce, bench.OpScatter, bench.OpGather,
+	}
+	for _, alg := range []bench.Algorithm{bench.MPICH, bench.McastBinary} {
+		for _, op := range ops {
+			alg, op := alg, op
+			t.Run(fmt.Sprintf("%s/%s", alg, op), func(t *testing.T) {
+				sc := bench.DefaultScenario()
+				sc.Algorithm = alg
+				sc.Op = op
+				sc.Procs = 5
+				sc.Topology = simnet.Hub
+				sc.MsgSize = 512
+				sc.Reps = 2
+				r, err := bench.Run(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.Median() <= 0 {
+					t.Fatalf("implausible latency %v", r.Median())
+				}
+			})
+		}
+	}
+}
+
+// TestExtensionFigureRenders builds the new Allgather/Allreduce
+// comparison figures at a micro grid and checks they render and export.
+func TestExtensionFigureRenders(t *testing.T) {
+	for _, id := range []string{"14", "15"} {
+		d, ok := bench.Lookup(id)
+		if !ok {
+			t.Fatalf("figure %s not registered", id)
+		}
+		r, err := d.Build(bench.Options{Reps: 1, SizeStep: 2500, MaxSize: 5000, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := r.Render()
+		if !strings.Contains(out, "mcast-binary") || !strings.Contains(out, "mpich") {
+			t.Fatalf("figure %s render missing series:\n%s", id, out)
+		}
+		if lines := strings.Split(r.CSV(), "\n"); len(lines) < 5 {
+			t.Fatalf("figure %s csv too short", id)
+		}
+	}
+}
