@@ -197,6 +197,37 @@ func BenchmarkExtRootedHub8(b *testing.B) {
 	}
 }
 
+// BenchmarkExtAlltoallHub8 compares the scout-gated scatter rounds
+// against the pairwise unicast exchange (Fig. 16's points) at 8
+// processes over the shared hub, sequential and pipelined.
+func BenchmarkExtAlltoallHub8(b *testing.B) {
+	for _, alg := range []bench.Algorithm{bench.MPICH, bench.McastBinary, bench.McastPipelined} {
+		for _, size := range []int{250, 1500, 4000} {
+			b.Run(fmt.Sprintf("%s/chunk=%d", alg, size), func(b *testing.B) {
+				sc := bcastScenario(8, simnet.Hub, alg, size)
+				sc.Op = bench.OpAlltoall
+				simBench(b, sc)
+			})
+		}
+	}
+}
+
+// BenchmarkExtAllgatherPipelinedSwitch8 measures what the pipelined
+// round schedule buys over the sequential one (Fig. 17's points) at 8
+// processes over the switch, where the uplink serialization makes scout
+// latency most visible.
+func BenchmarkExtAllgatherPipelinedSwitch8(b *testing.B) {
+	for _, alg := range []bench.Algorithm{bench.McastBinary, bench.McastPipelined} {
+		for _, size := range []int{250, 1500, 4000} {
+			b.Run(fmt.Sprintf("%s/chunk=%d", alg, size), func(b *testing.B) {
+				sc := bcastScenario(8, simnet.Switch, alg, size)
+				sc.Op = bench.OpAllgather
+				simBench(b, sc)
+			})
+		}
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Wall-clock benchmarks: real transports and hot paths.
 

@@ -1,5 +1,5 @@
 // Command mcastbench regenerates the paper's evaluation: every figure
-// (7–15, including the collective-suite extensions 14 and 15) and the
+// (7–17, including the collective-suite extensions 14–17) and the
 // ablation experiments (a1–a4), measured on the simulated Fast Ethernet
 // testbed.
 //
@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		figure = flag.String("figure", "all", "experiment id (7..15, a1..a4) or 'all'")
+		figure = flag.String("figure", "all", "experiment id (7..17, a1..a4) or 'all'")
 		reps   = flag.Int("reps", 20, "repetitions per point (paper used 20-30)")
 		step   = flag.Int("step", 250, "message size step in bytes")
 		max    = flag.Int("max", 5000, "maximum message size in bytes")

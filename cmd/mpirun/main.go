@@ -10,6 +10,7 @@
 //	mpirun -n 4 -workload barrier -algorithm mpich
 //	mpirun -n 8 -workload allgather -algorithm mcast-binary -size 1500
 //	mpirun -n 8 -workload allreduce -algorithm mcast-linear -size 4000
+//	mpirun -n 8 -workload alltoall -algorithm mcast-pipelined -size 1500
 //	mpirun -n 6 -workload pi
 //	mpirun -probe      # check whether IP multicast works here
 package main
@@ -31,8 +32,8 @@ import (
 func main() {
 	var (
 		n     = flag.Int("n", 4, "number of ranks")
-		work  = flag.String("workload", "bcast", "bcast | barrier | allgather | allreduce | scatter | gather | pi")
-		alg   = flag.String("algorithm", "mcast-binary", "mpich | mcast-binary | mcast-linear | sequencer")
+		work  = flag.String("workload", "bcast", "bcast | barrier | allgather | allreduce | scatter | gather | alltoall | pi")
+		alg   = flag.String("algorithm", "mcast-binary", "mpich | mcast-binary | mcast-linear | mcast-pipelined | sequencer")
 		size  = flag.Int("size", 1000, "message size in bytes (per-rank chunk for the rooted and all-to-all collectives)")
 		reps  = flag.Int("reps", 20, "repetitions")
 		port  = flag.Int("mcast-port", 45999, "multicast UDP port")
@@ -64,7 +65,7 @@ func main() {
 	cfg := udpnet.DefaultConfig(*n)
 	cfg.McastPort = *port
 	switch *work {
-	case "bcast", "barrier", "allgather", "allreduce", "scatter", "gather":
+	case "bcast", "barrier", "allgather", "allreduce", "scatter", "gather", "alltoall":
 		err = runLatency(cfg, algs, *work, *size, *reps)
 	case "pi":
 		err = runPi(cfg, algs)
@@ -86,6 +87,8 @@ func algorithms(name string) (mpi.Algorithms, error) {
 		return core.Algorithms(core.Binary).Merge(baseline.Algorithms()), nil
 	case "mcast-linear":
 		return core.Algorithms(core.Linear).Merge(baseline.Algorithms()), nil
+	case "mcast-pipelined":
+		return core.Algorithms(core.BinaryPipelined).Merge(baseline.Algorithms()), nil
 	case "sequencer":
 		return core.SequencerAlgorithms().Merge(baseline.Algorithms()), nil
 	default:

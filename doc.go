@@ -9,11 +9,18 @@
 // scout-gated multicast primitive into a full collective suite:
 // AllgatherMcast runs N scout-gated rounds (N·ceil(M/T) data frames
 // where the unicast ring moves N(N-1)·ceil(M/T)), AllreduceMcast pairs
-// a binomial reduce with the multicast broadcast of the result, and
+// a binomial reduce with the multicast broadcast of the result,
 // ScatterMcast/GatherMcast reuse the scout machinery for rooted
-// distribution and overrun-safe collection. Figures 14 and 15 (and the
-// BenchmarkExt* benchmarks in bench_test.go) measure the suite against
-// the MPICH baselines.
+// distribution and overrun-safe collection, and AlltoallMcast completes
+// the set with N release-gated scatter rounds. The multi-round
+// collectives run on a shared round engine that can pipeline round
+// r+1's scout gather under round r's data multicast
+// (core.BinaryPipelined), and a NACK-repaired resilient variant
+// (core.ResilientAlgorithms) survives in-flight fragment loss. Figures
+// 14-17 (and the BenchmarkExt* benchmarks in bench_test.go) measure the
+// suite against the MPICH baselines; the suite-wide conformance harness
+// in internal/core/coretest cross-validates all seven collectives
+// against a pure oracle, including under injected loss.
 //
 // See README.md for the tour, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.

@@ -150,30 +150,18 @@ func Barrier(c *mpi.Comm) error {
 }
 
 // Reduce combines send buffers to root along the mirror of the broadcast
-// binomial tree.
+// binomial tree. The walk is the shared mpi.BinomialToRoot helper; what
+// makes this the MPICH variant is the reliable (TCP-like) traffic class.
 func Reduce(c *mpi.Comm, send, recv []byte, dt mpi.Datatype, op mpi.Op, root int) error {
-	size := c.Size()
 	cc := c.BeginColl()
-	rel := (c.Rank() - root + size) % size
-
 	acc := append([]byte(nil), send...)
-	for mask := 1; mask < size; mask <<= 1 {
-		if rel&mask != 0 {
-			parent := (rel - mask + root) % size
-			return cc.Send(parent, 0, acc, transport.ClassData, true)
-		}
-		peer := rel + mask
-		if peer < size {
-			m, err := cc.Recv((peer+root)%size, 0)
-			if err != nil {
-				return err
-			}
-			if err := mpi.ReduceBytes(op, dt, acc, m.Payload); err != nil {
-				return err
-			}
-		}
+	atRoot, err := mpi.BinomialToRoot(cc, root, c.Size(), 0, transport.ClassData, true, acc,
+		func(_ int, payload []byte) error {
+			return mpi.ReduceBytes(op, dt, acc, payload)
+		})
+	if err != nil || !atRoot {
+		return err
 	}
-	// Only the root reaches here (every other rank sent and returned).
 	if len(recv) != len(send) {
 		return fmt.Errorf("baseline: reduce recv buffer %d bytes, want %d", len(recv), len(send))
 	}

@@ -30,6 +30,10 @@ const (
 	McastBinary Algorithm = "mcast-binary"
 	// McastLinear is the paper's linear scout algorithm.
 	McastLinear Algorithm = "mcast-linear"
+	// McastPipelined is the binary scout suite with the multi-round
+	// collectives pipelined: round r+1's scout gather overlaps round r's
+	// data multicast.
+	McastPipelined Algorithm = "mcast-pipelined"
 	// McastAck is the PVM-style acknowledgment protocol (no scouts,
 	// sender repeats until acknowledged).
 	McastAck Algorithm = "mcast-ack"
@@ -52,6 +56,8 @@ func Set(a Algorithm) (mpi.Algorithms, error) {
 		return core.Algorithms(core.Binary).Merge(baseline.Algorithms()), nil
 	case McastLinear:
 		return core.Algorithms(core.Linear).Merge(baseline.Algorithms()), nil
+	case McastPipelined:
+		return core.Algorithms(core.BinaryPipelined).Merge(baseline.Algorithms()), nil
 	case McastAck:
 		// An aggressive retransmission timer reproduces the PVM
 		// behaviour of repeatedly re-sending the data until every
@@ -87,6 +93,8 @@ const (
 	OpScatter = workload.OpScatter
 	// OpGather measures MPI_Gather of MsgSize bytes per rank to Root.
 	OpGather = workload.OpGather
+	// OpAlltoall measures MPI_Alltoall with MsgSize bytes per rank pair.
+	OpAlltoall = workload.OpAlltoall
 )
 
 // Scenario is one measurement configuration.

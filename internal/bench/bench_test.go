@@ -37,7 +37,7 @@ func TestQuantile(t *testing.T) {
 }
 
 func TestSetKnowsAllAlgorithms(t *testing.T) {
-	for _, a := range []Algorithm{MPICH, McastBinary, McastLinear, McastAck, McastNack, Sequencer, Unsafe} {
+	for _, a := range []Algorithm{MPICH, McastBinary, McastLinear, McastPipelined, McastAck, McastNack, Sequencer, Unsafe} {
 		algs, err := Set(a)
 		if err != nil {
 			t.Fatalf("Set(%s): %v", a, err)

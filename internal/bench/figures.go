@@ -9,6 +9,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/trace"
 	"repro/internal/transport"
+	"repro/internal/workload"
 )
 
 // Options scales the experiment grid. The zero value is filled with the
@@ -104,6 +105,8 @@ func Defs() []Def {
 		{"13", "MPI_Barrier over hub vs number of processes", fig13},
 		{"14", "Extension: MPI_Allgather multicast rounds vs unicast ring", fig14},
 		{"15", "Extension: MPI_Allreduce multicast composition vs MPICH", fig15},
+		{"16", "Extension: MPI_Alltoall scatter rounds vs pairwise unicast", fig16},
+		{"17", "Extension: pipelined vs sequential allgather rounds over switch", fig17},
 		{"a1", "Ablation: ACK-based (PVM) reliability vs scouts", figA1},
 		{"a2", "Ablation: message loss without synchronization", figA2},
 		{"a3", "Ablation: frame counts vs the paper's formulas", figA3},
@@ -277,13 +280,13 @@ func fig13(o Options) (Renderable, error) {
 }
 
 // suiteFigure sweeps one of the extension collectives across process
-// counts and payload sizes on the shared hub, multicast suite vs MPICH
-// baseline — the comparison the paper's future-work section asks for.
-func suiteFigure(id, title string, o Options, op Op, expect string) (Renderable, error) {
+// counts and payload sizes, comparing the given algorithm selections —
+// the comparison the paper's future-work section asks for.
+func suiteFigure(id, title string, o Options, topo simnet.Topology, op Op, algs []Algorithm, expect string) (Renderable, error) {
 	var series []Series
 	for _, procs := range []int{4, 8} {
-		for _, a := range []Algorithm{MPICH, McastBinary} {
-			ss, err := sweepSizes(o, procs, simnet.Hub, op, []Algorithm{a}, false, 0)
+		for _, a := range algs {
+			ss, err := sweepSizes(o, procs, topo, op, []Algorithm{a}, false, 0)
 			if err != nil {
 				return nil, fmt.Errorf("figure %s: %w", id, err)
 			}
@@ -303,14 +306,30 @@ func suiteFigure(id, title string, o Options, op Op, expect string) (Renderable,
 
 func fig14(o Options) (Renderable, error) {
 	o = o.fill()
-	return suiteFigure("14", "MPI_Allgather: multicast rounds vs unicast ring over Fast Ethernet hub", o, OpAllgather,
+	return suiteFigure("14", "MPI_Allgather: multicast rounds vs unicast ring over Fast Ethernet hub", o, simnet.Hub, OpAllgather,
+		[]Algorithm{MPICH, McastBinary},
 		"The ring moves N(N-1) copies of a chunk over the shared medium, the multicast rounds move N; past one Ethernet frame the multicast allgather wins and the gap grows with both N and chunk size.")
 }
 
 func fig15(o Options) (Renderable, error) {
 	o = o.fill()
-	return suiteFigure("15", "MPI_Allreduce: binomial reduce + multicast bcast vs MPICH over Fast Ethernet hub", o, OpAllreduce,
+	return suiteFigure("15", "MPI_Allreduce: binomial reduce + multicast bcast vs MPICH over Fast Ethernet hub", o, simnet.Hub, OpAllreduce,
+		[]Algorithm{MPICH, McastBinary},
 		"Both run a binomial reduce, but the multicast variant rides the UDP bypass (no per-message TCP penalty) and its broadcast half sends ceil(M/T) frames instead of (N-1)·ceil(M/T); the two effects compound, so the composition wins at every size and more so at N=8.")
+}
+
+func fig16(o Options) (Renderable, error) {
+	o = o.fill()
+	return suiteFigure("16", "MPI_Alltoall: scout-gated scatter rounds vs pairwise unicast over Fast Ethernet hub", o, simnet.Hub, OpAlltoall,
+		[]Algorithm{MPICH, McastBinary, McastPipelined},
+		"The pairwise exchange makes N-1 reliable sends and N-1 receives per rank; the scatter rounds replace them with N multicasts of the whole buffer, trading slightly more wire bytes for 1/(N-1) of the per-message host overheads — and every round is release-gated, so fast senders cannot overrun one receiver. Pipelining the rounds hides the scout gathers on top.")
+}
+
+func fig17(o Options) (Renderable, error) {
+	o = o.fill()
+	return suiteFigure("17", "MPI_Allgather: pipelined vs sequential scout-gated rounds over Fast Ethernet switch", o, simnet.Switch, OpAllgather,
+		[]Algorithm{McastBinary, McastPipelined},
+		"Both move identical frames; the pipelined schedule overlaps round r+1's scout gather with round r's data multicast, so each round's critical path drops from (gather + data) to little more than the data transmission and the gap widens with N.")
 }
 
 func figA1(o Options) (Renderable, error) {
@@ -371,10 +390,9 @@ func figA3(o Options) (Renderable, error) {
 	const frag = simnet.MaxFragPayload
 	tbl := &Table{
 		ID:          "a3",
-		Title:       "Wire frame counts vs the paper's §3 formulas (T = frame payload)",
-		Expectation: "Multicast bcast: N-1 scouts + ceil(M/T) data. MPICH bcast: ceil(M/T)·(N-1) data. MPICH barrier: 2(N-K)+K·log2K. Multicast barrier: N-1 scouts + 1 release.",
-		Header: []string{"N", "M (bytes)", "mcast scouts", "mcast data", "formula", "mpich data", "formula",
-			"mpich barrier", "formula", "mcast barrier", "formula"},
+		Title:       "Wire frame counts vs the §3 formulas, whole suite (T = frame payload, s = scouts, d = data, c = control)",
+		Expectation: "Every measured count matches its formula exactly: the multicast operations pay N-1 scouts per gated multicast and send each payload once; the MPICH baseline repeats the payload per receiver.",
+		Header:      []string{"op", "algorithm", "N", "M (bytes)", "scout", "data", "ctrl", "formula (s+d+c)"},
 	}
 	log2 := func(k int) int {
 		l := 0
@@ -385,47 +403,59 @@ func figA3(o Options) (Renderable, error) {
 		return l
 	}
 	for _, n := range []int{2, 4, 7, 9} {
+		k := largestPow2(n)
 		for _, msg := range []int{0, 1000, 5000} {
-			mc, err := measureFrames(n, msg, McastBinary, OpBcast)
-			if err != nil {
-				return nil, err
+			mf := trace.FramesForMessage(msg, frag)   // ceil(M/T)
+			ff := trace.FramesForMessage(n*msg, frag) // ceil(N·M/T)
+			rows := []struct {
+				op      Op
+				alg     Algorithm
+				formula string
+			}{
+				{OpBcast, McastBinary, fmt.Sprintf("%d+%d+0", n-1, mf)},
+				{OpBcast, MPICH, fmt.Sprintf("0+%d+0", mf*(n-1))},
+				{OpBarrier, McastBinary, fmt.Sprintf("%d+0+1", n-1)},
+				{OpBarrier, MPICH, fmt.Sprintf("0+0+%d", 2*(n-k)+k*log2(k))},
+				{OpAllgather, McastBinary, fmt.Sprintf("%d+%d+0", n*(n-1), n*mf)},
+				{OpAlltoall, McastBinary, fmt.Sprintf("%d+%d+0", n*(n-1), n*ff)},
+				{OpScatter, McastBinary, fmt.Sprintf("%d+%d+0", n-1, ff)},
+				{OpGather, McastBinary, fmt.Sprintf("%d+%d+1", n-1, (n-1)*mf)},
 			}
-			bp, err := measureFrames(n, msg, MPICH, OpBcast)
-			if err != nil {
-				return nil, err
+			for _, r := range rows {
+				if r.op == OpBarrier && msg != 0 {
+					continue // the barrier carries no payload
+				}
+				w, err := measureFrames(n, msg, r.alg, r.op)
+				if err != nil {
+					return nil, fmt.Errorf("a3 %s/%s n=%d M=%d: %w", r.op, r.alg, n, msg, err)
+				}
+				tbl.Rows = append(tbl.Rows, []string{
+					string(r.op), string(r.alg),
+					fmt.Sprintf("%d", n), fmt.Sprintf("%d", msg),
+					fmt.Sprintf("%d", w.Frames(transport.ClassScout)),
+					fmt.Sprintf("%d", w.Frames(transport.ClassData)),
+					fmt.Sprintf("%d", w.Frames(transport.ClassControl)),
+					r.formula,
+				})
 			}
-			bbar, err := measureFrames(n, 0, MPICH, OpBarrier)
-			if err != nil {
-				return nil, err
-			}
-			mbar, err := measureFrames(n, 0, McastBinary, OpBarrier)
-			if err != nil {
-				return nil, err
-			}
-			k := 1
-			for k*2 <= n {
-				k *= 2
-			}
-			dataFrames := trace.FramesForMessage(msg, frag)
-			tbl.Rows = append(tbl.Rows, []string{
-				fmt.Sprintf("%d", n),
-				fmt.Sprintf("%d", msg),
-				fmt.Sprintf("%d", mc.Frames(transport.ClassScout)),
-				fmt.Sprintf("%d", mc.Frames(transport.ClassData)),
-				fmt.Sprintf("%d+%d", n-1, dataFrames),
-				fmt.Sprintf("%d", bp.Frames(transport.ClassData)),
-				fmt.Sprintf("%d", dataFrames*(n-1)),
-				fmt.Sprintf("%d", bbar.Frames(transport.ClassControl)),
-				fmt.Sprintf("%d", 2*(n-k)+k*log2(k)),
-				fmt.Sprintf("%d+%d", mbar.Frames(transport.ClassScout), mbar.Frames(transport.ClassControl)),
-				fmt.Sprintf("%d+1", n-1),
-			})
 		}
 	}
 	return tbl, nil
 }
 
-// measureFrames runs one collective and returns the wire counters.
+// largestPow2 returns the largest power of two <= n (n >= 1).
+func largestPow2(n int) int {
+	k := 1
+	for k*2 <= n {
+		k *= 2
+	}
+	return k
+}
+
+// measureFrames runs one collective through the shared workload
+// dispatcher and returns the wire counters. Routing through
+// workload.Make means an unknown op is an error instead of silently
+// measuring a broadcast.
 func measureFrames(n, msg int, a Algorithm, op Op) (*trace.Counters, error) {
 	algs, err := Set(a)
 	if err != nil {
@@ -433,11 +463,7 @@ func measureFrames(n, msg int, a Algorithm, op Op) (*trace.Counters, error) {
 	}
 	nw, err := cluster.RunSim(n, simnet.Switch, simnet.DefaultProfile(), algs,
 		func(c *mpi.Comm) error {
-			buf := make([]byte, msg)
-			if op == OpBarrier {
-				return c.Barrier()
-			}
-			return c.Bcast(buf, 0)
+			return workload.Make(c, op, msg, 0)()
 		})
 	if err != nil {
 		return nil, err

@@ -32,10 +32,14 @@
 //
 // Beyond the paper's two operations, suite.go composes the scout-gated
 // multicast primitive into a full collective suite — AllgatherMcast,
-// AllreduceMcast, ScatterMcast and GatherMcast — with the frame-count
-// model documented there: the allgather sends N·ceil(M/T) data frames
-// where the unicast ring sends N·(N-1)·ceil(M/T), and the allreduce's
-// broadcast half sends ceil(M/T) frames instead of (N-1)·ceil(M/T).
+// AllreduceMcast, ScatterMcast, GatherMcast and AlltoallMcast — with the
+// frame-count model documented there: the allgather sends N·ceil(M/T)
+// data frames where the unicast ring sends N·(N-1)·ceil(M/T), and the
+// allreduce's broadcast half sends ceil(M/T) frames instead of
+// (N-1)·ceil(M/T). The multi-round collectives run on the shared round
+// engine of rounds.go, sequentially or pipelined (BinaryPipelined), and
+// resilient.go wraps every data multicast in NACK repair for lossy
+// segments.
 package core
 
 import (
@@ -53,20 +57,31 @@ const (
 	Binary Mode = iota
 	// Linear sends all scouts directly to the root (Fig. 4).
 	Linear
+	// BinaryPipelined gathers scouts up the binomial tree and, in the
+	// multi-round collectives (Allgather, Alltoall), overlaps round
+	// r+1's scout gather with round r's data multicast so the scout
+	// latency is hidden behind the data transmission (rounds.go).
+	BinaryPipelined
 )
 
 func (m Mode) String() string {
-	if m == Binary {
+	switch m {
+	case Binary:
 		return "binary"
+	case Linear:
+		return "linear"
+	case BinaryPipelined:
+		return "binary-pipelined"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
 	}
-	return "linear"
 }
 
 // Algorithms returns the multicast collective suite for the given scout
 // mode: Bcast and Barrier as the paper describes them, plus the
-// Allgather, Allreduce, Scatter and Gather compositions of suite.go.
-// The remaining collectives are left nil so callers can Merge a baseline
-// set underneath:
+// Allgather, Allreduce, Scatter, Gather and Alltoall compositions of
+// suite.go. The remaining collectives are left nil so callers can Merge
+// a baseline set underneath:
 //
 //	algs := core.Algorithms(core.Binary).Merge(baseline.Algorithms())
 func Algorithms(mode Mode) mpi.Algorithms {
@@ -78,12 +93,21 @@ func Algorithms(mode Mode) mpi.Algorithms {
 		a.Allreduce = AllreduceMcastLinear
 		a.Scatter = ScatterMcastLinear
 		a.Gather = GatherMcastLinear
+		a.Alltoall = AlltoallMcastLinear
+	case BinaryPipelined:
+		a.Bcast = BcastBinary
+		a.Allgather = AllgatherMcastPipelined
+		a.Allreduce = AllreduceMcast
+		a.Scatter = ScatterMcast
+		a.Gather = GatherMcast
+		a.Alltoall = AlltoallMcastPipelined
 	default:
 		a.Bcast = BcastBinary
 		a.Allgather = AllgatherMcast
 		a.Allreduce = AllreduceMcast
 		a.Scatter = ScatterMcast
 		a.Gather = GatherMcast
+		a.Alltoall = AlltoallMcast
 	}
 	return a
 }
@@ -130,17 +154,10 @@ func gatherScoutsBinary(cc mpi.CollCtx, root int) error {
 	}
 	// Low-bit-first binomial gather over the power-of-two subcube:
 	// odd relative ranks send first (1→0, 3→2), then 2→0, and so on.
-	for bit := 1; bit < k; bit <<= 1 {
-		if rel&bit != 0 {
-			return cc.Send(abs(rel-bit), phaseScout, nil, transport.ClassScout, false)
-		}
-		if rel+bit < k {
-			if _, err := cc.Recv(abs(rel+bit), phaseScout); err != nil {
-				return err
-			}
-		}
-	}
-	return nil // only the root (rel 0) reaches here
+	// The scouts carry no payload — the walk itself is the readiness
+	// proof — so the shared binomial helper runs with absorb nil.
+	_, err := mpi.BinomialToRoot(cc, root, k, phaseScout, transport.ClassScout, false, nil, nil)
+	return err
 }
 
 // gatherScoutsLinear has every non-root rank scout directly to the root

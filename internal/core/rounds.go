@@ -1,0 +1,221 @@
+package core
+
+// The shared round engine: every multi-round collective of the suite —
+// allgather, alltoall, and the single-round scatter — is a sequence of
+// scout-gated multicast rounds over the communicator's one multicast
+// group. Round r has a designated sender; a scout gather toward that
+// sender proves every receiver has entered the round, then the sender
+// multicasts once and every other rank consumes the payload.
+//
+// The engine schedules the rounds two ways:
+//
+//   - Sequential (the paper's composition, PR 1): round r+1's scouts are
+//     not sent until round r's data has been consumed everywhere, so each
+//     round pays the full scout-gather latency before its multicast.
+//
+//   - Pipelined: every rank sends its round-r+1 scout immediately after
+//     consuming round r-1's data — before blocking for round r's data —
+//     so the r+1 scout gather rides the wire and the receivers'
+//     unexpected queues while round r's data multicast is in flight. By
+//     the time sender r+1 has consumed round r's data its scout gather
+//     has already completed, and the per-round critical path shrinks
+//     from (scout gather + multicast) to little more than the multicast.
+//     The gating invariant is unchanged: round r's data is still never
+//     released before every rank has scouted for round r — a lagging
+//     rank delays its scout and therefore every later round — the rounds
+//     are merely overlapped, not unsynchronized.
+//
+// Orthogonally, the data phase of each round runs in one of two
+// reliability classes:
+//
+//   - Scout-only (the paper's model): after the gather, the single
+//     multicast cannot be lost to an unready receiver, and no
+//     acknowledgment traffic exists.
+//
+//   - NACK repair (reference [10]'s receiver-initiated reliability, as
+//     in BcastNack): receivers probe with a timeout, request repairs for
+//     multicasts lost in flight (injected fragment loss, overrun), and
+//     confirm receipt so the sender can retire the round. This is what
+//     makes the Resilient* variants of the suite survive random fragment
+//     loss that the paper's model rules out.
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/transport"
+)
+
+// roundPlan describes one scout-gated multicast round.
+type roundPlan struct {
+	// sender is the communicator rank that multicasts this round.
+	sender int
+	// class marks the multicast's wire class (data or control).
+	class transport.Class
+	// payload is evaluated on the sender when the round's gather has
+	// completed; its result is multicast once.
+	payload func() []byte
+	// consume is called on every non-sender rank with the multicast
+	// payload (after any repair resends).
+	consume func(payload []byte) error
+}
+
+// roundOptions selects the scout scheme, the schedule and the
+// reliability class of a round sequence.
+type roundOptions struct {
+	// gather runs one rank's part of the scout gather toward the round
+	// sender (gatherScoutsBinary or gatherScoutsLinear).
+	gather func(mpi.CollCtx, int) error
+	// pipeline overlaps round r+1's scout gather with round r's data
+	// multicast instead of serializing the rounds.
+	pipeline bool
+	// repair, when non-nil, runs every data phase under the
+	// receiver-initiated NACK protocol so lost fragments are repaired.
+	repair *NackOptions
+}
+
+// runRounds executes the round sequence on c. Every rank must supply the
+// same rounds in the same order; each round opens its own collective
+// operation so sequence numbers keep back-to-back multicasts apart.
+func runRounds(c *mpi.Comm, rounds []roundPlan, opt roundOptions) error {
+	if len(rounds) == 0 {
+		return nil
+	}
+	if !opt.pipeline {
+		for i := range rounds {
+			cc := c.BeginColl()
+			if !cc.CanMulticast() {
+				return mpi.ErrNoMulticast
+			}
+			if err := opt.gather(cc, rounds[i].sender); err != nil {
+				return err
+			}
+			if err := runDataPhase(cc, &rounds[i], opt.repair); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Pipelined schedule. Contexts are opened one round ahead, never all
+	// upfront: BeginColl garbage-collects protocol stragglers with lower
+	// sequence numbers from the unexpected queue, so a context must not
+	// be opened while an earlier round of this collective still has
+	// point-to-point traffic (scouts, acknowledgments) in flight.
+	cc := c.BeginColl()
+	if !cc.CanMulticast() {
+		return mpi.ErrNoMulticast
+	}
+	if err := opt.gather(cc, rounds[0].sender); err != nil {
+		return err
+	}
+	for i := range rounds {
+		next := mpi.CollCtx{}
+		if i+1 < len(rounds) {
+			// Scout for round i+1 before blocking on round i's data:
+			// this send is what overlaps the next gather with the
+			// current multicast.
+			next = c.BeginColl()
+			if err := opt.gather(next, rounds[i+1].sender); err != nil {
+				return err
+			}
+		}
+		if err := runDataPhase(cc, &rounds[i], opt.repair); err != nil {
+			return err
+		}
+		cc = next
+	}
+	return nil
+}
+
+// awaitRepairedMulticast blocks for this operation's multicast under the
+// receiver-initiated repair protocol: probe for the message, NACK the
+// sender on timeout, give up after MaxRepairs requests. The probe backs
+// off exponentially: a fixed timer shorter than a multi-fragment round's
+// legitimate transmission time fires prematurely on every waiting
+// receiver at once, and the repair multicasts it provokes delay the
+// round further — a positive feedback that can overflow receive rings
+// and lose protocol frames. Backing off caps the premature NACKs per
+// round at one per receiver while keeping the first repair prompt.
+// opts must be normalized (positive Probe).
+func awaitRepairedMulticast(cc mpi.CollCtx, sender int, opts NackOptions) (transport.Message, error) {
+	probe := opts.Probe
+	for attempt := 0; ; attempt++ {
+		m, ok, err := cc.RecvMulticastTimeout(probe)
+		if err != nil {
+			return transport.Message{}, err
+		}
+		if ok {
+			return m, nil
+		}
+		if attempt >= opts.MaxRepairs {
+			return transport.Message{}, fmt.Errorf("core: receiver %d gave up waiting for sender %d's multicast after %d repair requests",
+				cc.Comm().Rank(), sender, attempt)
+		}
+		if err := cc.Send(sender, phaseNack, nil, transport.ClassNack, false); err != nil {
+			return transport.Message{}, err
+		}
+		if probe < opts.Probe<<10 {
+			probe *= 2
+		}
+	}
+}
+
+// runDataPhase moves one round's payload from sender to every receiver,
+// optionally under NACK repair. A non-nil repair must be normalized
+// (ResilientAlgorithms does this once at construction).
+func runDataPhase(cc mpi.CollCtx, rd *roundPlan, repair *NackOptions) error {
+	c := cc.Comm()
+	if repair == nil {
+		if c.Rank() == rd.sender {
+			return cc.Multicast(rd.payload(), rd.class)
+		}
+		m, err := cc.RecvMulticast()
+		if err != nil {
+			return err
+		}
+		return rd.consume(m.Payload)
+	}
+
+	if c.Rank() != rd.sender {
+		m, err := awaitRepairedMulticast(cc, rd.sender, *repair)
+		if err != nil {
+			return err
+		}
+		if err := rd.consume(m.Payload); err != nil {
+			return err
+		}
+		// Confirm receipt so the sender can retire the round.
+		return cc.Send(rd.sender, phaseAck, nil, transport.ClassAck, false)
+	}
+	payload := rd.payload()
+	if err := cc.Multicast(payload, rd.class); err != nil {
+		return err
+	}
+	confirmed := make([]bool, c.Size())
+	confirmed[rd.sender] = true
+	remaining := c.Size() - 1
+	for remaining > 0 {
+		m, err := cc.RecvControl()
+		if err != nil {
+			return err
+		}
+		switch m.Class {
+		case transport.ClassNack:
+			// A NACK from a receiver that has since confirmed raced its
+			// own repair; re-multicasting for it would be pure waste.
+			if confirmed[cc.SrcRank(m)] {
+				continue
+			}
+			if err := cc.Multicast(payload, rd.class); err != nil {
+				return err
+			}
+		case transport.ClassAck:
+			if r := cc.SrcRank(m); !confirmed[r] {
+				confirmed[r] = true
+				remaining--
+			}
+		}
+	}
+	return nil
+}

@@ -34,10 +34,23 @@ package core
 //	                 bounds the root's unexpected-message queue and
 //	                 prevents the fast-senders-overrun-one-receiver
 //	                 failure mode of experiment A4.
+//	AlltoallMcast:   N scout-gated scatter rounds; round r multicasts
+//	                 rank r's whole N·M buffer once, each rank keeps its
+//	                 slice = N(N-1) scouts + N·ceil(N·M/T) data frames.
+//	                 Slightly more wire bytes than the pairwise
+//	                 baseline's N(N-1)·ceil(M/T) targeted unicasts, but
+//	                 N transmissions instead of N(N-1) and every round
+//	                 release-gated — the many-to-many overrun protection
+//	                 of A4 extended to the heaviest traffic pattern.
 //
 // Each round opens its own collective operation (BeginColl), so the
 // per-operation sequence number keeps back-to-back multicasts of one
 // collective apart — the same safe-program ordering argument as §4.
+// The rounds themselves run on the shared engine in rounds.go, either
+// serialized (the paper's composition) or pipelined (round r+1's scout
+// gather overlapping round r's data multicast), and optionally under
+// the NACK repair protocol (resilient.go) that survives in-flight
+// fragment loss.
 
 import (
 	"fmt"
@@ -46,9 +59,9 @@ import (
 	"repro/internal/transport"
 )
 
-// allgatherWith runs N scout-gated rounds; in round r rank r multicasts
-// its chunk once and every other rank receives it.
-func allgatherWith(c *mpi.Comm, send, recv []byte, gather func(mpi.CollCtx, int) error) error {
+// allgatherWith runs N scout-gated rounds on the round engine; in round
+// r rank r multicasts its chunk once and every other rank receives it.
+func allgatherWith(c *mpi.Comm, send, recv []byte, opt roundOptions) error {
 	size := c.Size()
 	n := len(send)
 	if len(recv) != n*size {
@@ -58,41 +71,96 @@ func allgatherWith(c *mpi.Comm, send, recv []byte, gather func(mpi.CollCtx, int)
 	if size == 1 {
 		return nil
 	}
-	for r := 0; r < size; r++ {
-		cc := c.BeginColl()
-		if !cc.CanMulticast() {
-			return mpi.ErrNoMulticast
+	rounds := make([]roundPlan, size)
+	for r := range rounds {
+		r := r
+		rounds[r] = roundPlan{
+			sender:  r,
+			class:   transport.ClassData,
+			payload: func() []byte { return recv[r*n : (r+1)*n] },
+			consume: func(p []byte) error {
+				if len(p) != n {
+					return fmt.Errorf("core: allgather chunk from %d is %d bytes, want %d", r, len(p), n)
+				}
+				copy(recv[r*n:(r+1)*n], p)
+				return nil
+			},
 		}
-		if err := gather(cc, r); err != nil {
-			return err
-		}
-		if c.Rank() == r {
-			if err := cc.Multicast(recv[r*n:(r+1)*n], transport.ClassData); err != nil {
-				return err
-			}
-			continue
-		}
-		m, err := cc.RecvMulticast()
-		if err != nil {
-			return err
-		}
-		if len(m.Payload) != n {
-			return fmt.Errorf("core: allgather chunk from %d is %d bytes, want %d", r, len(m.Payload), n)
-		}
-		copy(recv[r*n:(r+1)*n], m.Payload)
 	}
-	return nil
+	return runRounds(c, rounds, opt)
 }
 
 // AllgatherMcast gathers every rank's equal-sized chunk to every rank in
 // N scout-gated multicast rounds (binary scout gather).
 func AllgatherMcast(c *mpi.Comm, send, recv []byte) error {
-	return allgatherWith(c, send, recv, gatherScoutsBinary)
+	return allgatherWith(c, send, recv, roundOptions{gather: gatherScoutsBinary})
 }
 
 // AllgatherMcastLinear is AllgatherMcast with linear scout gathering.
 func AllgatherMcastLinear(c *mpi.Comm, send, recv []byte) error {
-	return allgatherWith(c, send, recv, gatherScoutsLinear)
+	return allgatherWith(c, send, recv, roundOptions{gather: gatherScoutsLinear})
+}
+
+// AllgatherMcastPipelined is AllgatherMcast with the rounds pipelined:
+// round r+1's binary scout gather overlaps round r's data multicast, so
+// each round's critical path is little more than the data transmission.
+func AllgatherMcastPipelined(c *mpi.Comm, send, recv []byte) error {
+	return allgatherWith(c, send, recv, roundOptions{gather: gatherScoutsBinary, pipeline: true})
+}
+
+// alltoallWith runs the personalized exchange as N scout-gated scatter
+// rounds: in round r rank r multicasts its whole N·M send buffer once
+// and every other rank keeps the slice addressed to it. The wire carries
+// N·ceil(N·M/T) data frames — slightly more bytes than the N(N-1)
+// targeted unicasts of the pairwise baseline — but only N transmissions
+// and N per-rank receives, and every round is release-gated, so no set
+// of fast senders can overrun one receiver (the A4 failure mode this
+// collective stresses hardest).
+func alltoallWith(c *mpi.Comm, send, recv []byte, opt roundOptions) error {
+	size := c.Size()
+	if len(send)%size != 0 || len(recv) != len(send) {
+		return fmt.Errorf("core: alltoall buffers %d/%d bytes for %d ranks", len(send), len(recv), size)
+	}
+	n := len(send) / size
+	me := c.Rank()
+	copy(recv[me*n:(me+1)*n], send[me*n:(me+1)*n])
+	if size == 1 {
+		return nil
+	}
+	rounds := make([]roundPlan, size)
+	for r := range rounds {
+		r := r
+		rounds[r] = roundPlan{
+			sender:  r,
+			class:   transport.ClassData,
+			payload: func() []byte { return send },
+			consume: func(p []byte) error {
+				if len(p) != n*size {
+					return fmt.Errorf("core: alltoall round %d message %d bytes, want %d", r, len(p), n*size)
+				}
+				copy(recv[r*n:(r+1)*n], p[me*n:(me+1)*n])
+				return nil
+			},
+		}
+	}
+	return runRounds(c, rounds, opt)
+}
+
+// AlltoallMcast exchanges personalized chunks between all ranks in N
+// scout-gated scatter rounds (binary scout gather).
+func AlltoallMcast(c *mpi.Comm, send, recv []byte) error {
+	return alltoallWith(c, send, recv, roundOptions{gather: gatherScoutsBinary})
+}
+
+// AlltoallMcastLinear is AlltoallMcast with linear scout gathering.
+func AlltoallMcastLinear(c *mpi.Comm, send, recv []byte) error {
+	return alltoallWith(c, send, recv, roundOptions{gather: gatherScoutsLinear})
+}
+
+// AlltoallMcastPipelined is AlltoallMcast with round r+1's scout gather
+// overlapped with round r's data multicast.
+func AlltoallMcastPipelined(c *mpi.Comm, send, recv []byte) error {
+	return alltoallWith(c, send, recv, roundOptions{gather: gatherScoutsBinary, pipeline: true})
 }
 
 // reduceToRoot runs a binomial reduction of send to root over the UDP
@@ -101,24 +169,14 @@ func AllgatherMcastLinear(c *mpi.Comm, send, recv []byte) error {
 // in bcast.go, which pairs it with the scout-synchronized broadcast.
 func reduceToRoot(c *mpi.Comm, send, recv []byte, dt mpi.Datatype, op mpi.Op, root int) error {
 	cc := c.BeginColl()
-	size := c.Size()
-	rel := (c.Rank() - root + size) % size
 	acc := append([]byte(nil), send...)
-	for mask := 1; mask < size; mask <<= 1 {
-		if rel&mask != 0 {
-			return cc.Send((rel-mask+root)%size, phaseChunk, acc, transport.ClassData, false)
-		}
-		if peer := rel + mask; peer < size {
-			m, err := cc.Recv((peer+root)%size, phaseChunk)
-			if err != nil {
-				return err
-			}
-			if err := mpi.ReduceBytes(op, dt, acc, m.Payload); err != nil {
-				return err
-			}
-		}
+	atRoot, err := mpi.BinomialToRoot(cc, root, c.Size(), phaseChunk, transport.ClassData, false, acc,
+		func(_ int, payload []byte) error {
+			return mpi.ReduceBytes(op, dt, acc, payload)
+		})
+	if err != nil || !atRoot {
+		return err
 	}
-	// Only the root (rel 0) reaches here: every other rank sent and returned.
 	copy(recv, acc)
 	return nil
 }
@@ -140,7 +198,9 @@ func AllreduceMcastLinear(c *mpi.Comm, send, recv []byte, dt mpi.Datatype, op mp
 	return allreduceLinear(c, send, recv, dt, op)
 }
 
-func scatterWith(c *mpi.Comm, send, recv []byte, root int, gather func(mpi.CollCtx, int) error) error {
+// scatterWith is a single round of the engine: the root multicasts its
+// whole buffer once and each rank keeps its own slice.
+func scatterWith(c *mpi.Comm, send, recv []byte, root int, opt roundOptions) error {
 	size := c.Size()
 	n := len(recv)
 	if c.Rank() == root && len(send) != n*size {
@@ -150,40 +210,37 @@ func scatterWith(c *mpi.Comm, send, recv []byte, root int, gather func(mpi.CollC
 		copy(recv, send)
 		return nil
 	}
-	cc := c.BeginColl()
-	if !cc.CanMulticast() {
-		return mpi.ErrNoMulticast
+	me := c.Rank()
+	round := roundPlan{
+		sender:  root,
+		class:   transport.ClassData,
+		payload: func() []byte { return send },
+		consume: func(p []byte) error {
+			if len(p) != n*size {
+				return fmt.Errorf("core: scatter message %d bytes, want %d", len(p), n*size)
+			}
+			copy(recv, p[me*n:(me+1)*n])
+			return nil
+		},
 	}
-	if err := gather(cc, root); err != nil {
+	if err := runRounds(c, []roundPlan{round}, opt); err != nil {
 		return err
 	}
-	if c.Rank() == root {
-		if err := cc.Multicast(send, transport.ClassData); err != nil {
-			return err
-		}
+	if me == root {
 		copy(recv, send[root*n:(root+1)*n])
-		return nil
 	}
-	m, err := cc.RecvMulticast()
-	if err != nil {
-		return err
-	}
-	if len(m.Payload) != n*size {
-		return fmt.Errorf("core: scatter message %d bytes, want %d", len(m.Payload), n*size)
-	}
-	copy(recv, m.Payload[c.Rank()*n:(c.Rank()+1)*n])
 	return nil
 }
 
 // ScatterMcast distributes root's buffer with one scout-gated multicast
 // of the whole buffer; each rank keeps its own slice (binary scouts).
 func ScatterMcast(c *mpi.Comm, send, recv []byte, root int) error {
-	return scatterWith(c, send, recv, root, gatherScoutsBinary)
+	return scatterWith(c, send, recv, root, roundOptions{gather: gatherScoutsBinary})
 }
 
 // ScatterMcastLinear is ScatterMcast with linear scout gathering.
 func ScatterMcastLinear(c *mpi.Comm, send, recv []byte, root int) error {
-	return scatterWith(c, send, recv, root, gatherScoutsLinear)
+	return scatterWith(c, send, recv, root, roundOptions{gather: gatherScoutsLinear})
 }
 
 func gatherWith(c *mpi.Comm, send, recv []byte, root int, gather func(mpi.CollCtx, int) error) error {

@@ -1,0 +1,54 @@
+package mpi
+
+import "repro/internal/transport"
+
+// BinomialToRoot runs one rank's part of a low-bit-first binomial
+// combining tree toward root: in pass b (bit value 2^b), ranks whose
+// relative position has that bit set send their accumulator to the
+// partner below and leave the tree; the partner receives and absorbs.
+// After log2(span) passes only the root remains, holding the combined
+// result, and the call reports atRoot=true there (every other rank has
+// sent and returned with atRoot=false).
+//
+// The same walk underlies three protocols that differ only in payload
+// and wire marking, which is why it is parameterized on (phase, class,
+// reliable) instead of copied:
+//
+//   - the MPICH binomial reduction (baseline.Reduce): data payloads over
+//     the reliable TCP-like path;
+//   - the multicast allreduce's reduce half (core): data payloads over
+//     the UDP bypass;
+//   - the binary scout gather of the paper's Fig. 3 (core): empty scout
+//     frames over the UDP bypass, with absorb nil — receiving the
+//     child's frame is itself the information.
+//
+// span bounds the tree: only ranks whose relative position (w.r.t. root,
+// modulo the communicator size) is below span take part, so the scout
+// gather can run the walk over the largest power-of-two subcube after
+// folding in the remainder. Callers with rel >= span must not call.
+//
+// acc is the payload sent to the parent; absorb, when non-nil, is called
+// with each child's source rank and payload (typically combining into
+// acc before the parent send happens).
+func BinomialToRoot(cc CollCtx, root, span, phase int, class transport.Class, reliable bool, acc []byte, absorb func(src int, payload []byte) error) (atRoot bool, err error) {
+	c := cc.Comm()
+	size := c.Size()
+	rel := (c.Rank() - root + size) % size
+	for mask := 1; mask < span; mask <<= 1 {
+		if rel&mask != 0 {
+			return false, cc.Send((rel-mask+root)%size, phase, acc, class, reliable)
+		}
+		if peer := rel + mask; peer < span {
+			m, err := cc.Recv((peer+root)%size, phase)
+			if err != nil {
+				return false, err
+			}
+			if absorb != nil {
+				if err := absorb(cc.SrcRank(m), m.Payload); err != nil {
+					return false, err
+				}
+			}
+		}
+	}
+	return true, nil
+}

@@ -27,7 +27,16 @@ const (
 	OpScatter Op = "scatter"
 	// OpGather measures MPI_Gather of size bytes per rank to the root.
 	OpGather Op = "gather"
+	// OpAlltoall measures MPI_Alltoall with size bytes per rank pair.
+	OpAlltoall Op = "alltoall"
 )
+
+// Ops lists every measurable operation; harness surfaces iterate it so a
+// newly registered collective cannot be forgotten by a smoke test, and
+// the bench dispatcher validates against it.
+func Ops() []Op {
+	return []Op{OpBcast, OpBarrier, OpAllgather, OpAllreduce, OpScatter, OpGather, OpAlltoall}
+}
 
 // Make binds op to per-rank buffers on c; size is the per-rank chunk in
 // bytes for the rooted and all-to-all collectives. An unknown op yields
@@ -62,6 +71,10 @@ func Make(c *mpi.Comm, op Op, size, root int) func() error {
 			recv = make([]byte, size*c.Size())
 		}
 		return func() error { return c.Gather(send, recv, root) }
+	case OpAlltoall:
+		send := make([]byte, size*c.Size())
+		recv := make([]byte, size*c.Size())
+		return func() error { return c.Alltoall(send, recv) }
 	default:
 		return func() error { return fmt.Errorf("workload: unknown op %q", op) }
 	}

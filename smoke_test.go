@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/simnet"
+	"repro/internal/workload"
 )
 
 // TestScenarioSmoke runs a minimal bench.Run for every protocol the
@@ -18,7 +19,8 @@ import (
 func TestScenarioSmoke(t *testing.T) {
 	algs := []bench.Algorithm{
 		bench.MPICH, bench.McastBinary, bench.McastLinear,
-		bench.McastAck, bench.McastNack, bench.Sequencer,
+		bench.McastPipelined, bench.McastAck, bench.McastNack,
+		bench.Sequencer,
 	}
 	for _, alg := range algs {
 		alg := alg
@@ -38,15 +40,13 @@ func TestScenarioSmoke(t *testing.T) {
 	}
 }
 
-// TestCollectiveScenarioSmoke covers every measurable collective op with
-// the multicast suite and the baseline.
+// TestCollectiveScenarioSmoke covers every registered collective op with
+// the multicast suites and the baseline. Iterating workload.Ops() means
+// a newly registered collective fails this smoke until it dispatches
+// cleanly — a registered op that panics or errors fails the bench smoke.
 func TestCollectiveScenarioSmoke(t *testing.T) {
-	ops := []bench.Op{
-		bench.OpBcast, bench.OpBarrier, bench.OpAllgather,
-		bench.OpAllreduce, bench.OpScatter, bench.OpGather,
-	}
-	for _, alg := range []bench.Algorithm{bench.MPICH, bench.McastBinary} {
-		for _, op := range ops {
+	for _, alg := range []bench.Algorithm{bench.MPICH, bench.McastBinary, bench.McastPipelined} {
+		for _, op := range workload.Ops() {
 			alg, op := alg, op
 			t.Run(fmt.Sprintf("%s/%s", alg, op), func(t *testing.T) {
 				sc := bench.DefaultScenario()
@@ -68,10 +68,28 @@ func TestCollectiveScenarioSmoke(t *testing.T) {
 	}
 }
 
-// TestExtensionFigureRenders builds the new Allgather/Allreduce
-// comparison figures at a micro grid and checks they render and export.
+// TestUnknownOpFailsLoudly: a typo'd scenario op must be an error from
+// the measurement pipeline, not a silently measured broadcast.
+func TestUnknownOpFailsLoudly(t *testing.T) {
+	sc := bench.DefaultScenario()
+	sc.Op = "bcst"
+	sc.Reps = 2
+	if _, err := bench.Run(sc); err == nil {
+		t.Fatal("unknown op measured something instead of failing")
+	}
+}
+
+// TestExtensionFigureRenders builds the extension comparison figures
+// (allgather, allreduce, alltoall, pipelined-vs-sequential) at a micro
+// grid and checks they render and export.
 func TestExtensionFigureRenders(t *testing.T) {
-	for _, id := range []string{"14", "15"} {
+	want := map[string][]string{
+		"14": {"mcast-binary", "mpich"},
+		"15": {"mcast-binary", "mpich"},
+		"16": {"mcast-binary", "mcast-pipelined", "mpich"},
+		"17": {"mcast-binary", "mcast-pipelined"},
+	}
+	for _, id := range []string{"14", "15", "16", "17"} {
 		d, ok := bench.Lookup(id)
 		if !ok {
 			t.Fatalf("figure %s not registered", id)
@@ -81,8 +99,10 @@ func TestExtensionFigureRenders(t *testing.T) {
 			t.Fatal(err)
 		}
 		out := r.Render()
-		if !strings.Contains(out, "mcast-binary") || !strings.Contains(out, "mpich") {
-			t.Fatalf("figure %s render missing series:\n%s", id, out)
+		for _, series := range want[id] {
+			if !strings.Contains(out, series) {
+				t.Fatalf("figure %s render missing series %q:\n%s", id, series, out)
+			}
 		}
 		if lines := strings.Split(r.CSV(), "\n"); len(lines) < 5 {
 			t.Fatalf("figure %s csv too short", id)
