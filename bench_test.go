@@ -212,6 +212,39 @@ func BenchmarkExtAlltoallHub8(b *testing.B) {
 	}
 }
 
+// BenchmarkExtAllreduceChunkedSwitch8 compares the chunked allreduce
+// (per-slice binomial reduce-scatter + pipelined multicast allgather,
+// fig 19's points) against the binomial-reduce composition at 8
+// processes over the switch, where the rank-0 funnel of the binomial
+// variant serializes on one port.
+func BenchmarkExtAllreduceChunkedSwitch8(b *testing.B) {
+	for _, alg := range []bench.Algorithm{bench.McastBinary, bench.McastChunked} {
+		for _, size := range []int{248, 1504, 8000} {
+			b.Run(fmt.Sprintf("%s/size=%d", alg, size), func(b *testing.B) {
+				sc := bcastScenario(8, simnet.Switch, alg, size)
+				sc.Op = bench.OpAllreduce
+				simBench(b, sc)
+			})
+		}
+	}
+}
+
+// BenchmarkExtAlltoallSlicedHub8 measures the slice-filtering win on the
+// heaviest pattern (fig 18's latency companion): the sliced rounds
+// against the whole-buffer rounds and the pairwise baseline at 8
+// processes over the shared hub.
+func BenchmarkExtAlltoallSlicedHub8(b *testing.B) {
+	for _, alg := range []bench.Algorithm{bench.MPICH, bench.McastBinary, bench.McastWhole} {
+		for _, size := range []int{1500, 4000} {
+			b.Run(fmt.Sprintf("%s/chunk=%d", alg, size), func(b *testing.B) {
+				sc := bcastScenario(8, simnet.Hub, alg, size)
+				sc.Op = bench.OpAlltoall
+				simBench(b, sc)
+			})
+		}
+	}
+}
+
 // BenchmarkExtAllgatherPipelinedSwitch8 measures what the pipelined
 // round schedule buys over the sequential one (Fig. 17's points) at 8
 // processes over the switch, where the uplink serialization makes scout

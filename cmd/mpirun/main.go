@@ -9,10 +9,15 @@
 //	mpirun -n 8 -workload bcast -algorithm mcast-binary -size 4000
 //	mpirun -n 4 -workload barrier -algorithm mpich
 //	mpirun -n 8 -workload allgather -algorithm mcast-binary -size 1500
-//	mpirun -n 8 -workload allreduce -algorithm mcast-linear -size 4000
+//	mpirun -n 8 -workload allreduce -algorithm mcast-chunked -size 8000
 //	mpirun -n 8 -workload alltoall -algorithm mcast-pipelined -size 1500
+//	mpirun -n 8 -workload scatter -algorithm mcast-resilient -size 4000
 //	mpirun -n 6 -workload pi
 //	mpirun -probe      # check whether IP multicast works here
+//
+// The workload and algorithm lists come from the registries in
+// internal/workload and internal/bench, so every registered op and
+// collective set is runnable over real UDP/IP multicast.
 package main
 
 import (
@@ -21,19 +26,38 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strings"
 
-	"repro/internal/baseline"
-	"repro/internal/core"
+	"repro/internal/bench"
 	"repro/internal/mpi"
 	"repro/internal/udpnet"
 	"repro/internal/workload"
 )
 
+// workloadNames lists every registered measurable op plus the demo apps.
+func workloadNames() string {
+	var names []string
+	for _, op := range workload.Ops() {
+		names = append(names, string(op))
+	}
+	names = append(names, "pi")
+	return strings.Join(names, " | ")
+}
+
+// algorithmNames lists every registered collective algorithm set.
+func algorithmNames() string {
+	var names []string
+	for _, a := range bench.Algorithms() {
+		names = append(names, string(a))
+	}
+	return strings.Join(names, " | ")
+}
+
 func main() {
 	var (
 		n     = flag.Int("n", 4, "number of ranks")
-		work  = flag.String("workload", "bcast", "bcast | barrier | allgather | allreduce | scatter | gather | alltoall | pi")
-		alg   = flag.String("algorithm", "mcast-binary", "mpich | mcast-binary | mcast-linear | mcast-pipelined | sequencer")
+		work  = flag.String("workload", "bcast", workloadNames())
+		alg   = flag.String("algorithm", "mcast-binary", algorithmNames())
 		size  = flag.Int("size", 1000, "message size in bytes (per-rank chunk for the rooted and all-to-all collectives)")
 		reps  = flag.Int("reps", 20, "repetitions")
 		port  = flag.Int("mcast-port", 45999, "multicast UDP port")
@@ -50,9 +74,9 @@ func main() {
 		return
 	}
 
-	algs, err := algorithms(*alg)
+	algs, err := bench.Set(bench.Algorithm(*alg))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mpirun: %v\n", err)
+		fmt.Fprintf(os.Stderr, "mpirun: %v (known: %s)\n", err, algorithmNames())
 		os.Exit(2)
 	}
 	if *alg != "mpich" {
@@ -64,13 +88,13 @@ func main() {
 
 	cfg := udpnet.DefaultConfig(*n)
 	cfg.McastPort = *port
-	switch *work {
-	case "bcast", "barrier", "allgather", "allreduce", "scatter", "gather", "alltoall":
-		err = runLatency(cfg, algs, *work, *size, *reps)
-	case "pi":
+	switch {
+	case *work == "pi":
 		err = runPi(cfg, algs)
+	case isRegisteredOp(*work):
+		err = runLatency(cfg, algs, *work, *size, *reps)
 	default:
-		fmt.Fprintf(os.Stderr, "mpirun: unknown workload %q\n", *work)
+		fmt.Fprintf(os.Stderr, "mpirun: unknown workload %q (known: %s)\n", *work, workloadNames())
 		os.Exit(2)
 	}
 	if err != nil {
@@ -79,21 +103,13 @@ func main() {
 	}
 }
 
-func algorithms(name string) (mpi.Algorithms, error) {
-	switch name {
-	case "mpich":
-		return baseline.Algorithms(), nil
-	case "mcast-binary":
-		return core.Algorithms(core.Binary).Merge(baseline.Algorithms()), nil
-	case "mcast-linear":
-		return core.Algorithms(core.Linear).Merge(baseline.Algorithms()), nil
-	case "mcast-pipelined":
-		return core.Algorithms(core.BinaryPipelined).Merge(baseline.Algorithms()), nil
-	case "sequencer":
-		return core.SequencerAlgorithms().Merge(baseline.Algorithms()), nil
-	default:
-		return mpi.Algorithms{}, fmt.Errorf("unknown algorithm %q", name)
+func isRegisteredOp(name string) bool {
+	for _, op := range workload.Ops() {
+		if string(op) == name {
+			return true
+		}
 	}
+	return false
 }
 
 func runLatency(cfg udpnet.Config, algs mpi.Algorithms, work string, size, reps int) error {

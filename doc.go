@@ -6,21 +6,35 @@
 // evaluation, and a real UDP/IP-multicast transport.
 //
 // Beyond the paper's two operations, internal/core composes the
-// scout-gated multicast primitive into a full collective suite:
-// AllgatherMcast runs N scout-gated rounds (N·ceil(M/T) data frames
-// where the unicast ring moves N(N-1)·ceil(M/T)), AllreduceMcast pairs
-// a binomial reduce with the multicast broadcast of the result,
-// ScatterMcast/GatherMcast reuse the scout machinery for rooted
-// distribution and overrun-safe collection, and AlltoallMcast completes
-// the set with N release-gated scatter rounds. The multi-round
-// collectives run on a shared round engine that can pipeline round
-// r+1's scout gather under round r's data multicast
-// (core.BinaryPipelined), and a NACK-repaired resilient variant
-// (core.ResilientAlgorithms) survives in-flight fragment loss. Figures
-// 14-17 (and the BenchmarkExt* benchmarks in bench_test.go) measure the
-// suite against the MPICH baselines; the suite-wide conformance harness
-// in internal/core/coretest cross-validates all seven collectives
-// against a pure oracle, including under injected loss.
+// scout-gated multicast primitive into a full collective suite, operating
+// at fragment granularity: AllgatherMcast runs N scout-gated rounds
+// (N·ceil(M/T) data frames where the unicast ring moves
+// N(N-1)·ceil(M/T)); ScatterMcast and AlltoallMcast address each
+// destination slice to that rank's private multicast group
+// (transport.SliceGroup), so a receiver's NIC delivers exactly the
+// pairwise-unicast byte count while the sends stay on the connectionless
+// bypass (the whole-buffer PR 1/2 forms survive as
+// ScatterMcastWhole/AlltoallMcastWhole); AllreduceMcast pairs a binomial
+// reduce with the multicast broadcast, and AllreduceMcastChunked
+// replaces the rank-0 funnel with per-slice binomial reduce-scatter
+// walks plus a multicast allgather of the reduced slices (≤ ~2M bytes
+// through any rank); GatherMcast reuses the scout machinery for
+// overrun-safe collection. The multi-round collectives run on a shared
+// round engine that can pipeline round r+1's scout gather under round
+// r's data multicast (core.BinaryPipelined) — loss-free under strict
+// posted-receive semantics at every payload size (sub-frame rounds use
+// forwarding-free linear gathers, the previous sender is seated as a
+// direct leaf of tree gathers, sliced senders transmit the next sender's
+// slice last, and sub-frame data is paced by one scout-frame time). The
+// NACK-repaired resilient variant (core.ResilientAlgorithms) survives
+// in-flight fragment loss with selective repair: a NACK carries the
+// receiver's missing-fragment list and the sender retransmits only those
+// fragments under the original message id, so repair cost is O(missing),
+// independent of message size. Figures 14-19 (and the BenchmarkExt*
+// benchmarks in bench_test.go) measure the suite against the MPICH
+// baselines; the suite-wide conformance harness in internal/core/coretest
+// cross-validates all seven collectives against a pure oracle, including
+// under graded injected loss.
 //
 // See README.md for the tour, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.

@@ -42,10 +42,34 @@ const (
 	// McastNack is the receiver-initiated reliable multicast of the
 	// paper's reference [10] (Towsley et al.): receivers request repairs.
 	McastNack Algorithm = "mcast-nack"
+	// McastResilient is the full multicast suite with every data
+	// multicast protected by fragment-granular NACK repair (the NACK
+	// names the missing fragments; the sender retransmits only those).
+	McastResilient Algorithm = "mcast-resilient"
+	// McastChunked is the binary suite with the Rabenseifner-style
+	// chunked allreduce: per-slice binomial reduce-scatter plus the
+	// pipelined multicast allgather of the reduced slices, so no rank
+	// funnels more than ~2M bytes.
+	McastChunked Algorithm = "mcast-chunked"
+	// McastWhole is the binary suite with the pre-slicing whole-buffer
+	// scatter and alltoall (PR 1/2 behaviour): a single multicast of the
+	// full N·M buffer that every receiver absorbs entirely. Kept as the
+	// measured "before" of the slice-filtering comparison (fig 18).
+	McastWhole Algorithm = "mcast-whole"
 	// Unsafe is multicast with no synchronization at all; it loses
 	// messages to slow receivers and exists for the A2 ablation.
 	Unsafe Algorithm = "unsafe"
 )
+
+// Algorithms lists every registered algorithm selection, for usage text
+// and exhaustive smoke tests.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		MPICH, McastBinary, McastLinear, McastPipelined,
+		McastResilient, McastChunked, McastWhole,
+		McastAck, McastNack, Sequencer, Unsafe,
+	}
+}
 
 // Set returns the collective algorithm selection for a.
 func Set(a Algorithm) (mpi.Algorithms, error) {
@@ -67,6 +91,17 @@ func Set(a Algorithm) (mpi.Algorithms, error) {
 	case McastNack:
 		opts := core.NackOptions{Probe: 500_000, MaxRepairs: 64}
 		return core.NackAlgorithms(opts).Merge(baseline.Algorithms()), nil
+	case McastResilient:
+		return core.ResilientAlgorithms(core.DefaultNackOptions()).Merge(baseline.Algorithms()), nil
+	case McastChunked:
+		algs := core.Algorithms(core.Binary)
+		algs.Allreduce = core.AllreduceMcastChunked
+		return algs.Merge(baseline.Algorithms()), nil
+	case McastWhole:
+		algs := core.Algorithms(core.Binary)
+		algs.Scatter = core.ScatterMcastWhole
+		algs.Alltoall = core.AlltoallMcastWhole
+		return algs.Merge(baseline.Algorithms()), nil
 	case Sequencer:
 		return core.SequencerAlgorithms().Merge(baseline.Algorithms()), nil
 	case Unsafe:

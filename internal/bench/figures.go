@@ -107,6 +107,8 @@ func Defs() []Def {
 		{"15", "Extension: MPI_Allreduce multicast composition vs MPICH", fig15},
 		{"16", "Extension: MPI_Alltoall scatter rounds vs pairwise unicast", fig16},
 		{"17", "Extension: pipelined vs sequential allgather rounds over switch", fig17},
+		{"18", "Extension: per-receiver delivered bytes before/after slice filtering", fig18},
+		{"19", "Extension: chunked vs binomial-reduce multicast allreduce", fig19},
 		{"a1", "Ablation: ACK-based (PVM) reliability vs scouts", figA1},
 		{"a2", "Ablation: message loss without synchronization", figA2},
 		{"a3", "Ablation: frame counts vs the paper's formulas", figA3},
@@ -320,9 +322,9 @@ func fig15(o Options) (Renderable, error) {
 
 func fig16(o Options) (Renderable, error) {
 	o = o.fill()
-	return suiteFigure("16", "MPI_Alltoall: scout-gated scatter rounds vs pairwise unicast over Fast Ethernet hub", o, simnet.Hub, OpAlltoall,
-		[]Algorithm{MPICH, McastBinary, McastPipelined},
-		"The pairwise exchange makes N-1 reliable sends and N-1 receives per rank; the scatter rounds replace them with N multicasts of the whole buffer, trading slightly more wire bytes for 1/(N-1) of the per-message host overheads — and every round is release-gated, so fast senders cannot overrun one receiver. Pipelining the rounds hides the scout gathers on top.")
+	return suiteFigure("16", "MPI_Alltoall: sliced scout-gated scatter rounds vs pairwise unicast over Fast Ethernet hub", o, simnet.Hub, OpAlltoall,
+		[]Algorithm{MPICH, McastBinary, McastPipelined, McastWhole},
+		"The sliced rounds address each slice to its receiver's private group, so the wire and every receiver carry exactly the pairwise byte count — without the TCP penalty and kernel-ack frames of the reliable pairwise exchange, and release-gated so fast senders cannot overrun one receiver. The whole-buffer rounds (mcast-whole, PR 2's variant) show the gap the slicing closes: every receiver absorbed all N·M bytes per round. Pipelining hides the scout gathers on top.")
 }
 
 func fig17(o Options) (Renderable, error) {
@@ -330,6 +332,65 @@ func fig17(o Options) (Renderable, error) {
 	return suiteFigure("17", "MPI_Allgather: pipelined vs sequential scout-gated rounds over Fast Ethernet switch", o, simnet.Switch, OpAllgather,
 		[]Algorithm{McastBinary, McastPipelined},
 		"Both move identical frames; the pipelined schedule overlaps round r+1's scout gather with round r's data multicast, so each round's critical path drops from (gather + data) to little more than the data transmission and the gap widens with N.")
+}
+
+// fig18 measures what slice filtering buys at the receivers: the worst
+// per-receiver delivered data bytes of one alltoall, before (whole-buffer
+// rounds) and after (sliced rounds), against the pairwise baseline. This
+// is the counter the fig 16 hub gap came from — the whole-buffer rounds
+// made every receiver absorb N·M bytes per round while the pairwise
+// exchange delivered each receiver only its (N-1)·M.
+func fig18(o Options) (Renderable, error) {
+	o = o.fill()
+	tbl := &Table{
+		ID:          "18",
+		Title:       "MPI_Alltoall: worst per-receiver delivered data bytes, 8 processes over Fast Ethernet hub",
+		Expectation: "The sliced rounds deliver each receiver exactly the pairwise-unicast byte count ((N-1)·M); the whole-buffer rounds deliver N× that. The NIC's multicast filter drops foreign-slice fragments before they cost the receiving host anything.",
+		Header:      []string{"chunk (B)", "mpich (pairwise)", "mcast-whole", "mcast-binary (sliced)", "sliced/pairwise"},
+	}
+	const procs = 8
+	for _, chunk := range []int{500, 1500, 4000} {
+		row := []string{fmt.Sprintf("%d", chunk)}
+		var pairwise, sliced int64
+		for _, a := range []Algorithm{MPICH, McastWhole, McastBinary} {
+			algs, err := Set(a)
+			if err != nil {
+				return nil, err
+			}
+			nw, err := cluster.RunSim(procs, simnet.Hub, simnet.DefaultProfile(), algs,
+				func(c *mpi.Comm) error {
+					send := make([]byte, procs*chunk)
+					recv := make([]byte, procs*chunk)
+					return c.Alltoall(send, recv)
+				})
+			if err != nil {
+				return nil, fmt.Errorf("fig18 %s chunk %d: %w", a, chunk, err)
+			}
+			var worst int64
+			for r := 0; r < procs; r++ {
+				if got := nw.Endpoint(r).Delivered().DataBytes; got > worst {
+					worst = got
+				}
+			}
+			switch a {
+			case MPICH:
+				pairwise = worst
+			case McastBinary:
+				sliced = worst
+			}
+			row = append(row, fmt.Sprintf("%d", worst))
+		}
+		row = append(row, fmt.Sprintf("%.2f", float64(sliced)/float64(pairwise)))
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return tbl, nil
+}
+
+func fig19(o Options) (Renderable, error) {
+	o = o.fill()
+	return suiteFigure("19", "MPI_Allreduce: chunked (per-slice reduce-scatter + multicast allgather) vs binomial reduce + multicast bcast over Fast Ethernet switch", o, simnet.Switch, OpAllreduce,
+		[]Algorithm{McastBinary, McastChunked, MPICH},
+		"What the chunked variant buys on this testbed is the byte funnel, not latency: no rank moves more than ~2M bytes (the binomial composition pushes log2(N)·M through rank 0 — see the per-rank delivered-byte counters), and the reduction work spreads evenly. Latency stays above the binomial composition at every measured size: the per-slice walks multiply the 34 µs per-message host overheads by N(N-1), and the binomial pairs already transmit in parallel on a switch, so its bandwidth term is log2(N)·M against the walks' effectively serialized ~3M. The chunked schedule is the right shape for hosts where bandwidth, not per-message cost, is the ceiling — overlapping the per-slice walks to realize that on this profile is ROADMAP work.")
 }
 
 func figA1(o Options) (Renderable, error) {
@@ -392,7 +453,7 @@ func figA3(o Options) (Renderable, error) {
 		ID:          "a3",
 		Title:       "Wire frame counts vs the §3 formulas, whole suite (T = frame payload, s = scouts, d = data, c = control)",
 		Expectation: "Every measured count matches its formula exactly: the multicast operations pay N-1 scouts per gated multicast and send each payload once; the MPICH baseline repeats the payload per receiver.",
-		Header:      []string{"op", "algorithm", "N", "M (bytes)", "scout", "data", "ctrl", "formula (s+d+c)"},
+		Header:      []string{"op", "algorithm", "N", "M (bytes)", "scout", "data", "ctrl", "formula (s+d+c)", "match"},
 	}
 	log2 := func(k int) int {
 		l := 0
@@ -407,6 +468,21 @@ func figA3(o Options) (Renderable, error) {
 		for _, msg := range []int{0, 1000, 5000} {
 			mf := trace.FramesForMessage(msg, frag)   // ceil(M/T)
 			ff := trace.FramesForMessage(n*msg, frag) // ceil(N·M/T)
+			// Chunked allreduce: per-slice binomial walks ((N-1) sends
+			// of one slice each) plus one multicast allgather round per
+			// non-empty slice, slices front-loaded over the elements.
+			chunkedScout, chunkedData := 0, 0
+			for s := 0; s < n; s++ {
+				sz := msg / n
+				if s < msg%n {
+					sz++
+				}
+				if sz == 0 {
+					continue
+				}
+				chunkedScout += n - 1
+				chunkedData += n * trace.FramesForMessage(sz, frag)
+			}
 			rows := []struct {
 				op      Op
 				alg     Algorithm
@@ -417,8 +493,12 @@ func figA3(o Options) (Renderable, error) {
 				{OpBarrier, McastBinary, fmt.Sprintf("%d+0+1", n-1)},
 				{OpBarrier, MPICH, fmt.Sprintf("0+0+%d", 2*(n-k)+k*log2(k))},
 				{OpAllgather, McastBinary, fmt.Sprintf("%d+%d+0", n*(n-1), n*mf)},
-				{OpAlltoall, McastBinary, fmt.Sprintf("%d+%d+0", n*(n-1), n*ff)},
-				{OpScatter, McastBinary, fmt.Sprintf("%d+%d+0", n-1, ff)},
+				{OpAllreduce, McastBinary, fmt.Sprintf("%d+%d+0", n-1, n*mf)},
+				{OpAllreduce, McastChunked, fmt.Sprintf("%d+%d+0", chunkedScout, chunkedData)},
+				{OpAlltoall, McastBinary, fmt.Sprintf("%d+%d+0", n*(n-1), n*(n-1)*mf)},
+				{OpAlltoall, McastWhole, fmt.Sprintf("%d+%d+0", n*(n-1), n*ff)},
+				{OpScatter, McastBinary, fmt.Sprintf("%d+%d+0", n-1, (n-1)*mf)},
+				{OpScatter, McastWhole, fmt.Sprintf("%d+%d+0", n-1, ff)},
 				{OpGather, McastBinary, fmt.Sprintf("%d+%d+1", n-1, (n-1)*mf)},
 			}
 			for _, r := range rows {
@@ -429,6 +509,17 @@ func figA3(o Options) (Renderable, error) {
 				if err != nil {
 					return nil, fmt.Errorf("a3 %s/%s n=%d M=%d: %w", r.op, r.alg, n, msg, err)
 				}
+				measured := fmt.Sprintf("%d+%d+%d",
+					w.Frames(transport.ClassScout),
+					w.Frames(transport.ClassData),
+					w.Frames(transport.ClassControl))
+				match := "ok"
+				if measured != r.formula {
+					// The CI bench-smoke job uploads this table as an
+					// artifact and the smoke test greps for MISMATCH, so
+					// a frame-count regression surfaces in every PR.
+					match = "MISMATCH"
+				}
 				tbl.Rows = append(tbl.Rows, []string{
 					string(r.op), string(r.alg),
 					fmt.Sprintf("%d", n), fmt.Sprintf("%d", msg),
@@ -436,6 +527,7 @@ func figA3(o Options) (Renderable, error) {
 					fmt.Sprintf("%d", w.Frames(transport.ClassData)),
 					fmt.Sprintf("%d", w.Frames(transport.ClassControl)),
 					r.formula,
+					match,
 				})
 			}
 		}

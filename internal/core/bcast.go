@@ -119,6 +119,8 @@ const (
 	phaseForward = 2 // root-to-sequencer forwarding
 	phaseNack    = 3 // repair requests (NACK protocol)
 	phaseChunk   = 4 // per-rank data chunks (gather/reduce suite)
+	phaseSlice   = 8 // base phase of the per-slice binomial reductions
+	//               (phaseSlice+s carries slice s's walk, s < Size)
 )
 
 // largestPow2 returns the largest power of two <= n (n >= 1).
@@ -135,29 +137,74 @@ func largestPow2(n int) int {
 // once this rank's subtree is known ready; for the root that means the
 // whole communicator is ready.
 func gatherScoutsBinary(cc mpi.CollCtx, root int) error {
+	return gatherScoutsBinaryHot(cc, root, -1)
+}
+
+// gatherScoutsBinaryHot is the binary scout gather with one rank marked
+// hot: a rank whose scout is known to arrive late (the previous round's
+// data sender, in the pipelined round schedule, whose scout rides behind
+// its data multicast). The tree seats the hot rank at relative position
+// 1 — a direct leaf of the root — by transposing it with the rank that
+// would normally sit there, so the late scout is awaited only by the
+// root and releases no intermediate forwarding hop. An intermediate
+// forward released by a late scout is a loss window under strict
+// posted-receive semantics: the forwarding rank's unposted send can
+// coincide with the data multicast the late scout was trailing.
+//
+// The transposition is a pure function of (root, hot), so every rank
+// derives the same tree without communication; hot=-1 (or hot==root)
+// yields the paper's Fig. 3 tree exactly. The fold-in plus
+// low-bit-first loop below mirrors mpi.BinomialToRoot with the seat
+// permutation applied — a change to the walk there must be mirrored
+// here (see the note on BinomialToRoot).
+func gatherScoutsBinaryHot(cc mpi.CollCtx, root, hot int) error {
 	c := cc.Comm()
 	size := c.Size()
-	rel := (c.Rank() - root + size) % size
+	h := -1
+	if hot >= 0 && hot != root {
+		h = (hot - root + size) % size
+	}
+	// perm transposes relative positions h and 1 (an involution, so it
+	// is its own inverse); with no hot rank it is the identity.
+	perm := func(rel int) int {
+		if h > 1 {
+			if rel == h {
+				return 1
+			}
+			if rel == 1 {
+				return h
+			}
+		}
+		return rel
+	}
+	rel := perm((c.Rank() - root + size) % size)
+	rankOf := func(rel int) int { return (perm(rel) + root) % size }
 	k := largestPow2(size)
-
-	abs := func(rel int) int { return (rel + root) % size }
 
 	if rel >= k {
 		// Fold-in: ranks beyond the power-of-two boundary scout first
 		// (4, 5, 6 → 0, 1, 2 in the paper's 7-process example).
-		return cc.Send(abs(rel-k), phaseScout, nil, transport.ClassScout, false)
+		return cc.Send(rankOf(rel-k), phaseScout, nil, transport.ClassScout, false)
 	}
 	if rel+k < size {
-		if _, err := cc.Recv(abs(rel+k), phaseScout); err != nil {
+		if _, err := cc.Recv(rankOf(rel+k), phaseScout); err != nil {
 			return err
 		}
 	}
-	// Low-bit-first binomial gather over the power-of-two subcube:
-	// odd relative ranks send first (1→0, 3→2), then 2→0, and so on.
-	// The scouts carry no payload — the walk itself is the readiness
-	// proof — so the shared binomial helper runs with absorb nil.
-	_, err := mpi.BinomialToRoot(cc, root, k, phaseScout, transport.ClassScout, false, nil, nil)
-	return err
+	// Low-bit-first binomial gather over the power-of-two subcube: odd
+	// relative ranks send first (1→0, 3→2), then 2→0, and so on. The
+	// scouts carry no payload — the walk itself is the readiness proof.
+	for mask := 1; mask < k; mask <<= 1 {
+		if rel&mask != 0 {
+			return cc.Send(rankOf(rel-mask), phaseScout, nil, transport.ClassScout, false)
+		}
+		if peer := rel + mask; peer < k {
+			if _, err := cc.Recv(rankOf(peer), phaseScout); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // gatherScoutsLinear has every non-root rank scout directly to the root
@@ -173,6 +220,17 @@ func gatherScoutsLinear(cc mpi.CollCtx, root int) error {
 		}
 	}
 	return nil
+}
+
+// binaryRoundGather and linearRoundGather adapt the scout gathers to the
+// round engine's signature; the linear gather has no forwarding hops, so
+// a hot rank needs no special seat.
+func binaryRoundGather(cc mpi.CollCtx, root, hot int) error {
+	return gatherScoutsBinaryHot(cc, root, hot)
+}
+
+func linearRoundGather(cc mpi.CollCtx, root, _ int) error {
+	return gatherScoutsLinear(cc, root)
 }
 
 // bcastWith runs a scout-synchronized multicast broadcast.

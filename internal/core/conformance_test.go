@@ -11,6 +11,7 @@ package core_test
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 
 	"repro/internal/baseline"
@@ -35,6 +36,26 @@ var conformanceSets = []struct {
 	{"mcast-linear", core.Algorithms(core.Linear)},
 	{"mcast-pipelined", core.Algorithms(core.BinaryPipelined)},
 	{"mcast-resilient", core.ResilientAlgorithms(core.DefaultNackOptions())},
+	{"mcast-chunked", chunkedAlgorithms()},
+	{"mcast-whole", wholeAlgorithms()},
+}
+
+// chunkedAlgorithms is the binary suite with the Rabenseifner-style
+// chunked allreduce (per-slice binomial reduce-scatter + pipelined
+// multicast allgather of the reduced slices).
+func chunkedAlgorithms() mpi.Algorithms {
+	algs := core.Algorithms(core.Binary)
+	algs.Allreduce = core.AllreduceMcastChunked
+	return algs
+}
+
+// wholeAlgorithms is the binary suite with the pre-slicing whole-buffer
+// scatter and alltoall (every receiver absorbs the full N·M buffer).
+func wholeAlgorithms() mpi.Algorithms {
+	algs := core.Algorithms(core.Binary)
+	algs.Scatter = core.ScatterMcastWhole
+	algs.Alltoall = core.AlltoallMcastWhole
+	return algs
 }
 
 func TestConformanceMem(t *testing.T) {
@@ -77,6 +98,8 @@ func TestConformanceStrictLaggingRank(t *testing.T) {
 	}{
 		{"mcast-binary", core.Algorithms(core.Binary)},
 		{"mcast-linear", core.Algorithms(core.Linear)},
+		{"mcast-pipelined", core.Algorithms(core.BinaryPipelined)},
+		{"mcast-chunked", chunkedAlgorithms()},
 		{"mcast-resilient", core.ResilientAlgorithms(core.NackOptions{Probe: int64(20 * sim.Millisecond), MaxRepairs: 8})},
 	}
 	for _, set := range sets {
@@ -117,13 +140,14 @@ func TestConformanceAlltoallAcceptance(t *testing.T) {
 
 // TestConformanceInjectedLoss drives the acceptance grid through the
 // NACK-repaired resilient suite with deterministic (seeded) fragment
-// loss: every collective must still match the oracle on every rank. The
-// injected rate is graded by round size because the repair is
-// message-level — a re-multicast of an F-fragment round reaches a given
-// receiver intact with probability (1-p)^F, so the rate that stresses a
-// 1-fragment broadcast hard would make a 33-fragment alltoall round
-// unrepairable by whole-message resend (fragment-level repair via
-// transport.Reassembler.Missing is the ROADMAP follow-up).
+// loss: every collective must still match the oracle on every rank.
+// Repair is fragment-granular (the NACK names the missing fragments and
+// the sender retransmits only those, under the original message id), so
+// unlike PR 2's whole-message resend, large multi-fragment rounds
+// survive rates that would have made an intact re-multicast vanishingly
+// unlikely — the graded rates here are kept as the historical stress
+// grid, and TestConformanceGradedLossSweep asserts the repair-cost
+// scaling directly.
 func TestConformanceInjectedLoss(t *testing.T) {
 	grids := []struct {
 		name   string
@@ -175,5 +199,64 @@ func TestAlltoallLossWithoutRepairDeadlocks(t *testing.T) {
 	}
 	if nw.Stats.InjectedLosses == 0 {
 		t.Fatal("expected injected losses")
+	}
+}
+
+// TestConformanceGradedLossSweep is the fragment-granular repair-cost
+// claim, measured through the conformance harness: the resilient suite
+// runs at loss rates p ∈ {0.1%, 1%, 5%} across a fragment-count grid
+// (1, 5 and 17 fragments per chunk), and the extra data frames beyond
+// the loss-free baseline must track the number of injected losses — not
+// the fragment count of the messages being repaired, which is what
+// message-level resend would cost. Each lost fragment should cost O(1)
+// repair frames (the retransmitted fragment, occasionally more when a
+// repair is itself lost or a probe fires early), so the per-loss repair
+// ratio is asserted flat across the grid.
+func TestConformanceGradedLossSweep(t *testing.T) {
+	// The chunk grid spans 1, 5 and 12 fragments per message. It stops
+	// below the switch's 64-frame egress queue for the gather funnel
+	// (N-1 senders converging ceil(M/T) fragments each on the root's
+	// port): switch-queue overflow drops point-to-point frames, which no
+	// NACK protocol covers — the shared-uplink switch-model item on the
+	// ROADMAP.
+	const n = 6
+	algs := core.ResilientAlgorithms(core.NackOptions{Probe: int64(10 * sim.Millisecond), MaxRepairs: 64})
+	for _, chunk := range []int{1400, 7000, 16000} { // 1, 5, 12 fragments
+		chunk := chunk
+		t.Run(fmt.Sprintf("chunk=%d", chunk), func(t *testing.T) {
+			cases := []coretest.Case{{N: n, Chunk: chunk, Root: 0}}
+			baselineProf := simnet.DefaultProfile()
+			base := coretest.Check(t, coretest.SimRunner(simnet.Switch, baselineProf, 0), algs, cases)
+			if base.InjectedLosses != 0 {
+				t.Fatalf("loss-free baseline reported %d losses", base.InjectedLosses)
+			}
+			for _, rate := range []float64{0.001, 0.01, 0.05} {
+				rate := rate
+				t.Run(fmt.Sprintf("p=%g", rate), func(t *testing.T) {
+					prof := simnet.DefaultProfile()
+					prof.LossRate = rate
+					prof.Seed = 11
+					st := coretest.Check(t, coretest.SimRunner(simnet.Switch, prof, 0), algs, cases)
+					extra := st.DataFrames - base.DataFrames
+					if st.InjectedLosses == 0 {
+						if extra != 0 {
+							t.Fatalf("no losses but %d extra data frames", extra)
+						}
+						t.Skipf("rate %g injected no losses on this grid", rate)
+					}
+					// O(missing): each injected loss may cost a handful of
+					// repair frames (the fragment itself, plus occasional
+					// full resends when a repair races a backoff probe), but
+					// never the full fragment count of a large message.
+					perLoss := float64(extra) / float64(st.InjectedLosses)
+					if perLoss > 4.0 {
+						t.Errorf("repair cost %.1f data frames per lost fragment (extra=%d losses=%d) — repair is not fragment-granular",
+							perLoss, extra, st.InjectedLosses)
+					}
+					t.Logf("rate=%g: losses=%d extra data frames=%d (%.2f/loss), nacks=%d",
+						rate, st.InjectedLosses, extra, perLoss, st.NackFrames)
+				})
+			}
+		})
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // Case is one conformance configuration: a world size, a per-rank chunk
@@ -53,17 +54,30 @@ func Grid(sizes, chunks []int) []Case {
 	return out
 }
 
-// Stats aggregates the loss counters a Runner observed.
+// Stats aggregates the loss and wire counters a Runner observed, so
+// loss-sweep tests can relate repair traffic to losses: with
+// fragment-granular repair, extra data frames should track
+// InjectedLosses, not the fragment count of the messages they repair.
 type Stats struct {
 	// McastDropsNotPosted counts strict-mode losses (receiver not ready).
 	McastDropsNotPosted int64
 	// InjectedLosses counts random fragment losses from the loss rate.
 	InjectedLosses int64
+	// DataFrames counts ClassData frames put on the wire (initial
+	// transmissions plus any repairs).
+	DataFrames int64
+	// NackFrames counts repair-request frames.
+	NackFrames int64
+	// AckFrames counts acknowledgment frames.
+	AckFrames int64
 }
 
 func (s *Stats) add(o Stats) {
 	s.McastDropsNotPosted += o.McastDropsNotPosted
 	s.InjectedLosses += o.InjectedLosses
+	s.DataFrames += o.DataFrames
+	s.NackFrames += o.NackFrames
+	s.AckFrames += o.AckFrames
 }
 
 // Runner executes one rank program per rank of an n-way world under the
@@ -98,6 +112,9 @@ func SimRunner(topo simnet.Topology, prof simnet.Profile, lag sim.Duration) Runn
 		if nw != nil {
 			st.McastDropsNotPosted = nw.Stats.McastDropsNotPosted
 			st.InjectedLosses = nw.Stats.InjectedLosses
+			st.DataFrames = nw.Wire.Frames(transport.ClassData)
+			st.NackFrames = nw.Wire.Frames(transport.ClassNack)
+			st.AckFrames = nw.Wire.Frames(transport.ClassAck)
 		}
 		return st, err
 	}

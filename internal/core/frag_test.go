@@ -1,0 +1,176 @@
+package core_test
+
+// Tests for the fragment-granular refactor: selective NACK repair
+// (repair traffic scales with what was lost, not with message size),
+// per-slice group addressing (a receiver's NIC delivers only the bytes
+// addressed to it), and the chunked allreduce's per-rank byte ceiling.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+// TestSelectiveRepairOMissing is the acceptance criterion for selective
+// NACK repair: with a single injected fragment loss, the repair costs
+// the same number of data frames whether the message had 1 fragment or
+// 64 — O(missing), not O(F). PR 2's message-level resend would have cost
+// 64 frames for the large message (and usually failed to land intact).
+func TestSelectiveRepairOMissing(t *testing.T) {
+	const n = 4
+	frag := simnet.MaxFragPayload
+	repairFrames := func(t *testing.T, msgBytes, dropIndex int) int64 {
+		t.Helper()
+		prof := simnet.DefaultProfile()
+		dropped := false
+		prof.DropFrag = func(dst int, f transport.Fragment) bool {
+			if !dropped && dst == 3 && f.Msg.Class == transport.ClassData && int(f.Index) == dropIndex {
+				dropped = true
+				return true
+			}
+			return false
+		}
+		algs := core.ResilientAlgorithms(core.NackOptions{Probe: 2_000_000, MaxRepairs: 16})
+		nw, err := cluster.RunSim(n, simnet.Switch, prof, algs, func(c *mpi.Comm) error {
+			buf := make([]byte, msgBytes)
+			return c.Bcast(buf, 0)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nw.Stats.InjectedLosses != 1 {
+			t.Fatalf("injected %d losses, want exactly 1", nw.Stats.InjectedLosses)
+		}
+		initial := int64((msgBytes + frag - 1) / frag)
+		if msgBytes == 0 {
+			initial = 1
+		}
+		return nw.Wire.Frames(transport.ClassData) - initial
+	}
+
+	small := repairFrames(t, 1000, 0)     // 1 fragment, lose it entirely
+	large := repairFrames(t, 64*frag, 37) // 64 fragments, lose one
+	if small != large {
+		t.Errorf("repair frames differ: %d for a 1-fragment message, %d for a 64-fragment message — repair is O(F), not O(missing)", small, large)
+	}
+	if large != 1 {
+		t.Errorf("single lost fragment of a 64-fragment message cost %d repair frames, want 1", large)
+	}
+}
+
+// TestSliceFilteringDeliveredBytes is the slice-addressing acceptance
+// criterion: per-receiver delivered bytes for the sliced ScatterMcast
+// and AlltoallMcast stay within 1.1× of the pairwise-unicast byte count
+// ((N-1)·M for alltoall, M for scatter), because fragments of foreign
+// slices are dropped by the NIC's multicast filter instead of being
+// delivered. The whole-buffer variants document the before: every
+// receiver absorbs the full N·M buffer per transmission.
+func TestSliceFilteringDeliveredBytes(t *testing.T) {
+	const n, chunk = 8, 2000
+	run := func(t *testing.T, algs mpi.Algorithms, op string) *simnet.Network {
+		t.Helper()
+		nw, err := cluster.RunSim(n, simnet.Hub, simnet.DefaultProfile(), algs,
+			func(c *mpi.Comm) error {
+				if op == "scatter" {
+					var send []byte
+					if c.Rank() == 0 {
+						send = make([]byte, n*chunk)
+					}
+					return c.Scatter(send, make([]byte, chunk), 0)
+				}
+				send := make([]byte, n*chunk)
+				recv := make([]byte, n*chunk)
+				return c.Alltoall(send, recv)
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nw
+	}
+
+	t.Run("alltoall-sliced", func(t *testing.T) {
+		nw := run(t, core.Algorithms(core.Binary), "alltoall")
+		want := int64((n - 1) * chunk)
+		for r := 0; r < n; r++ {
+			got := nw.Endpoint(r).Delivered().DataBytes
+			if float64(got) > 1.1*float64(want) {
+				t.Errorf("rank %d delivered %d data bytes, want ≤ 1.1× unicast count %d", r, got, want)
+			}
+		}
+	})
+	t.Run("scatter-sliced", func(t *testing.T) {
+		nw := run(t, core.Algorithms(core.Binary), "scatter")
+		for r := 1; r < n; r++ {
+			got := nw.Endpoint(r).Delivered().DataBytes
+			if float64(got) > 1.1*float64(chunk) {
+				t.Errorf("rank %d delivered %d data bytes, want ≤ 1.1× unicast count %d", r, got, chunk)
+			}
+		}
+	})
+	t.Run("alltoall-whole-before", func(t *testing.T) {
+		algs := core.Algorithms(core.Binary)
+		algs.Alltoall = core.AlltoallMcastWhole
+		nw := run(t, algs, "alltoall")
+		// Every receiver absorbs (N-1) whole N·M buffers — the gap the
+		// slicing closes, kept measurable for the before/after figure.
+		want := int64((n - 1) * n * chunk)
+		got := nw.Endpoint(1).Delivered().DataBytes
+		if got != want {
+			t.Errorf("whole-buffer alltoall delivered %d data bytes per receiver, want N(N-1)M = %d", got, want)
+		}
+	})
+}
+
+// TestChunkedAllreduceByteFunnel is the chunked-allreduce acceptance
+// criterion: the per-slice binomial reduce-scatter plus multicast
+// allgather moves at most ~2M bytes through any single rank ((N-1)M/N
+// received on each half), while the binomial-reduce composition funnels
+// log2(N)·M into rank 0 on the reduce half alone.
+func TestChunkedAllreduceByteFunnel(t *testing.T) {
+	const n = 8
+	const m = 8192
+	run := func(t *testing.T, algs mpi.Algorithms) *simnet.Network {
+		t.Helper()
+		nw, err := cluster.RunSim(n, simnet.Switch, simnet.DefaultProfile(), algs,
+			func(c *mpi.Comm) error {
+				send := make([]byte, m)
+				recv := make([]byte, m)
+				return c.Allreduce(send, recv, mpi.Byte, mpi.OpMax)
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nw
+	}
+	maxDelivered := func(nw *simnet.Network) (worst int64, at int) {
+		for r := 0; r < n; r++ {
+			if got := nw.Endpoint(r).Delivered().DataBytes; got > worst {
+				worst, at = got, r
+			}
+		}
+		return worst, at
+	}
+
+	chunkedAlgs := core.Algorithms(core.Binary)
+	chunkedAlgs.Allreduce = core.AllreduceMcastChunked
+	chunkedMax, chunkedAt := maxDelivered(run(t, chunkedAlgs))
+	binomialMax, binomialAt := maxDelivered(run(t, core.Algorithms(core.Binary)))
+
+	// Chunked: each rank receives (N-1)M/N on the reduce-scatter and
+	// (N-1)M/N on the allgather — under 2M with room for rounding.
+	if float64(chunkedMax) > 2.0*m {
+		t.Errorf("chunked allreduce funnels %d bytes through rank %d, want ≤ 2M = %d", chunkedMax, chunkedAt, 2*m)
+	}
+	// Binomial: rank 0 receives log2(N)·M = 3M on the reduce half.
+	if float64(binomialMax) < 2.5*m {
+		t.Errorf("binomial allreduce max per-rank bytes %d at rank %d — expected the ≥ log2(N)·M funnel this test contrasts against", binomialMax, binomialAt)
+	}
+	t.Logf("per-rank byte funnel: chunked max %d (rank %d) vs binomial max %d (rank %d), M=%d",
+		chunkedMax, chunkedAt, binomialMax, binomialAt, m)
+	_ = fmt.Sprint()
+}

@@ -68,34 +68,64 @@ func TestPipelinedStrictLaggingRankNeverLoses(t *testing.T) {
 	}
 }
 
-// TestPipelinedStrictSubFrameEnvelope pins the physical envelope of the
-// overlap: scout latency can only hide behind a data transmission at
-// least as long as the receivers' scout-forwarding work. Below roughly
-// one full Ethernet frame per round the multicast can land inside a
-// receiver's forwarding window, and strict posted-receive semantics then
-// lose it — which is why the strict-mode conformance runs the pipelined
-// schedule only at full-frame sizes, and why the sequential schedule
-// (whose scouts are sent immediately before blocking on the same
-// round's data) remains the default. If a future engine closes this
-// window, delete this test and widen the strict conformance grid.
-func TestPipelinedStrictSubFrameEnvelope(t *testing.T) {
-	prof := simnet.DefaultProfile()
-	prof.StrictPosted = true
-	nw, err := cluster.RunSim(8, simnet.Switch, prof,
-		core.Algorithms(core.BinaryPipelined), func(c *mpi.Comm) error {
-			if c.Rank() == 4 {
-				cluster.SimComm(c).Proc().Sleep(2 * sim.Millisecond)
+// TestPipelinedStrictAllSizes is the generalization of PR 2's sub-frame
+// envelope test, which pinned a loss window below one Ethernet frame per
+// round: a sub-frame multicast — a single fragment arriving at one
+// instant — could land inside a receiver's unposted scout-forwarding
+// send for the overlapped next-round gather. The engine now closes that
+// window structurally (linear gathers for overlapped sub-frame rounds,
+// the previous sender seated as a direct leaf of tree gathers, the next
+// sender's slice transmitted last in sliced rounds, and a scout-frame of
+// sender pacing), so the pipelined schedule must be loss-free under
+// strict posted-receive semantics at EVERY payload size, with a lagging
+// rank, for both the whole-buffer (allgather) and sliced (alltoall)
+// round forms — and must still take at least the lag, proving the data
+// stayed gated.
+func TestPipelinedStrictAllSizes(t *testing.T) {
+	const lag = 2 * sim.Millisecond
+	for _, n := range []int{2, 4, 6, 8} {
+		for _, chunk := range []int{0, 1, 250, 700, 1471, 1500, 4000} {
+			for _, op := range []string{"allgather", "alltoall"} {
+				n, chunk, op := n, chunk, op
+				t.Run(fmt.Sprintf("%s/n=%d/chunk=%d", op, n, chunk), func(t *testing.T) {
+					prof := simnet.DefaultProfile()
+					prof.StrictPosted = true
+					var finish int64
+					nw, err := cluster.RunSim(n, simnet.Switch, prof,
+						core.Algorithms(core.BinaryPipelined), func(c *mpi.Comm) error {
+							if c.Rank() == c.Size()/2 {
+								cluster.SimComm(c).Proc().Sleep(lag)
+							}
+							var err error
+							if op == "alltoall" {
+								send := make([]byte, n*chunk)
+								recv := make([]byte, n*chunk)
+								err = c.Alltoall(send, recv)
+							} else {
+								send := make([]byte, chunk)
+								recv := make([]byte, n*chunk)
+								err = c.Allgather(send, recv)
+							}
+							if err != nil {
+								return err
+							}
+							if c.Now() > finish {
+								finish = c.Now()
+							}
+							return nil
+						})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if nw.Stats.McastDropsNotPosted != 0 {
+						t.Fatalf("pipelined overlap lost %d multicast fragments", nw.Stats.McastDropsNotPosted)
+					}
+					if n > 1 && finish < int64(lag) {
+						t.Fatalf("finished at %d ns, before the laggard's %d ns lag — data was released ungated", finish, lag)
+					}
+				})
 			}
-			send := make([]byte, 1)
-			recv := make([]byte, 8)
-			return c.Allgather(send, recv)
-		})
-	var dl *sim.DeadlockError
-	if !errors.As(err, &dl) {
-		t.Fatalf("expected the sub-frame overlap to lose a fragment and deadlock, got %v", err)
-	}
-	if nw.Stats.McastDropsNotPosted == 0 {
-		t.Fatal("expected unposted multicast drops")
+		}
 	}
 }
 

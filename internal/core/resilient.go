@@ -36,13 +36,13 @@ func ResilientAlgorithms(opts NackOptions) mpi.Algorithms {
 			return barrierResilient(c, rep)
 		},
 		Allgather: func(c *mpi.Comm, send, recv []byte) error {
-			return allgatherWith(c, send, recv, roundOptions{gather: gatherScoutsBinary, repair: rep})
+			return allgatherWith(c, send, recv, roundOptions{gather: binaryRoundGather, repair: rep})
 		},
 		Alltoall: func(c *mpi.Comm, send, recv []byte) error {
-			return alltoallWith(c, send, recv, roundOptions{gather: gatherScoutsBinary, repair: rep})
+			return alltoallWith(c, send, recv, roundOptions{gather: binaryRoundGather, repair: rep})
 		},
 		Scatter: func(c *mpi.Comm, send, recv []byte, root int) error {
-			return scatterWith(c, send, recv, root, roundOptions{gather: gatherScoutsBinary, repair: rep})
+			return scatterWith(c, send, recv, root, roundOptions{gather: binaryRoundGather, repair: rep})
 		},
 		Gather: func(c *mpi.Comm, send, recv []byte, root int) error {
 			return gatherResilient(c, send, recv, root, rep)
@@ -69,6 +69,7 @@ func bcastResilient(c *mpi.Comm, buf []byte, root int, rep *NackOptions) error {
 	round := roundPlan{
 		sender:  root,
 		class:   transport.ClassData,
+		bytes:   len(buf),
 		payload: func() []byte { return buf },
 		consume: func(p []byte) error {
 			if len(p) != len(buf) {
@@ -78,7 +79,7 @@ func bcastResilient(c *mpi.Comm, buf []byte, root int, rep *NackOptions) error {
 			return nil
 		},
 	}
-	return runRounds(c, []roundPlan{round}, roundOptions{gather: gatherScoutsBinary, repair: rep})
+	return runRounds(c, []roundPlan{round}, roundOptions{gather: binaryRoundGather, repair: rep})
 }
 
 // barrierResilient is the multicast barrier with the empty release
@@ -94,7 +95,7 @@ func barrierResilient(c *mpi.Comm, rep *NackOptions) error {
 		payload: func() []byte { return nil },
 		consume: func([]byte) error { return nil },
 	}
-	return runRounds(c, []roundPlan{round}, roundOptions{gather: gatherScoutsBinary, repair: rep})
+	return runRounds(c, []roundPlan{round}, roundOptions{gather: binaryRoundGather, repair: rep})
 }
 
 // gatherResilient is GatherMcast with the release multicast repaired.
@@ -119,7 +120,7 @@ func gatherResilient(c *mpi.Comm, send, recv []byte, root int, rep *NackOptions)
 		return err
 	}
 	if c.Rank() != root {
-		if _, err := awaitRepairedMulticast(cc, root, *rep); err != nil {
+		if _, err := awaitRepairedMulticast(cc, root, -1, *rep); err != nil {
 			return err
 		}
 		return cc.Send(root, phaseChunk, send, transport.ClassData, false)

@@ -35,9 +35,22 @@ package core
 //   - NACK repair (reference [10]'s receiver-initiated reliability, as
 //     in BcastNack): receivers probe with a timeout, request repairs for
 //     multicasts lost in flight (injected fragment loss, overrun), and
-//     confirm receipt so the sender can retire the round. This is what
-//     makes the Resilient* variants of the suite survive random fragment
-//     loss that the paper's model rules out.
+//     confirm receipt so the sender can retire the round. Repairs are
+//     fragment-granular: the NACK carries the receiver's missing-fragment
+//     list (transport.Reassembler.Missing via the device's
+//     FragmentRepairer capability) and the sender retransmits only those
+//     fragments under the original message id, so repair convergence is
+//     O(missing) instead of O(F) — independent of message size. This is
+//     what makes the Resilient* variants of the suite survive random
+//     fragment loss that the paper's model rules out.
+//
+// Orthogonally again, a round's data phase is either a whole-buffer
+// multicast to the communicator group (allgather, bcast — every receiver
+// needs every byte) or sliced (scatter, alltoall): the sender multicasts
+// each destination slice to that rank's private slice group, so a
+// receiver's NIC accepts only the fragments it needs and the
+// per-receiver delivered byte count matches the pairwise-unicast
+// exchange while each byte still crosses the wire exactly once.
 
 import (
 	"fmt"
@@ -52,27 +65,70 @@ type roundPlan struct {
 	sender int
 	// class marks the multicast's wire class (data or control).
 	class transport.Class
+	// bytes is the size of the round's multicast payload — the whole
+	// message, or one slice for a sliced round. Every rank must set it
+	// identically (payload sizes are symmetric even where contents are
+	// not); the pipelined schedule uses it to pick the sub-frame-safe
+	// gather scheme for the overlapped round.
+	bytes int
 	// payload is evaluated on the sender when the round's gather has
-	// completed; its result is multicast once.
+	// completed; its result is multicast once to the communicator group.
+	// Exactly one of payload and slicePayload is set.
 	payload func() []byte
+	// slicePayload, when set, makes the round sliced: the sender
+	// multicasts slicePayload(r) to rank r's slice group for every rank
+	// but itself, and each receiver consumes only its own slice.
+	slicePayload func(slice int) []byte
 	// consume is called on every non-sender rank with the multicast
-	// payload (after any repair resends).
+	// payload — the whole message, or this rank's slice for a sliced
+	// round (after any repair resends).
 	consume func(payload []byte) error
 }
+
+// sliced reports whether the round uses per-slice group addressing.
+func (rd *roundPlan) sliced() bool { return rd.slicePayload != nil }
 
 // roundOptions selects the scout scheme, the schedule and the
 // reliability class of a round sequence.
 type roundOptions struct {
 	// gather runs one rank's part of the scout gather toward the round
-	// sender (gatherScoutsBinary or gatherScoutsLinear).
-	gather func(mpi.CollCtx, int) error
+	// sender (binaryRoundGather or linearRoundGather). hot names a rank
+	// whose scout is expected late — the previous round's data sender in
+	// the pipelined schedule — so tree gathers can seat it where its
+	// scout releases no intermediate forwarding (-1: none).
+	gather func(cc mpi.CollCtx, root, hot int) error
 	// pipeline overlaps round r+1's scout gather with round r's data
 	// multicast instead of serializing the rounds.
 	pipeline bool
+	// pace, in device-clock nanoseconds, delays a pipelined round's
+	// sub-frame data multicast at the sender: a multicast shorter than
+	// one Ethernet frame can otherwise land inside a receiver's
+	// scout-forwarding window for the overlapped next-round gather,
+	// where strict posted-receive semantics lose it (the sub-frame
+	// envelope of PR 2). Zero disables; the sequential schedule never
+	// paces (its scouts are sent immediately before the same round's
+	// data, so no forwarding work overlaps the multicast).
+	pace int64
 	// repair, when non-nil, runs every data phase under the
 	// receiver-initiated NACK protocol so lost fragments are repaired.
 	repair *NackOptions
 }
+
+// subFramePayload is the largest payload that still fits one Ethernet
+// frame after the transport and IP/UDP headers (1500 - 28). Pipelined
+// rounds at or above it need no pacing: the data transmission itself
+// outlasts any receiver's scout-forwarding window.
+const subFramePayload = 1472
+
+// DefaultPipelinePace is the sender pacing applied to sub-frame data
+// rounds of the pipelined schedule: one scout frame's wire time (a
+// 56-byte scout padded to the 84-byte minimum frame at 100 Mbps). The
+// structural guards — the linear gather for overlapped sub-frame rounds,
+// the hot-rank seating for tree gathers, and the next-sender-last slice
+// order — close the loss windows; the pace adds one frame time of margin
+// between a sub-frame multicast and the scout traffic it overlaps, at a
+// cost far below one round's gather latency.
+const DefaultPipelinePace = 6_720
 
 // runRounds executes the round sequence on c. Every rank must supply the
 // same rounds in the same order; each round opens its own collective
@@ -87,10 +143,10 @@ func runRounds(c *mpi.Comm, rounds []roundPlan, opt roundOptions) error {
 			if !cc.CanMulticast() {
 				return mpi.ErrNoMulticast
 			}
-			if err := opt.gather(cc, rounds[i].sender); err != nil {
+			if err := opt.gather(cc, rounds[i].sender, -1); err != nil {
 				return err
 			}
-			if err := runDataPhase(cc, &rounds[i], opt.repair); err != nil {
+			if err := runDataPhase(cc, &rounds[i], &opt, -1); err != nil {
 				return err
 			}
 		}
@@ -102,25 +158,35 @@ func runRounds(c *mpi.Comm, rounds []roundPlan, opt roundOptions) error {
 	// sequence numbers from the unexpected queue, so a context must not
 	// be opened while an earlier round of this collective still has
 	// point-to-point traffic (scouts, acknowledgments) in flight.
+	//
+	// Round i+1's gather is told that round i's sender is "hot": its
+	// scout arrives only after round i's data, and the binary gather
+	// re-seats it as a direct leaf of round i+1's root so the late scout
+	// triggers no intermediate forwarding — an intermediate forward
+	// released by that scout would race round i's data multicast into
+	// the forwarding rank's unposted send window under strict
+	// posted-receive semantics.
 	cc := c.BeginColl()
 	if !cc.CanMulticast() {
 		return mpi.ErrNoMulticast
 	}
-	if err := opt.gather(cc, rounds[0].sender); err != nil {
+	if err := opt.gather(cc, rounds[0].sender, -1); err != nil {
 		return err
 	}
 	for i := range rounds {
 		next := mpi.CollCtx{}
+		nextSender := -1
 		if i+1 < len(rounds) {
+			nextSender = rounds[i+1].sender
 			// Scout for round i+1 before blocking on round i's data:
 			// this send is what overlaps the next gather with the
 			// current multicast.
 			next = c.BeginColl()
-			if err := opt.gather(next, rounds[i+1].sender); err != nil {
+			if err := pipelinedGather(next, opt.gather, &rounds[i+1], rounds[i].sender); err != nil {
 				return err
 			}
 		}
-		if err := runDataPhase(cc, &rounds[i], opt.repair); err != nil {
+		if err := runDataPhase(cc, &rounds[i], &opt, nextSender); err != nil {
 			return err
 		}
 		cc = next
@@ -128,70 +194,141 @@ func runRounds(c *mpi.Comm, rounds []roundPlan, opt roundOptions) error {
 	return nil
 }
 
-// awaitRepairedMulticast blocks for this operation's multicast under the
-// receiver-initiated repair protocol: probe for the message, NACK the
-// sender on timeout, give up after MaxRepairs requests. The probe backs
-// off exponentially: a fixed timer shorter than a multi-fragment round's
-// legitimate transmission time fires prematurely on every waiting
-// receiver at once, and the repair multicasts it provokes delay the
-// round further — a positive feedback that can overflow receive rings
-// and lose protocol frames. Backing off caps the premature NACKs per
-// round at one per receiver while keeping the first repair prompt.
-// opts must be normalized (positive Probe).
-func awaitRepairedMulticast(cc mpi.CollCtx, sender int, opts NackOptions) (transport.Message, error) {
+// pipelinedGather runs one rank's part of the overlapped scout gather
+// for round rd. Rounds whose data fits one Ethernet frame use the linear
+// scheme regardless of the configured one: a tree gather's interior
+// forwarding sends are unposted windows concurrent with the previous
+// round's data multicast, and a sub-frame multicast — a single fragment
+// arriving at one instant — can land inside one (the sub-frame envelope
+// PR 2 pinned). The linear gather has no forwarding at all: each rank's
+// only window is its direct scout send, which happens strictly before
+// the previous round's data can reach it, so the overlap is loss-free at
+// every payload size. At a frame and above, the tree gather's shorter
+// critical path is kept (the multi-fragment transmission dwarfs any
+// window; the hot-rank seating covers the late scout of the previous
+// sender).
+func pipelinedGather(cc mpi.CollCtx, gather func(mpi.CollCtx, int, int) error, rd *roundPlan, hot int) error {
+	if rd.bytes < subFramePayload {
+		return linearRoundGather(cc, rd.sender, hot)
+	}
+	return gather(cc, rd.sender, hot)
+}
+
+// awaitRepairedMulticast blocks for this operation's multicast — the
+// whole-communicator message, or this rank's slice when slice >= 0 —
+// under the receiver-initiated repair protocol: probe for the message,
+// NACK the sender on timeout, give up after MaxRepairs requests. The
+// NACK carries the device's missing-fragment list for the sender's
+// partially received message (transport.EncodeRepairReq), so the sender
+// can retransmit exactly the lost fragments; an empty request asks for a
+// full resend (nothing of the message arrived at all).
+//
+// The probe backs off exponentially: a fixed timer shorter than a
+// multi-fragment round's legitimate transmission time fires prematurely
+// on every waiting receiver at once, and the repair traffic it provokes
+// delays the round further — a positive feedback that can overflow
+// receive rings and lose protocol frames. Backing off caps the premature
+// NACKs per round at one per receiver while keeping the first repair
+// prompt. opts must be normalized (positive Probe).
+func awaitRepairedMulticast(cc mpi.CollCtx, sender, slice int, opts NackOptions) (transport.Message, error) {
 	probe := opts.Probe
-	for attempt := 0; ; attempt++ {
-		m, ok, err := cc.RecvMulticastTimeout(probe)
+	// A NACK is only sent on stalled evidence: the device reports a
+	// partial message from the sender whose missing set has not shrunk
+	// since the previous probe. Progress means the transmission is still
+	// in flight (a multi-fragment round can legitimately outlast the
+	// probe timer) and a NACK now would request fragments that are
+	// already on the wire; no evidence at all usually means the round has
+	// not started (an earlier round's repair is holding the collective at
+	// its probe timer), so the first such expiry also stays silent. A
+	// genuine loss converges one probe later: the missing set is then
+	// static and named exactly.
+	lastMsgID := uint64(0)
+	lastMissing := -1
+	silent := 0 // probe expiries that stayed silent (progress / no evidence)
+	requests := 0
+	for {
+		var (
+			m   transport.Message
+			ok  bool
+			err error
+		)
+		if slice >= 0 {
+			m, ok, err = cc.RecvMulticastSliceTimeout(slice, probe)
+		} else {
+			m, ok, err = cc.RecvMulticastTimeout(probe)
+		}
 		if err != nil {
 			return transport.Message{}, err
 		}
 		if ok {
 			return m, nil
 		}
-		if attempt >= opts.MaxRepairs {
+		// MaxRepairs bounds the repair requests actually sent, as the
+		// option documents — silent expiries (transmission progressing,
+		// or no evidence yet) do not count against it.
+		if requests >= opts.MaxRepairs {
 			return transport.Message{}, fmt.Errorf("core: receiver %d gave up waiting for sender %d's multicast after %d repair requests",
-				cc.Comm().Rank(), sender, attempt)
+				cc.Comm().Rank(), sender, requests)
 		}
-		if err := cc.Send(sender, phaseNack, nil, transport.ClassNack, false); err != nil {
+		backoff := func() {
+			if probe < opts.Probe<<10 {
+				probe *= 2
+			}
+		}
+		msgID, missing, pending := cc.MissingFrom(sender)
+		if pending && (msgID != lastMsgID || len(missing) < lastMissing || lastMissing < 0) {
+			// Progress since the last look (or first evidence): the
+			// transmission is still in flight. This path is bounded —
+			// each pass requires the missing set to shrink or a new
+			// message to appear.
+			lastMsgID, lastMissing = msgID, len(missing)
+			backoff()
+			continue
+		}
+		if !pending && silent < 2 {
+			// No evidence at all: the round has almost certainly not
+			// started (an upstream repair is holding the collective for
+			// a probe period or two), rather than every fragment having
+			// been lost. Stay silent through the first two expiries —
+			// long enough for any single upstream repair to clear — so
+			// a full-resend request cannot race data that is about to
+			// arrive anyway. A genuine total loss still repairs, a few
+			// probe periods late.
+			silent++
+			backoff()
+			continue
+		}
+		var req []byte
+		if pending {
+			req = transport.EncodeRepairReq(msgID, missing)
+		}
+		if err := cc.Send(sender, phaseNack, req, transport.ClassNack, false); err != nil {
 			return transport.Message{}, err
 		}
-		if probe < opts.Probe<<10 {
-			probe *= 2
-		}
+		requests++
+		backoff()
 	}
 }
 
-// runDataPhase moves one round's payload from sender to every receiver,
-// optionally under NACK repair. A non-nil repair must be normalized
-// (ResilientAlgorithms does this once at construction).
-func runDataPhase(cc mpi.CollCtx, rd *roundPlan, repair *NackOptions) error {
-	c := cc.Comm()
-	if repair == nil {
-		if c.Rank() == rd.sender {
-			return cc.Multicast(rd.payload(), rd.class)
-		}
-		m, err := cc.RecvMulticast()
-		if err != nil {
-			return err
-		}
-		return rd.consume(m.Payload)
+// pacePipelined delays a pipelined sub-frame data multicast at the
+// sender so it cannot land inside a receiver's scout-forwarding window
+// (see roundOptions.pace). bytes is the smallest unit the round puts on
+// the wire — the whole payload, or one slice.
+func pacePipelined(cc mpi.CollCtx, opt *roundOptions, pipelined bool, bytes int) {
+	if pipelined && opt.pace > 0 && bytes < subFramePayload {
+		cc.Pace(opt.pace)
 	}
+}
 
-	if c.Rank() != rd.sender {
-		m, err := awaitRepairedMulticast(cc, rd.sender, *repair)
-		if err != nil {
-			return err
-		}
-		if err := rd.consume(m.Payload); err != nil {
-			return err
-		}
-		// Confirm receipt so the sender can retire the round.
-		return cc.Send(rd.sender, phaseAck, nil, transport.ClassAck, false)
-	}
-	payload := rd.payload()
-	if err := cc.Multicast(payload, rd.class); err != nil {
-		return err
-	}
+// serveRepairs runs the sender side of the NACK protocol for one round:
+// after the initial multicasts, it answers repair requests until every
+// receiver has confirmed. payloadFor and idFor give the payload and the
+// original device message id per destination slice (slice -1 = the
+// whole-communicator message), repairTo retransmits.
+func serveRepairs(cc mpi.CollCtx, rd *roundPlan,
+	payloadFor func(slice int) []byte, idFor func(slice int) uint64,
+	repairTo func(slice int, payload []byte, msgID uint64, frags []int) error) error {
+	c := cc.Comm()
 	confirmed := make([]bool, c.Size())
 	confirmed[rd.sender] = true
 	remaining := c.Size() - 1
@@ -203,11 +340,23 @@ func runDataPhase(cc mpi.CollCtx, rd *roundPlan, repair *NackOptions) error {
 		switch m.Class {
 		case transport.ClassNack:
 			// A NACK from a receiver that has since confirmed raced its
-			// own repair; re-multicasting for it would be pure waste.
-			if confirmed[cc.SrcRank(m)] {
+			// own repair; retransmitting for it would be pure waste.
+			r := cc.SrcRank(m)
+			if confirmed[r] {
 				continue
 			}
-			if err := cc.Multicast(payload, rd.class); err != nil {
+			slice := -1
+			if rd.sliced() {
+				slice = r
+			}
+			msgID := idFor(slice)
+			reqID, frags, err := transport.DecodeRepairReq(m.Payload)
+			if err != nil || reqID != msgID || len(frags) == 0 {
+				// Unusable or stale request (the receiver saw nothing of
+				// this message, or names an older one): full resend.
+				frags = nil
+			}
+			if err := repairTo(slice, payloadFor(slice), msgID, frags); err != nil {
 				return err
 			}
 		case transport.ClassAck:
@@ -218,4 +367,107 @@ func runDataPhase(cc mpi.CollCtx, rd *roundPlan, repair *NackOptions) error {
 		}
 	}
 	return nil
+}
+
+// runDataPhase moves one round's payload from sender to every receiver —
+// as one whole-buffer multicast, or as per-slice multicasts for a sliced
+// round — optionally under NACK repair. nextSender names the following
+// round's data sender in the pipelined schedule (-1 otherwise): a sliced
+// sender transmits that rank's slice last, so the next round's data —
+// which the next sender can start the moment its slice arrives — cannot
+// reach this rank while it is still working through its own unposted
+// per-slice transmit sleeps. A non-nil repair must be normalized
+// (ResilientAlgorithms does this once at construction).
+func runDataPhase(cc mpi.CollCtx, rd *roundPlan, opt *roundOptions, nextSender int) error {
+	pipelined := opt.pipeline
+	c := cc.Comm()
+	me := c.Rank()
+
+	if me != rd.sender {
+		var m transport.Message
+		var err error
+		slice := -1
+		if rd.sliced() {
+			slice = me
+		}
+		if opt.repair == nil {
+			if rd.sliced() {
+				m, err = cc.RecvMulticastSlice(me)
+			} else {
+				m, err = cc.RecvMulticast()
+			}
+		} else {
+			m, err = awaitRepairedMulticast(cc, rd.sender, slice, *opt.repair)
+		}
+		if err != nil {
+			return err
+		}
+		if err := rd.consume(m.Payload); err != nil {
+			return err
+		}
+		if opt.repair == nil {
+			return nil
+		}
+		// Confirm receipt so the sender can retire the round.
+		return cc.Send(rd.sender, phaseAck, nil, transport.ClassAck, false)
+	}
+
+	// Sender side. Transmit once — whole buffer or per-slice — capturing
+	// the device message ids so selective repairs can reuse them.
+	if !rd.sliced() {
+		payload := rd.payload()
+		pacePipelined(cc, opt, pipelined, len(payload))
+		if err := cc.Multicast(payload, rd.class); err != nil {
+			return err
+		}
+		if opt.repair == nil {
+			return nil
+		}
+		msgID := cc.LastMulticastID()
+		return serveRepairs(cc, rd,
+			func(int) []byte { return payload },
+			func(int) uint64 { return msgID },
+			func(_ int, payload []byte, msgID uint64, frags []int) error {
+				return cc.MulticastRepair(payload, rd.class, msgID, frags)
+			})
+	}
+
+	size := c.Size()
+	ids := make([]uint64, size)
+	minSlice := -1
+	for r := 0; r < size; r++ {
+		if r != rd.sender {
+			if n := len(rd.slicePayload(r)); minSlice < 0 || n < minSlice {
+				minSlice = n
+			}
+		}
+	}
+	pacePipelined(cc, opt, pipelined, minSlice)
+	// Slice transmit order: rank order, except that the next round's
+	// sender — the rank whose consumption releases the next data phase —
+	// receives its slice last (see the nextSender contract above).
+	order := make([]int, 0, size-1)
+	for r := 0; r < size; r++ {
+		if r != rd.sender && r != nextSender {
+			order = append(order, r)
+		}
+	}
+	if nextSender >= 0 && nextSender != rd.sender {
+		order = append(order, nextSender)
+	}
+	for _, r := range order {
+		if err := cc.MulticastSlice(r, rd.slicePayload(r), rd.class); err != nil {
+			return err
+		}
+		ids[r] = cc.LastMulticastID()
+	}
+	if opt.repair == nil {
+		return nil
+	}
+	return serveRepairs(cc, rd,
+		func(slice int) []byte { return rd.slicePayload(slice) },
+		func(slice int) uint64 { return ids[slice] },
+		func(slice int, payload []byte, msgID uint64, frags []int) error {
+			return cc.MulticastSliceRepair(slice, payload, rd.class, msgID, frags)
+		})
 }

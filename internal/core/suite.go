@@ -21,12 +21,21 @@ package core
 //	                 data frames over the UDP bypass) + one scout-gated
 //	                 multicast (s scouts + ceil(M/T) data), versus
 //	                 2(N-1)·ceil(M/T) reliable frames for the MPICH
-//	                 reduce+broadcast composition.
-//	ScatterMcast:    s scouts + ceil(N·M/T) data frames in a single
-//	                 multicast of the whole send buffer; each rank keeps
-//	                 its slice. Wins for sub-frame chunks (one frame
-//	                 replaces N-1); for large chunks the baseline's
-//	                 (N-1)·ceil(M/T) targeted unicasts move fewer bytes.
+//	                 reduce+broadcast composition. The binomial funnel
+//	                 makes rank 0 absorb log2(N)·M bytes;
+//	                 AllreduceMcastChunked (below) spreads the reduction
+//	                 over per-slice binomial walks so no rank moves more
+//	                 than ~2M bytes end to end.
+//	ScatterMcast:    s scouts + (N-1)·ceil(M/T) data frames: the root
+//	                 multicasts each rank's slice to that rank's private
+//	                 slice group, so a receiver's NIC delivers exactly
+//	                 its own M bytes — the pairwise-unicast byte count —
+//	                 while the send stays on the connectionless bypass
+//	                 (no TCP penalty, no kernel acks) and stays gated.
+//	                 (ScatterMcastWhole keeps PR 1's single whole-buffer
+//	                 multicast of ceil(N·M/T) frames, which wins for
+//	                 sub-frame chunks where one frame replaces N-1 but
+//	                 makes every receiver swallow all N·M bytes.)
 //	GatherMcast:     s scouts + 1 multicast release + (N-1)·ceil(M/T)
 //	                 chunk frames. The data still has to converge on the
 //	                 root, so no frame is saved; the release gates the
@@ -34,14 +43,16 @@ package core
 //	                 bounds the root's unexpected-message queue and
 //	                 prevents the fast-senders-overrun-one-receiver
 //	                 failure mode of experiment A4.
-//	AlltoallMcast:   N scout-gated scatter rounds; round r multicasts
-//	                 rank r's whole N·M buffer once, each rank keeps its
-//	                 slice = N(N-1) scouts + N·ceil(N·M/T) data frames.
-//	                 Slightly more wire bytes than the pairwise
-//	                 baseline's N(N-1)·ceil(M/T) targeted unicasts, but
-//	                 N transmissions instead of N(N-1) and every round
-//	                 release-gated — the many-to-many overrun protection
-//	                 of A4 extended to the heaviest traffic pattern.
+//	AlltoallMcast:   N scout-gated sliced scatter rounds = N(N-1) scouts
+//	                 + N(N-1)·ceil(M/T) data frames — the same targeted
+//	                 byte count as the pairwise baseline, each receiver
+//	                 delivered only its (N-1)·M bytes, but with the
+//	                 release gating of the rounds (no overrun) and no
+//	                 per-message TCP penalty or kernel-ack frames.
+//	                 (AlltoallMcastWhole keeps PR 2's whole-buffer
+//	                 rounds: N·ceil(N·M/T) frames, N transmissions, but
+//	                 every receiver pays for all N·M bytes per round —
+//	                 the gap fig 16 measured on the hub.)
 //
 // Each round opens its own collective operation (BeginColl), so the
 // per-operation sequence number keeps back-to-back multicasts of one
@@ -77,6 +88,7 @@ func allgatherWith(c *mpi.Comm, send, recv []byte, opt roundOptions) error {
 		rounds[r] = roundPlan{
 			sender:  r,
 			class:   transport.ClassData,
+			bytes:   n,
 			payload: func() []byte { return recv[r*n : (r+1)*n] },
 			consume: func(p []byte) error {
 				if len(p) != n {
@@ -93,30 +105,71 @@ func allgatherWith(c *mpi.Comm, send, recv []byte, opt roundOptions) error {
 // AllgatherMcast gathers every rank's equal-sized chunk to every rank in
 // N scout-gated multicast rounds (binary scout gather).
 func AllgatherMcast(c *mpi.Comm, send, recv []byte) error {
-	return allgatherWith(c, send, recv, roundOptions{gather: gatherScoutsBinary})
+	return allgatherWith(c, send, recv, roundOptions{gather: binaryRoundGather})
 }
 
 // AllgatherMcastLinear is AllgatherMcast with linear scout gathering.
 func AllgatherMcastLinear(c *mpi.Comm, send, recv []byte) error {
-	return allgatherWith(c, send, recv, roundOptions{gather: gatherScoutsLinear})
+	return allgatherWith(c, send, recv, roundOptions{gather: linearRoundGather})
 }
 
 // AllgatherMcastPipelined is AllgatherMcast with the rounds pipelined:
 // round r+1's binary scout gather overlaps round r's data multicast, so
 // each round's critical path is little more than the data transmission.
+// Sub-frame rounds are paced by DefaultPipelinePace, which closes the
+// strict posted-receive loss window PR 2's envelope test pinned: the
+// overlap is now loss-free at every payload size.
 func AllgatherMcastPipelined(c *mpi.Comm, send, recv []byte) error {
-	return allgatherWith(c, send, recv, roundOptions{gather: gatherScoutsBinary, pipeline: true})
+	return allgatherWith(c, send, recv, roundOptions{gather: binaryRoundGather, pipeline: true, pace: DefaultPipelinePace})
 }
 
-// alltoallWith runs the personalized exchange as N scout-gated scatter
-// rounds: in round r rank r multicasts its whole N·M send buffer once
-// and every other rank keeps the slice addressed to it. The wire carries
-// N·ceil(N·M/T) data frames — slightly more bytes than the N(N-1)
-// targeted unicasts of the pairwise baseline — but only N transmissions
-// and N per-rank receives, and every round is release-gated, so no set
-// of fast senders can overrun one receiver (the A4 failure mode this
-// collective stresses hardest).
+// alltoallWith runs the personalized exchange as N scout-gated sliced
+// scatter rounds: in round r rank r multicasts each destination slice of
+// its send buffer to that rank's slice group, and every other rank
+// receives exactly the slice addressed to it. The wire carries the same
+// N(N-1)·ceil(M/T) targeted data frames as the pairwise baseline, but
+// over the connectionless bypass (no TCP penalty, no kernel acks), with
+// every receiver delivered only its own (N-1)·M bytes, and every round
+// release-gated, so no set of fast senders can overrun one receiver (the
+// A4 failure mode this collective stresses hardest).
 func alltoallWith(c *mpi.Comm, send, recv []byte, opt roundOptions) error {
+	size := c.Size()
+	if len(send)%size != 0 || len(recv) != len(send) {
+		return fmt.Errorf("core: alltoall buffers %d/%d bytes for %d ranks", len(send), len(recv), size)
+	}
+	n := len(send) / size
+	me := c.Rank()
+	copy(recv[me*n:(me+1)*n], send[me*n:(me+1)*n])
+	if size == 1 {
+		return nil
+	}
+	rounds := make([]roundPlan, size)
+	for r := range rounds {
+		r := r
+		rounds[r] = roundPlan{
+			sender:       r,
+			class:        transport.ClassData,
+			bytes:        n,
+			slicePayload: func(slice int) []byte { return send[slice*n : (slice+1)*n] },
+			consume: func(p []byte) error {
+				if len(p) != n {
+					return fmt.Errorf("core: alltoall round %d slice %d bytes, want %d", r, len(p), n)
+				}
+				copy(recv[r*n:(r+1)*n], p)
+				return nil
+			},
+		}
+	}
+	return runRounds(c, rounds, opt)
+}
+
+// alltoallWholeWith is the PR 2 whole-buffer exchange: round r multicasts
+// rank r's entire N·M buffer to the communicator group once and each
+// rank keeps its slice — N transmissions in place of N(N-1), at the cost
+// of every receiver absorbing all N·M bytes per round. Kept as the
+// measured "before" of the slice-filtering comparison (fig 18) and for
+// sub-frame chunks, where one frame replaces N-1.
+func alltoallWholeWith(c *mpi.Comm, send, recv []byte, opt roundOptions) error {
 	size := c.Size()
 	if len(send)%size != 0 || len(recv) != len(send) {
 		return fmt.Errorf("core: alltoall buffers %d/%d bytes for %d ranks", len(send), len(recv), size)
@@ -133,6 +186,7 @@ func alltoallWith(c *mpi.Comm, send, recv []byte, opt roundOptions) error {
 		rounds[r] = roundPlan{
 			sender:  r,
 			class:   transport.ClassData,
+			bytes:   n * size,
 			payload: func() []byte { return send },
 			consume: func(p []byte) error {
 				if len(p) != n*size {
@@ -146,21 +200,27 @@ func alltoallWith(c *mpi.Comm, send, recv []byte, opt roundOptions) error {
 	return runRounds(c, rounds, opt)
 }
 
+// AlltoallMcastWhole is the whole-buffer alltoall (binary scout gather).
+func AlltoallMcastWhole(c *mpi.Comm, send, recv []byte) error {
+	return alltoallWholeWith(c, send, recv, roundOptions{gather: binaryRoundGather})
+}
+
 // AlltoallMcast exchanges personalized chunks between all ranks in N
 // scout-gated scatter rounds (binary scout gather).
 func AlltoallMcast(c *mpi.Comm, send, recv []byte) error {
-	return alltoallWith(c, send, recv, roundOptions{gather: gatherScoutsBinary})
+	return alltoallWith(c, send, recv, roundOptions{gather: binaryRoundGather})
 }
 
 // AlltoallMcastLinear is AlltoallMcast with linear scout gathering.
 func AlltoallMcastLinear(c *mpi.Comm, send, recv []byte) error {
-	return alltoallWith(c, send, recv, roundOptions{gather: gatherScoutsLinear})
+	return alltoallWith(c, send, recv, roundOptions{gather: linearRoundGather})
 }
 
 // AlltoallMcastPipelined is AlltoallMcast with round r+1's scout gather
-// overlapped with round r's data multicast.
+// overlapped with round r's data multicast (sub-frame slices paced, as
+// in AllgatherMcastPipelined).
 func AlltoallMcastPipelined(c *mpi.Comm, send, recv []byte) error {
-	return alltoallWith(c, send, recv, roundOptions{gather: gatherScoutsBinary, pipeline: true})
+	return alltoallWith(c, send, recv, roundOptions{gather: binaryRoundGather, pipeline: true, pace: DefaultPipelinePace})
 }
 
 // reduceToRoot runs a binomial reduction of send to root over the UDP
@@ -198,9 +258,162 @@ func AllreduceMcastLinear(c *mpi.Comm, send, recv []byte, dt mpi.Datatype, op mp
 	return allreduceLinear(c, send, recv, dt, op)
 }
 
-// scatterWith is a single round of the engine: the root multicasts its
-// whole buffer once and each rank keeps its own slice.
+// sliceBounds splits a buffer of total bytes holding total/extent
+// elements into size contiguous slices aligned to the element extent,
+// front-loading the remainder. It returns size+1 byte offsets; slice s
+// spans [bounds[s], bounds[s+1]) and may be empty when there are fewer
+// elements than ranks. Every rank computes identical bounds locally.
+func sliceBounds(total, extent, size int) []int {
+	elems := total / extent
+	base, extra := elems/size, elems%size
+	bounds := make([]int, size+1)
+	off := 0
+	for s := 0; s < size; s++ {
+		bounds[s] = off
+		n := base
+		if s < extra {
+			n++
+		}
+		off += n * extent
+	}
+	bounds[size] = off
+	return bounds
+}
+
+// AllreduceMcastChunked is the Rabenseifner-style chunked composition:
+// a reduce-scatter built from one binomial walk per slice (slice s
+// combines toward rank s on the UDP bypass, all walks sharing one
+// collective operation and pipelining naturally because sends are
+// buffered), followed by the pipelined scout-gated multicast allgather
+// rounds of the suite broadcasting each reduced slice exactly once.
+//
+// The byte economics against AllreduceMcast's binomial-reduce + bcast:
+// both put ~(N-1)·M + M data bytes on the wire (a reduction cannot move
+// less), but the funnel disappears — rank 0 absorbs log2(N)·M bytes in
+// the binomial reduce, while here every rank moves ~M in and ~M out on
+// the reduce half (~2M end to end) regardless of N, and the multicast
+// allgather half delivers each receiver exactly the M result bytes
+// (asserted by TestChunkedAllreduceByteFunnel). On the calibrated
+// 1999-era testbed that balance does NOT buy latency (fig 19): the
+// walks multiply the 34 µs per-message overheads by N(N-1) and their
+// blocking schedule serializes, while the binomial pairs already
+// transmit in parallel. The shape pays off where per-rank bandwidth is
+// the ceiling; overlapping the walks is ROADMAP work.
+//
+// The reduction combines slice contributions in binomial-tree order, so
+// op should be commutative and associative (every built-in mpi.Op is;
+// floating-point sums may round differently from rank order).
+func AllreduceMcastChunked(c *mpi.Comm, send, recv []byte, dt mpi.Datatype, op mpi.Op) error {
+	size := c.Size()
+	if len(recv) != len(send) {
+		return fmt.Errorf("core: allreduce recv buffer %d bytes, want %d", len(recv), len(send))
+	}
+	if dt.Size() <= 0 || len(send)%dt.Size() != 0 {
+		return fmt.Errorf("core: allreduce buffer of %d bytes is not whole %v elements", len(send), dt)
+	}
+	copy(recv, send)
+	if size == 1 {
+		return nil
+	}
+	bounds := sliceBounds(len(send), dt.Size(), size)
+
+	// Reduce-scatter: slice s's contributions combine toward rank s up a
+	// binomial tree, in recv in place. All N walks share one collective
+	// operation (one phase per slice); a rank finishes its part of walk
+	// s and moves on while its parent still combines, so the walks
+	// overlap without any schedule machinery.
+	cc := c.BeginColl()
+	if !cc.CanMulticast() {
+		return mpi.ErrNoMulticast
+	}
+	for s := 0; s < size; s++ {
+		lo, hi := bounds[s], bounds[s+1]
+		if lo == hi {
+			continue
+		}
+		seg := recv[lo:hi]
+		if _, err := mpi.BinomialToRoot(cc, s, size, phaseSlice+s, transport.ClassData, false, seg,
+			func(_ int, payload []byte) error {
+				if len(payload) != hi-lo {
+					return fmt.Errorf("core: allreduce slice %d contribution %d bytes, want %d", s, len(payload), hi-lo)
+				}
+				return mpi.ReduceBytes(op, dt, seg, payload)
+			}); err != nil {
+			return err
+		}
+	}
+
+	// Allgather: rank s multicasts its reduced slice once per round,
+	// pipelined (round r+1's scout gather under round r's data, paced
+	// for sub-frame slices).
+	rounds := make([]roundPlan, 0, size)
+	for s := 0; s < size; s++ {
+		s := s
+		lo, hi := bounds[s], bounds[s+1]
+		if lo == hi {
+			continue
+		}
+		rounds = append(rounds, roundPlan{
+			sender:  s,
+			class:   transport.ClassData,
+			bytes:   hi - lo,
+			payload: func() []byte { return recv[lo:hi] },
+			consume: func(p []byte) error {
+				if len(p) != hi-lo {
+					return fmt.Errorf("core: allreduce slice %d is %d bytes, want %d", s, len(p), hi-lo)
+				}
+				copy(recv[lo:hi], p)
+				return nil
+			},
+		})
+	}
+	return runRounds(c, rounds, roundOptions{
+		gather:   binaryRoundGather,
+		pipeline: true,
+		pace:     DefaultPipelinePace,
+	})
+}
+
+// scatterWith is a single sliced round of the engine: the root
+// multicasts each rank's slice to that rank's private slice group, so a
+// receiver's NIC delivers exactly its own M bytes.
 func scatterWith(c *mpi.Comm, send, recv []byte, root int, opt roundOptions) error {
+	size := c.Size()
+	n := len(recv)
+	if c.Rank() == root && len(send) != n*size {
+		return fmt.Errorf("core: scatter send buffer %d bytes, want %d", len(send), n*size)
+	}
+	if size == 1 {
+		copy(recv, send)
+		return nil
+	}
+	me := c.Rank()
+	round := roundPlan{
+		sender:       root,
+		class:        transport.ClassData,
+		bytes:        n,
+		slicePayload: func(slice int) []byte { return send[slice*n : (slice+1)*n] },
+		consume: func(p []byte) error {
+			if len(p) != n {
+				return fmt.Errorf("core: scatter slice %d bytes, want %d", len(p), n)
+			}
+			copy(recv, p)
+			return nil
+		},
+	}
+	if err := runRounds(c, []roundPlan{round}, opt); err != nil {
+		return err
+	}
+	if me == root {
+		copy(recv, send[root*n:(root+1)*n])
+	}
+	return nil
+}
+
+// scatterWholeWith is the paper-faithful single whole-buffer multicast:
+// ceil(N·M/T) frames replace (N-1)·ceil(M/T), a win below one frame per
+// chunk, but every receiver swallows all N·M bytes.
+func scatterWholeWith(c *mpi.Comm, send, recv []byte, root int, opt roundOptions) error {
 	size := c.Size()
 	n := len(recv)
 	if c.Rank() == root && len(send) != n*size {
@@ -214,6 +427,7 @@ func scatterWith(c *mpi.Comm, send, recv []byte, root int, opt roundOptions) err
 	round := roundPlan{
 		sender:  root,
 		class:   transport.ClassData,
+		bytes:   n * size,
 		payload: func() []byte { return send },
 		consume: func(p []byte) error {
 			if len(p) != n*size {
@@ -232,15 +446,23 @@ func scatterWith(c *mpi.Comm, send, recv []byte, root int, opt roundOptions) err
 	return nil
 }
 
-// ScatterMcast distributes root's buffer with one scout-gated multicast
-// of the whole buffer; each rank keeps its own slice (binary scouts).
+// ScatterMcast distributes root's buffer with one scout-gated sliced
+// multicast round; each rank's NIC receives only its own slice (binary
+// scouts).
 func ScatterMcast(c *mpi.Comm, send, recv []byte, root int) error {
-	return scatterWith(c, send, recv, root, roundOptions{gather: gatherScoutsBinary})
+	return scatterWith(c, send, recv, root, roundOptions{gather: binaryRoundGather})
 }
 
 // ScatterMcastLinear is ScatterMcast with linear scout gathering.
 func ScatterMcastLinear(c *mpi.Comm, send, recv []byte, root int) error {
-	return scatterWith(c, send, recv, root, roundOptions{gather: gatherScoutsLinear})
+	return scatterWith(c, send, recv, root, roundOptions{gather: linearRoundGather})
+}
+
+// ScatterMcastWhole is the paper-faithful whole-buffer scatter: one
+// scout-gated multicast of the entire send buffer, each rank keeping its
+// slice (binary scouts).
+func ScatterMcastWhole(c *mpi.Comm, send, recv []byte, root int) error {
+	return scatterWholeWith(c, send, recv, root, roundOptions{gather: binaryRoundGather})
 }
 
 func gatherWith(c *mpi.Comm, send, recv []byte, root int, gather func(mpi.CollCtx, int) error) error {

@@ -53,7 +53,9 @@ func TestSuiteFrameCounts(t *testing.T) {
 						t.Errorf("allgather data frames = %d, want N·ceil(M/T) = %d", got, want)
 					}
 
-					// Alltoall: N rounds of (N-1) scouts + ceil(N·M/T) data.
+					// Alltoall (sliced rounds): N rounds of (N-1) scouts +
+					// (N-1) per-slice multicasts of ceil(M/T) frames — the
+					// pairwise baseline's targeted byte count, no more.
 					nw, err = cluster.RunSim(n, simnet.Switch, simnet.DefaultProfile(),
 						core.Algorithms(mode), func(c *mpi.Comm) error {
 							send := make([]byte, n*chunk)
@@ -63,12 +65,11 @@ func TestSuiteFrameCounts(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					fullFrames := int64(trace.FramesForMessage(n*chunk, frag))
 					if got, want := nw.Wire.Frames(transport.ClassScout), int64(n*(n-1)); got != want {
 						t.Errorf("alltoall scouts = %d, want N(N-1) = %d", got, want)
 					}
-					if got, want := nw.Wire.Frames(transport.ClassData), int64(n)*fullFrames; got != want {
-						t.Errorf("alltoall data frames = %d, want N·ceil(N·M/T) = %d", got, want)
+					if got, want := nw.Wire.Frames(transport.ClassData), int64(n*(n-1))*chunkFrames; got != want {
+						t.Errorf("alltoall data frames = %d, want N(N-1)·ceil(M/T) = %d", got, want)
 					}
 
 					// Allreduce: (N-1)·ceil(M/T) reduce frames + (N-1) scouts
@@ -111,7 +112,8 @@ func TestSuiteFrameCounts(t *testing.T) {
 						t.Errorf("gather chunk frames = %d, want (N-1)·ceil(M/T) = %d", got, want)
 					}
 
-					// Scatter: (N-1) scouts + ceil(N·M/T) data frames.
+					// Scatter (sliced): (N-1) scouts + (N-1)·ceil(M/T) data
+					// frames, one per-slice multicast per receiver.
 					nw, err = cluster.RunSim(n, simnet.Switch, simnet.DefaultProfile(),
 						core.Algorithms(mode), func(c *mpi.Comm) error {
 							var send []byte
@@ -124,8 +126,27 @@ func TestSuiteFrameCounts(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
+					if got, want := nw.Wire.Frames(transport.ClassData), int64(n-1)*chunkFrames; got != want {
+						t.Errorf("scatter data frames = %d, want (N-1)·ceil(M/T) = %d", got, want)
+					}
+
+					// ScatterMcastWhole keeps the paper-faithful single
+					// multicast of the whole buffer: ceil(N·M/T) frames.
+					nw, err = cluster.RunSim(n, simnet.Switch, simnet.DefaultProfile(),
+						mpi.Algorithms{Scatter: core.ScatterMcastWhole}, func(c *mpi.Comm) error {
+							var send []byte
+							if c.Rank() == 0 {
+								send = make([]byte, n*chunk)
+							}
+							recv := make([]byte, chunk)
+							return c.Scatter(send, recv, 0)
+						})
+					if err != nil {
+						t.Fatal(err)
+					}
+					fullFrames := int64(trace.FramesForMessage(n*chunk, frag))
 					if got, want := nw.Wire.Frames(transport.ClassData), fullFrames; got != want {
-						t.Errorf("scatter data frames = %d, want ceil(N·M/T) = %d", got, want)
+						t.Errorf("whole-buffer scatter data frames = %d, want ceil(N·M/T) = %d", got, want)
 					}
 				})
 			}

@@ -10,7 +10,7 @@ import "repro/internal/transport"
 // result, and the call reports atRoot=true there (every other rank has
 // sent and returned with atRoot=false).
 //
-// The same walk underlies three protocols that differ only in payload
+// The same walk underlies several protocols that differ only in payload
 // and wire marking, which is why it is parameterized on (phase, class,
 // reliable) instead of copied:
 //
@@ -18,9 +18,14 @@ import "repro/internal/transport"
 //     the reliable TCP-like path;
 //   - the multicast allreduce's reduce half (core): data payloads over
 //     the UDP bypass;
-//   - the binary scout gather of the paper's Fig. 3 (core): empty scout
-//     frames over the UDP bypass, with absorb nil — receiving the
-//     child's frame is itself the information.
+//   - the chunked allreduce's per-slice reduce-scatter walks (core):
+//     one walk per slice, each toward a different root.
+//
+// The binary scout gather of the paper's Fig. 3 ran through this helper
+// too until it needed a seat permutation (the pipelined schedule moves
+// one late-scouting rank to a leaf position); that permuted copy of the
+// low-bit-first loop lives in core's gatherScoutsBinaryHot — change the
+// walk in one place and mirror it in the other.
 //
 // span bounds the tree: only ranks whose relative position (w.r.t. root,
 // modulo the communicator size) is below span take part, so the scout

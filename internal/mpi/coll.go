@@ -101,6 +101,17 @@ func (cc CollCtx) SrcRank(m transport.Message) int { return cc.c.inverse[m.Src] 
 // CanMulticast reports whether the bypass path is available.
 func (cc CollCtx) CanMulticast() bool { return cc.c.rt.mc != nil }
 
+// mcastSliceTag returns the transport tag distinguishing a sliced
+// multicast (slice >= 0) from a whole-communicator multicast (tag 0).
+// Slice tags live in the positive space, which user point-to-point
+// traffic also uses, but multicast and P2P kinds never cross-match.
+func mcastSliceTag(slice int) int32 {
+	if slice < 0 {
+		return 0
+	}
+	return int32(slice) + 1
+}
+
 // Multicast sends payload to every member of the communicator's group in
 // a single device operation. The sender does not receive its own message.
 func (cc CollCtx) Multicast(payload []byte, class transport.Class) error {
@@ -115,13 +126,49 @@ func (cc CollCtx) Multicast(payload []byte, class transport.Class) error {
 	})
 }
 
-// RecvMulticast blocks for this operation's multicast message.
+// MulticastSlice sends payload to the slice group of the communicator
+// rank slice: only that rank's endpoint subscribes, so every other NIC
+// drops the fragments undelivered — the fragment-granular addressing of
+// the sliced collectives. The message is tagged with the slice so a
+// misdelivered fragment (a hash collision between slice groups on a real
+// network) can never match another rank's receive.
+func (cc CollCtx) MulticastSlice(slice int, payload []byte, class transport.Class) error {
+	if cc.c.rt.mc == nil {
+		return ErrNoMulticast
+	}
+	if slice < 0 || slice >= cc.c.Size() {
+		return fmt.Errorf("%w: multicast to slice %d (size %d)", ErrInvalidRank, slice, cc.c.Size())
+	}
+	return cc.c.rt.mc.Multicast(transport.SliceGroup(cc.c.ctx, slice), transport.Message{
+		Comm:    cc.c.ctx,
+		Tag:     mcastSliceTag(slice),
+		Seq:     cc.seq,
+		Class:   class,
+		Payload: payload,
+	})
+}
+
+// RecvMulticast blocks for this operation's whole-communicator multicast
+// message (sliced multicasts never match it).
 func (cc CollCtx) RecvMulticast() (transport.Message, error) {
 	if cc.c.rt.mc == nil {
 		return transport.Message{}, ErrNoMulticast
 	}
 	return cc.c.rt.recvMatch(func(m *transport.Message) bool {
-		return m.Kind == transport.Mcast && m.Comm == cc.c.ctx && m.Seq == cc.seq
+		return m.Kind == transport.Mcast && m.Comm == cc.c.ctx && m.Seq == cc.seq && m.Tag == 0
+	})
+}
+
+// RecvMulticastSlice blocks for this operation's multicast addressed to
+// the slice group of communicator rank slice (normally the caller's own
+// rank — the only slice group it subscribes to).
+func (cc CollCtx) RecvMulticastSlice(slice int) (transport.Message, error) {
+	if cc.c.rt.mc == nil {
+		return transport.Message{}, ErrNoMulticast
+	}
+	want := mcastSliceTag(slice)
+	return cc.c.rt.recvMatch(func(m *transport.Message) bool {
+		return m.Kind == transport.Mcast && m.Comm == cc.c.ctx && m.Seq == cc.seq && m.Tag == want
 	})
 }
 
@@ -133,8 +180,88 @@ func (cc CollCtx) RecvMulticastTimeout(timeout int64) (transport.Message, bool, 
 		return transport.Message{}, false, ErrNoMulticast
 	}
 	return cc.c.rt.recvMatchTimeout(func(m *transport.Message) bool {
-		return m.Kind == transport.Mcast && m.Comm == cc.c.ctx && m.Seq == cc.seq
+		return m.Kind == transport.Mcast && m.Comm == cc.c.ctx && m.Seq == cc.seq && m.Tag == 0
 	}, timeout)
+}
+
+// RecvMulticastSliceTimeout is RecvMulticastSlice with a timeout.
+func (cc CollCtx) RecvMulticastSliceTimeout(slice int, timeout int64) (transport.Message, bool, error) {
+	if cc.c.rt.mc == nil {
+		return transport.Message{}, false, ErrNoMulticast
+	}
+	want := mcastSliceTag(slice)
+	return cc.c.rt.recvMatchTimeout(func(m *transport.Message) bool {
+		return m.Kind == transport.Mcast && m.Comm == cc.c.ctx && m.Seq == cc.seq && m.Tag == want
+	}, timeout)
+}
+
+// LastMulticastID returns the device message id of this rank's most
+// recent multicast, or 0 when the device does not expose fragment repair.
+// Senders capture it after each data multicast so selective repair
+// requests can be matched to the round's message.
+func (cc CollCtx) LastMulticastID() uint64 {
+	if fr, ok := cc.c.rt.ep.(transport.FragmentRepairer); ok {
+		return fr.LastMulticastID()
+	}
+	return 0
+}
+
+// MissingFrom reports the newest partially reassembled multicast from
+// communicator rank src at this rank's device: its message id and the
+// missing fragment indexes. ok=false when nothing is pending or the
+// device does not expose reassembly state.
+func (cc CollCtx) MissingFrom(src int) (msgID uint64, missing []int, ok bool) {
+	fr, isFr := cc.c.rt.ep.(transport.FragmentRepairer)
+	if !isFr || src < 0 || src >= cc.c.Size() {
+		return 0, nil, false
+	}
+	return fr.PendingFrom(cc.c.group[src])
+}
+
+// MulticastRepair retransmits the named fragments (nil = all) of this
+// operation's earlier whole-communicator multicast under its original
+// device message id. Devices without fragment repair fall back to a
+// fresh whole-message multicast.
+func (cc CollCtx) MulticastRepair(payload []byte, class transport.Class, msgID uint64, frags []int) error {
+	return cc.repair(cc.c.ctx, 0, payload, class, msgID, frags)
+}
+
+// MulticastSliceRepair is MulticastRepair for an earlier sliced
+// multicast to communicator rank slice's group.
+func (cc CollCtx) MulticastSliceRepair(slice int, payload []byte, class transport.Class, msgID uint64, frags []int) error {
+	if slice < 0 || slice >= cc.c.Size() {
+		return fmt.Errorf("%w: repair to slice %d (size %d)", ErrInvalidRank, slice, cc.c.Size())
+	}
+	return cc.repair(transport.SliceGroup(cc.c.ctx, slice), mcastSliceTag(slice), payload, class, msgID, frags)
+}
+
+func (cc CollCtx) repair(group uint32, tag int32, payload []byte, class transport.Class, msgID uint64, frags []int) error {
+	if cc.c.rt.mc == nil {
+		return ErrNoMulticast
+	}
+	m := transport.Message{
+		Comm:    cc.c.ctx,
+		Tag:     tag,
+		Seq:     cc.seq,
+		Class:   class,
+		Payload: payload,
+	}
+	fr, isFr := cc.c.rt.ep.(transport.FragmentRepairer)
+	if !isFr || msgID == 0 {
+		// No fragment repair on this device (or the original id is
+		// unknown): resend the whole message as a fresh multicast.
+		return cc.c.rt.mc.Multicast(group, m)
+	}
+	return fr.RepairMulticast(group, m, msgID, frags)
+}
+
+// Pace suspends the calling rank for d nanoseconds on the device clock
+// when the device supports pacing, and returns immediately otherwise.
+// The pipelined round engine paces sub-frame data multicasts with it.
+func (cc CollCtx) Pace(d int64) {
+	if p, ok := cc.c.rt.ep.(transport.Pacer); ok {
+		p.Pace(d)
+	}
 }
 
 // RecvControl blocks for any point-to-point protocol message of this

@@ -293,9 +293,17 @@ func newComm(rt *Runtime, ctx uint32, group []int, algs Algorithms) (*Comm, erro
 	}
 	// Receivers must belong to the communicator's multicast group before
 	// any collective runs — the receiver-directed half of IP multicast.
+	// Each rank additionally joins its own slice group, the per-slice
+	// address the slice-granular collectives (sliced scatter, sliced
+	// alltoall rounds) multicast fragments to: subscribing only to the
+	// slice it owns is what lets the NIC drop every foreign-slice
+	// fragment instead of delivering the whole N·M buffer.
 	if rt.mc != nil {
 		if err := rt.mc.Join(ctx); err != nil {
 			return nil, fmt.Errorf("mpi: joining multicast group %d: %w", ctx, err)
+		}
+		if err := rt.mc.Join(transport.SliceGroup(ctx, me)); err != nil {
+			return nil, fmt.Errorf("mpi: joining slice group of rank %d: %w", me, err)
 		}
 		c.joined = true
 	}
@@ -327,7 +335,14 @@ func (c *Comm) Now() int64 { return c.rt.ep.Now() }
 func (c *Comm) Free() error {
 	if c.joined && c.rt.mc != nil {
 		c.joined = false
-		return c.rt.mc.Leave(c.ctx)
+		// Attempt both leaves even if one fails, so an error on the
+		// slice group cannot leak the communicator-group membership.
+		sliceErr := c.rt.mc.Leave(transport.SliceGroup(c.ctx, c.rank))
+		ctxErr := c.rt.mc.Leave(c.ctx)
+		if sliceErr != nil {
+			return sliceErr
+		}
+		return ctxErr
 	}
 	return nil
 }

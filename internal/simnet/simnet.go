@@ -74,9 +74,13 @@ type Profile struct {
 	// dropped (socket-buffer overflow).
 	RecvRing int
 	// StrictPosted, when true, drops any multicast fragment arriving
-	// while the destination rank is not blocked in Recv — the paper's
+	// while the destination rank is not inside a Recv call — the paper's
 	// "if a receiver is not ready … the message is lost" semantics in
-	// their sharpest form.
+	// their sharpest form. The posted scope covers the whole call,
+	// including the host processing charged after a message is popped
+	// (a VIA-style descriptor stays posted while the CPU copies an
+	// earlier message out); ranks that are sending or computing between
+	// calls are unposted.
 	StrictPosted bool
 	// LossRate injects independent random loss of multicast fragments
 	// (0 disables). Point-to-point traffic is never dropped, matching
@@ -84,6 +88,13 @@ type Profile struct {
 	// paths while IP multicast is the unreliable one. Used to exercise
 	// the ACK/NACK recovery protocols.
 	LossRate float64
+	// DropFrag, when non-nil, is consulted for every multicast fragment
+	// arriving at an endpoint (before delivery and before the strict
+	// posted-receive check); returning true drops the fragment and
+	// counts it in Stats.InjectedLosses. It gives tests deterministic,
+	// surgical loss — "drop exactly fragment 37 of the next multicast at
+	// rank 3" — where LossRate only offers seeded randomness.
+	DropFrag func(dst int, f transport.Fragment) bool
 	// Seed drives all randomness (CSMA/CD backoff, loss injection).
 	Seed uint64
 }
@@ -241,21 +252,36 @@ type arrived struct {
 	frags int
 }
 
+// DeliveredStats counts what one endpoint actually handed up to its rank
+// — the receiver-side cost slice filtering is about: fragments addressed
+// to a foreign slice group never reach the endpoint (the NIC's multicast
+// filter, or the switch's IGMP snooping, drops them), so a sliced
+// collective's per-receiver delivered bytes match the unicast byte count
+// even though the wire carries multicast.
+type DeliveredStats struct {
+	Messages  int64 // reassembled messages queued for the rank
+	Frames    int64 // fragments of those messages
+	Bytes     int64 // payload bytes of those messages
+	DataBytes int64 // payload bytes of ClassData messages only
+}
+
 // Endpoint is one rank's attachment to the simulated network. It
 // implements transport.Endpoint and transport.Multicaster. All methods
 // must be called from the rank program started by Network.Run.
 type Endpoint struct {
-	nw      *Network
-	rank    int
-	proc    *sim.Proc
-	node    *ipnet.Node
-	inbox   *sim.Queue[arrived]
-	reasm   transport.Reassembler
-	fragCnt map[reasmID]int
-	msgID   uint64
-	posted  int
-	lossRng *sim.Rand
-	closed  bool
+	nw        *Network
+	rank      int
+	proc      *sim.Proc
+	node      *ipnet.Node
+	inbox     *sim.Queue[arrived]
+	reasm     transport.Reassembler
+	fragCnt   map[reasmID]int
+	msgID     uint64
+	lastMcast uint64
+	posted    int
+	lossRng   *sim.Rand
+	closed    bool
+	delivered DeliveredStats
 }
 
 type reasmID struct {
@@ -264,8 +290,10 @@ type reasmID struct {
 }
 
 var (
-	_ transport.Endpoint    = (*Endpoint)(nil)
-	_ transport.Multicaster = (*Endpoint)(nil)
+	_ transport.Endpoint         = (*Endpoint)(nil)
+	_ transport.Multicaster      = (*Endpoint)(nil)
+	_ transport.FragmentRepairer = (*Endpoint)(nil)
+	_ transport.Pacer            = (*Endpoint)(nil)
 )
 
 // Rank implements transport.Endpoint.
@@ -337,22 +365,34 @@ func (ep *Endpoint) Multicast(group uint32, m transport.Message) error {
 }
 
 func (ep *Endpoint) transmit(dst ipnet.Addr, m transport.Message) error {
+	m.Src = ep.rank
+	ep.msgID++
+	if m.Kind == transport.Mcast {
+		ep.lastMcast = ep.msgID
+	}
+	return ep.transmitFrags(dst, m, transport.Split(m, ep.msgID, MaxFragPayload))
+}
+
+// transmitFrags charges the host-side send cost for frags of m and hands
+// them to the stack; the repair path calls it with a fragment subset.
+func (ep *Endpoint) transmitFrags(dst ipnet.Addr, m transport.Message, frags []transport.Fragment) error {
 	p := ep.proc
 	if p == nil {
 		panic("simnet: endpoint used outside Network.Run")
 	}
-	m.Src = ep.rank
-	ep.msgID++
-	frags := transport.Split(m, ep.msgID, MaxFragPayload)
+	bytes := 0
+	for _, f := range frags {
+		bytes += len(f.Msg.Payload)
+	}
 	prof := &ep.nw.prof
 	// Host-side cost: per-message overhead, per-fragment cost, and the
 	// reliable-protocol penalty for TCP-like traffic.
-	cost := prof.OSend + sim.Duration(len(frags))*prof.OFrag + sim.Duration(len(m.Payload))*prof.OByte
+	cost := prof.OSend + sim.Duration(len(frags))*prof.OFrag + sim.Duration(bytes)*prof.OByte
 	if m.Reliable {
 		cost += prof.TCPPenalty
 	}
 	p.Sleep(cost)
-	ep.nw.Wire.CountSend(m.Class, len(frags), len(m.Payload))
+	ep.nw.Wire.CountSend(m.Class, len(frags), bytes)
 	for _, f := range frags {
 		err := ep.node.SendUDP(ipnet.Datagram{
 			Dst:     dst,
@@ -367,6 +407,52 @@ func (ep *Endpoint) transmit(dst ipnet.Addr, m transport.Message) error {
 	return nil
 }
 
+// LastMulticastID implements transport.FragmentRepairer.
+func (ep *Endpoint) LastMulticastID() uint64 { return ep.lastMcast }
+
+// RepairMulticast implements transport.FragmentRepairer: it retransmits
+// the named fragments of m (nil = all) to group under the original
+// message id, so they complete receivers' partial reassembly.
+func (ep *Endpoint) RepairMulticast(group uint32, m transport.Message, msgID uint64, frags []int) error {
+	if ep.closed {
+		return transport.ErrClosed
+	}
+	m.Kind = transport.Mcast
+	m.Src = ep.rank
+	all := transport.Split(m, msgID, MaxFragPayload)
+	send := all
+	if frags != nil {
+		send = send[:0:0]
+		for _, idx := range frags {
+			if idx < 0 || idx >= len(all) {
+				return fmt.Errorf("simnet: repair names fragment %d of %d", idx, len(all))
+			}
+			send = append(send, all[idx])
+		}
+	}
+	return ep.transmitFrags(ipnet.GroupAddr(group), m, send)
+}
+
+// PendingFrom implements transport.FragmentRepairer from the endpoint's
+// reassembly state.
+func (ep *Endpoint) PendingFrom(src int) (msgID uint64, missing []int, ok bool) {
+	return ep.reasm.PendingFrom(src)
+}
+
+// Pace implements transport.Pacer as virtual-time sleep.
+func (ep *Endpoint) Pace(d int64) {
+	p := ep.proc
+	if p == nil {
+		panic("simnet: endpoint used outside Network.Run")
+	}
+	if d > 0 {
+		p.Sleep(sim.Duration(d))
+	}
+}
+
+// Delivered returns the endpoint's delivery counters.
+func (ep *Endpoint) Delivered() DeliveredStats { return ep.delivered }
+
 // handleDatagram runs in event context when a UDP datagram reaches the
 // rank's stack.
 func (ep *Endpoint) handleDatagram(d ipnet.Datagram) {
@@ -376,6 +462,10 @@ func (ep *Endpoint) handleDatagram(d ipnet.Datagram) {
 	prof := &ep.nw.prof
 	f, err := transport.DecodeFragment(d.Payload)
 	if err != nil {
+		return
+	}
+	if prof.DropFrag != nil && f.Msg.Kind == transport.Mcast && prof.DropFrag(ep.rank, f) {
+		ep.nw.Stats.InjectedLosses++
 		return
 	}
 	if prof.LossRate > 0 && f.Msg.Kind == transport.Mcast {
@@ -416,6 +506,12 @@ func (ep *Endpoint) handleDatagram(d ipnet.Datagram) {
 		ep.nw.Stats.RingOverflows++
 		return
 	}
+	ep.delivered.Messages++
+	ep.delivered.Frames += int64(nfrags)
+	ep.delivered.Bytes += int64(len(m.Payload))
+	if m.Class == transport.ClassData {
+		ep.delivered.DataBytes += int64(len(m.Payload))
+	}
 	ep.inbox.Push(arrived{msg: m, frags: nfrags})
 }
 
@@ -440,8 +536,13 @@ func (ep *Endpoint) sendKernelAcks(dst, n int) {
 	}
 }
 
-// Recv implements transport.Endpoint. Blocking in Recv is what "the
-// receive is posted" means for StrictPosted multicast delivery.
+// Recv implements transport.Endpoint. Being inside a Recv call is what
+// "the receive is posted" means for StrictPosted multicast delivery: the
+// posted scope covers the whole call, including the host processing
+// charged after the message is popped, because a VIA-style receive
+// descriptor stays posted while the CPU copies an earlier message out —
+// the NIC delivers concurrently arriving fragments into it regardless.
+// Only ranks that are sending or computing between calls are unposted.
 func (ep *Endpoint) Recv() (transport.Message, error) {
 	p := ep.proc
 	if p == nil {
@@ -451,8 +552,8 @@ func (ep *Endpoint) Recv() (transport.Message, error) {
 		return transport.Message{}, transport.ErrClosed
 	}
 	ep.posted++
+	defer func() { ep.posted-- }()
 	a, ok := ep.inbox.Recv(p)
-	ep.posted--
 	if !ok {
 		return transport.Message{}, transport.ErrClosed
 	}
@@ -461,7 +562,8 @@ func (ep *Endpoint) Recv() (transport.Message, error) {
 	return a.msg, nil
 }
 
-// RecvTimeout implements transport.DeadlineRecver against virtual time.
+// RecvTimeout implements transport.DeadlineRecver against virtual time,
+// with the same whole-call posted scope as Recv.
 func (ep *Endpoint) RecvTimeout(timeout int64) (transport.Message, bool, error) {
 	p := ep.proc
 	if p == nil {
@@ -471,8 +573,8 @@ func (ep *Endpoint) RecvTimeout(timeout int64) (transport.Message, bool, error) 
 		return transport.Message{}, false, transport.ErrClosed
 	}
 	ep.posted++
+	defer func() { ep.posted-- }()
 	a, ok := ep.inbox.RecvDeadline(p, ep.nw.eng.Now()+sim.Time(timeout))
-	ep.posted--
 	if !ok {
 		if ep.inbox.Closed() {
 			return transport.Message{}, false, transport.ErrClosed

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 )
 
 // Wire format shared by the simulated and the real UDP transports. Every
@@ -141,11 +142,95 @@ func Split(m Message, msgID uint64, maxPayload int) []Fragment {
 	return frags
 }
 
+// SliceGroup derives the multicast group id of one destination slice of
+// a communicator: the group the slice-granular collectives (sliced
+// scatter, sliced alltoall rounds) address the fragments of slice to, so
+// that only the endpoint owning the slice subscribes and every other
+// endpoint's NIC drops the foreign fragments without delivering them.
+// The derivation is a pure function of (ctx, slice), so every member
+// computes the same id without communication, exactly like the
+// communicator context derivation in package mpi.
+func SliceGroup(ctx uint32, slice int) uint32 {
+	h := fnv.New32a()
+	var b [9]byte
+	b[0] = 0x5C // domain separator: slice groups never equal a raw context
+	binary.BigEndian.PutUint32(b[1:5], ctx)
+	binary.BigEndian.PutUint32(b[5:9], uint32(slice))
+	h.Write(b[:])
+	id := h.Sum32()
+	if id <= 1 { // keep clear of the world context
+		id += 2
+	}
+	return id
+}
+
+// Selective-repair request payload: a NACK that names the fragments the
+// receiver is missing, so the sender retransmits O(missing) frames under
+// the same message id instead of re-multicasting the whole message.
+//
+//	offset size field
+//	0      8    msgID of the partially received message (0 = none)
+//	8      2    number of missing fragment indexes
+//	10     2·n  missing fragment indexes
+//
+// An empty index list (or a zero msgID) requests a full resend: the
+// receiver saw nothing of the message it can name.
+const repairReqHeader = 10
+
+// EncodeRepairReq serializes a selective-repair request.
+func EncodeRepairReq(msgID uint64, missing []int) []byte {
+	if len(missing) > 0xFFFF {
+		missing = missing[:0xFFFF]
+	}
+	b := make([]byte, repairReqHeader+2*len(missing))
+	binary.BigEndian.PutUint64(b[0:8], msgID)
+	binary.BigEndian.PutUint16(b[8:10], uint16(len(missing)))
+	for i, idx := range missing {
+		binary.BigEndian.PutUint16(b[repairReqHeader+2*i:], uint16(idx))
+	}
+	return b
+}
+
+// DecodeRepairReq parses a selective-repair request. A nil or empty
+// payload decodes as a full-resend request (msgID 0, no indexes).
+func DecodeRepairReq(b []byte) (msgID uint64, missing []int, err error) {
+	if len(b) == 0 {
+		return 0, nil, nil
+	}
+	if len(b) < repairReqHeader {
+		return 0, nil, fmt.Errorf("%w: repair request %d bytes", ErrBadPacket, len(b))
+	}
+	msgID = binary.BigEndian.Uint64(b[0:8])
+	n := int(binary.BigEndian.Uint16(b[8:10]))
+	if len(b) < repairReqHeader+2*n {
+		return 0, nil, fmt.Errorf("%w: repair request names %d indexes in %d bytes", ErrBadPacket, n, len(b))
+	}
+	for i := 0; i < n; i++ {
+		missing = append(missing, int(binary.BigEndian.Uint16(b[repairReqHeader+2*i:])))
+	}
+	return msgID, missing, nil
+}
+
 // Reassembler collects fragments into complete messages. Duplicate
-// fragments (retransmissions) are tolerated. The zero value is ready to
-// use.
+// fragments (retransmissions) are tolerated, including selective repairs
+// of an already completed multicast: a per-source watermark of completed
+// multi-fragment multicast ids suppresses them, so a repair multicast
+// under the original message id cannot resurrect ghost partial state at
+// receivers that already delivered the message.
+//
+// The watermark relies on a protocol-level invariant, not a transport
+// one: message ids are monotonic per sender, and the collective
+// protocols never start a sender's next multicast until every receiver
+// has confirmed (or been scout-gated past) the previous one, so a
+// fragment at or below the watermark with no partial state can only be
+// a stray repair. An ungated protocol that interleaves a sender's
+// multicasts across groups could see a newer id complete first on a
+// transport without per-source FIFO delivery (udpnet reads each group's
+// socket on its own goroutine) and must not rely on this suppression.
+// The zero value is ready to use.
 type Reassembler struct {
-	pending map[reasmKey]*reasmState
+	pending   map[reasmKey]*reasmState
+	mcastDone map[int]uint64 // per-src highest completed multi-fragment mcast id
 }
 
 type reasmKey struct {
@@ -176,6 +261,9 @@ func (r *Reassembler) Add(f Fragment) (m Message, done bool, err error) {
 	key := reasmKey{src: f.Msg.Src, msgID: f.MsgID}
 	st := r.pending[key]
 	if st == nil {
+		if f.Msg.Kind == Mcast && f.MsgID <= r.mcastDone[f.Msg.Src] {
+			return m, false, nil // stray repair of a completed multicast
+		}
 		st = &reasmState{
 			buf:      make([]byte, f.TotalLen),
 			got:      make([]bool, f.Count),
@@ -197,6 +285,14 @@ func (r *Reassembler) Add(f Fragment) (m Message, done bool, err error) {
 		return m, false, nil
 	}
 	delete(r.pending, key)
+	if f.Msg.Kind == Mcast {
+		if r.mcastDone == nil {
+			r.mcastDone = make(map[int]uint64)
+		}
+		if f.MsgID > r.mcastDone[f.Msg.Src] {
+			r.mcastDone[f.Msg.Src] = f.MsgID
+		}
+	}
 	m = st.template
 	m.Payload = st.buf
 	return m, true, nil
@@ -204,6 +300,24 @@ func (r *Reassembler) Add(f Fragment) (m Message, done bool, err error) {
 
 // Pending reports the number of partially reassembled messages.
 func (r *Reassembler) Pending() int { return len(r.pending) }
+
+// PendingFrom returns the newest partially reassembled message from
+// world rank src: its message id and the sorted missing fragment
+// indexes. ok=false means nothing from src is pending. Receiver-driven
+// repair protocols use it to name exactly the fragments a NACK should
+// request; the newest partial is the one belonging to the current
+// protocol round (older ones are stragglers of abandoned messages).
+func (r *Reassembler) PendingFrom(src int) (msgID uint64, missing []int, ok bool) {
+	for key := range r.pending {
+		if key.src == src && (!ok || key.msgID > msgID) {
+			msgID, ok = key.msgID, true
+		}
+	}
+	if !ok {
+		return 0, nil, false
+	}
+	return msgID, r.Missing(src, msgID), true
+}
 
 // Missing returns the indexes of fragments not yet received for the
 // message identified by (src, msgID). A nil slice means the message is

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -223,5 +224,113 @@ func TestAddCopiesSingleFragmentPayload(t *testing.T) {
 	buf[0] = 'X'
 	if m.Payload[0] == 'X' {
 		t.Fatal("reassembled payload aliases the wire buffer")
+	}
+}
+
+func TestRepairReqRoundTrip(t *testing.T) {
+	msgID, missing, err := DecodeRepairReq(EncodeRepairReq(77, []int{0, 3, 9000}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgID != 77 || len(missing) != 3 || missing[0] != 0 || missing[1] != 3 || missing[2] != 9000 {
+		t.Fatalf("round trip gave msgID=%d missing=%v", msgID, missing)
+	}
+	// Empty payload = full-resend request.
+	if id, miss, err := DecodeRepairReq(nil); err != nil || id != 0 || miss != nil {
+		t.Fatalf("nil payload decoded as %d/%v/%v", id, miss, err)
+	}
+	// Truncated payloads must error, not panic.
+	for _, n := range []int{1, 9} {
+		if _, _, err := DecodeRepairReq(make([]byte, n)); err == nil {
+			t.Errorf("truncated %d-byte request accepted", n)
+		}
+	}
+	// A request whose index list is shorter than its count must error.
+	short := EncodeRepairReq(5, []int{1, 2, 3})
+	if _, _, err := DecodeRepairReq(short[:len(short)-2]); err == nil {
+		t.Error("truncated index list accepted")
+	}
+}
+
+func TestSliceGroupDistinctAndStable(t *testing.T) {
+	seen := map[uint32]string{}
+	for _, ctx := range []uint32{1, 2, 0xDEADBEEF} {
+		for slice := 0; slice < 16; slice++ {
+			g := SliceGroup(ctx, slice)
+			if g != SliceGroup(ctx, slice) {
+				t.Fatal("derivation not deterministic")
+			}
+			if g <= 1 {
+				t.Fatalf("slice group %d collides with the world context space", g)
+			}
+			key := fmt.Sprintf("ctx=%d slice=%d", ctx, slice)
+			if prev, dup := seen[g]; dup {
+				t.Fatalf("slice group collision: %s and %s both map to %d", prev, key, g)
+			}
+			seen[g] = key
+		}
+	}
+}
+
+// TestReassemblerRepairOfCompletedMessage: a selective repair multicast
+// under the original message id must not resurrect partial state at a
+// receiver that already completed the message, while a receiver that
+// never saw the message still completes from the (full) repair.
+func TestReassemblerRepairOfCompletedMessage(t *testing.T) {
+	m := Message{Kind: Mcast, Src: 2, Payload: bytes.Repeat([]byte{7}, 2500)}
+	frags := Split(m, 5, 1000)
+	var r Reassembler
+	for _, f := range frags {
+		if _, done, err := r.Add(f); err != nil {
+			t.Fatal(err)
+		} else if done && r.Pending() != 0 {
+			t.Fatal("pending state after completion")
+		}
+	}
+	// A stray repair fragment of the completed id is absorbed silently.
+	if _, done, err := r.Add(frags[1]); err != nil || done {
+		t.Fatalf("stray repair fragment: done=%v err=%v", done, err)
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("stray repair resurrected %d partial messages", r.Pending())
+	}
+	// A receiver that lost everything completes from a full repair under
+	// the same id (its watermark has not advanced past it).
+	var fresh Reassembler
+	for i, f := range frags {
+		got, done, err := fresh.Add(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == len(frags)-1 {
+			if !done || !bytes.Equal(got.Payload, m.Payload) {
+				t.Fatal("full repair did not complete the message")
+			}
+		}
+	}
+}
+
+func TestReassemblerPendingFrom(t *testing.T) {
+	var r Reassembler
+	if _, _, ok := r.PendingFrom(3); ok {
+		t.Fatal("empty reassembler reports pending state")
+	}
+	older := Split(Message{Kind: Mcast, Src: 3, Payload: make([]byte, 3000)}, 8, 1000)
+	newer := Split(Message{Kind: Mcast, Src: 3, Payload: make([]byte, 3000)}, 9, 1000)
+	if _, _, err := r.Add(older[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Add(newer[2]); err != nil {
+		t.Fatal(err)
+	}
+	msgID, missing, ok := r.PendingFrom(3)
+	if !ok || msgID != 9 {
+		t.Fatalf("PendingFrom = %d/%v, want the newest partial (9)", msgID, ok)
+	}
+	if len(missing) != 2 || missing[0] != 0 || missing[1] != 1 {
+		t.Fatalf("missing = %v, want [0 1]", missing)
+	}
+	if _, _, ok := r.PendingFrom(4); ok {
+		t.Fatal("wrong source reports pending state")
 	}
 }

@@ -134,6 +134,44 @@ type Multicaster interface {
 	Multicast(group uint32, m Message) error
 }
 
+// FragmentRepairer is the optional capability of fragment-granular
+// multicast repair. Devices that fragment messages on the wire (the
+// simulator, real UDP) expose it so the NACK protocols in package core
+// can retransmit only the fragments a receiver names — making repair
+// convergence independent of message size — and so receivers can name
+// them, via the device's reassembly state. Devices without an MTU (the
+// in-process channel transport) simply do not implement it and the
+// protocols fall back to whole-message repair.
+type FragmentRepairer interface {
+	// LastMulticastID returns the device message id stamped on this
+	// endpoint's most recent multicast (0 before the first). Senders
+	// capture it right after a Multicast so later repair requests can be
+	// matched against the round's data message.
+	LastMulticastID() uint64
+	// RepairMulticast retransmits the named fragments of m to group
+	// under the original message id, so they complete the receivers'
+	// partial reassembly instead of starting a fresh message. A nil
+	// fragment list resends every fragment (full repair). m must carry
+	// the exact payload of the original multicast.
+	RepairMulticast(group uint32, m Message, msgID uint64, frags []int) error
+	// PendingFrom reports the newest partially reassembled multicast
+	// from world rank src: its message id and missing fragment indexes.
+	// ok=false means nothing from src is pending (the message was never
+	// seen at all, or already completed).
+	PendingFrom(src int) (msgID uint64, missing []int, ok bool)
+}
+
+// Pacer is the optional capability of pausing the calling rank for a
+// duration on the endpoint's clock (virtual time under the simulator,
+// wall time otherwise). The pipelined round engine uses it to pace a
+// sub-frame data multicast by a scout-frame time so the multicast cannot
+// land inside a receiver's scout-forwarding window (see package core).
+// Devices without a useful notion of pacing simply do not implement it.
+type Pacer interface {
+	// Pace suspends the calling rank for d nanoseconds.
+	Pace(d int64)
+}
+
 // DeadlineRecver is the optional capability of receiving with a timeout,
 // needed by acknowledgment-based reliability protocols (the PVM-style
 // sender-repeats-until-acked broadcast the paper compares against).

@@ -181,12 +181,13 @@ type Endpoint struct {
 	uc    *net.UDPConn
 	peers []*net.UDPAddr
 
-	mu     sync.Mutex
-	groups map[uint32]*net.UDPConn
-	reasm  transport.Reassembler
-	msgID  uint64
-	closed bool
-	stats  Stats
+	mu        sync.Mutex
+	groups    map[uint32]*net.UDPConn
+	reasm     transport.Reassembler
+	msgID     uint64
+	lastMcast uint64
+	closed    bool
+	stats     Stats
 
 	inbox chan transport.Message
 	done  chan struct{}
@@ -194,9 +195,11 @@ type Endpoint struct {
 }
 
 var (
-	_ transport.Endpoint       = (*Endpoint)(nil)
-	_ transport.Multicaster    = (*Endpoint)(nil)
-	_ transport.DeadlineRecver = (*Endpoint)(nil)
+	_ transport.Endpoint         = (*Endpoint)(nil)
+	_ transport.Multicaster      = (*Endpoint)(nil)
+	_ transport.DeadlineRecver   = (*Endpoint)(nil)
+	_ transport.FragmentRepairer = (*Endpoint)(nil)
+	_ transport.Pacer            = (*Endpoint)(nil)
 )
 
 // Rank implements transport.Endpoint.
@@ -243,10 +246,17 @@ func (ep *Endpoint) write(dst *net.UDPAddr, m transport.Message) error {
 	}
 	ep.msgID++
 	id := ep.msgID
+	if m.Kind == transport.Mcast {
+		ep.lastMcast = id
+	}
 	ep.mu.Unlock()
 
 	m.Src = ep.rank
-	for _, f := range transport.Split(m, id, ep.net.cfg.FragSize) {
+	return ep.writeFrags(dst, transport.Split(m, id, ep.net.cfg.FragSize))
+}
+
+func (ep *Endpoint) writeFrags(dst *net.UDPAddr, frags []transport.Fragment) error {
+	for _, f := range frags {
 		if _, err := ep.uc.WriteToUDP(transport.EncodeFragment(f), dst); err != nil {
 			return fmt.Errorf("udpnet: write to %v: %w", dst, err)
 		}
@@ -255,6 +265,55 @@ func (ep *Endpoint) write(dst *net.UDPAddr, m transport.Message) error {
 		ep.mu.Unlock()
 	}
 	return nil
+}
+
+// LastMulticastID implements transport.FragmentRepairer.
+func (ep *Endpoint) LastMulticastID() uint64 {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.lastMcast
+}
+
+// RepairMulticast implements transport.FragmentRepairer: the named
+// fragments of m (nil = all) are retransmitted to group under the
+// original message id, completing receivers' partial reassembly.
+func (ep *Endpoint) RepairMulticast(group uint32, m transport.Message, msgID uint64, frags []int) error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return transport.ErrClosed
+	}
+	ep.mu.Unlock()
+	m.Kind = transport.Mcast
+	m.Src = ep.rank
+	all := transport.Split(m, msgID, ep.net.cfg.FragSize)
+	send := all
+	if frags != nil {
+		send = send[:0:0]
+		for _, idx := range frags {
+			if idx < 0 || idx >= len(all) {
+				return fmt.Errorf("udpnet: repair names fragment %d of %d", idx, len(all))
+			}
+			send = append(send, all[idx])
+		}
+	}
+	dst := &net.UDPAddr{IP: ep.net.cfg.groupIP(group), Port: ep.net.cfg.McastPort}
+	return ep.writeFrags(dst, send)
+}
+
+// PendingFrom implements transport.FragmentRepairer from the endpoint's
+// reassembly state.
+func (ep *Endpoint) PendingFrom(src int) (msgID uint64, missing []int, ok bool) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.reasm.PendingFrom(src)
+}
+
+// Pace implements transport.Pacer as a wall-clock sleep.
+func (ep *Endpoint) Pace(d int64) {
+	if d > 0 {
+		time.Sleep(time.Duration(d))
+	}
 }
 
 // Join implements transport.Multicaster: it opens a socket bound to the

@@ -14,13 +14,15 @@ import (
 	"repro/internal/workload"
 )
 
-// TestScenarioSmoke runs a minimal bench.Run for every protocol the
-// harness knows, on both topologies' default ops.
+// TestScenarioSmoke runs a minimal bench.Run for every registered
+// protocol except the deliberately lossy Unsafe ablation, so a newly
+// registered algorithm cannot dodge the measurement pipeline.
 func TestScenarioSmoke(t *testing.T) {
-	algs := []bench.Algorithm{
-		bench.MPICH, bench.McastBinary, bench.McastLinear,
-		bench.McastPipelined, bench.McastAck, bench.McastNack,
-		bench.Sequencer,
+	var algs []bench.Algorithm
+	for _, a := range bench.Algorithms() {
+		if a != bench.Unsafe {
+			algs = append(algs, a)
+		}
 	}
 	for _, alg := range algs {
 		alg := alg
@@ -45,7 +47,10 @@ func TestScenarioSmoke(t *testing.T) {
 // a newly registered collective fails this smoke until it dispatches
 // cleanly — a registered op that panics or errors fails the bench smoke.
 func TestCollectiveScenarioSmoke(t *testing.T) {
-	for _, alg := range []bench.Algorithm{bench.MPICH, bench.McastBinary, bench.McastPipelined} {
+	for _, alg := range []bench.Algorithm{
+		bench.MPICH, bench.McastBinary, bench.McastPipelined,
+		bench.McastResilient, bench.McastChunked, bench.McastWhole,
+	} {
 		for _, op := range workload.Ops() {
 			alg, op := alg, op
 			t.Run(fmt.Sprintf("%s/%s", alg, op), func(t *testing.T) {
@@ -86,10 +91,12 @@ func TestExtensionFigureRenders(t *testing.T) {
 	want := map[string][]string{
 		"14": {"mcast-binary", "mpich"},
 		"15": {"mcast-binary", "mpich"},
-		"16": {"mcast-binary", "mcast-pipelined", "mpich"},
+		"16": {"mcast-binary", "mcast-pipelined", "mcast-whole", "mpich"},
 		"17": {"mcast-binary", "mcast-pipelined"},
+		"18": {"mcast-whole", "sliced"},
+		"19": {"mcast-binary", "mcast-chunked", "mpich"},
 	}
-	for _, id := range []string{"14", "15", "16", "17"} {
+	for _, id := range []string{"14", "15", "16", "17", "18", "19"} {
 		d, ok := bench.Lookup(id)
 		if !ok {
 			t.Fatalf("figure %s not registered", id)
@@ -107,5 +114,24 @@ func TestExtensionFigureRenders(t *testing.T) {
 		if lines := strings.Split(r.CSV(), "\n"); len(lines) < 5 {
 			t.Fatalf("figure %s csv too short", id)
 		}
+	}
+}
+
+// TestFrameTableSelfChecks builds the A3 frame table (the artifact the
+// CI bench-smoke job uploads) and asserts every measured count matches
+// its formula — a frame-count regression anywhere in the suite turns a
+// row's match column into MISMATCH and fails this test.
+func TestFrameTableSelfChecks(t *testing.T) {
+	d, ok := bench.Lookup("a3")
+	if !ok {
+		t.Fatal("experiment a3 not registered")
+	}
+	r, err := d.Build(bench.Options{Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	if strings.Contains(out, "MISMATCH") {
+		t.Fatalf("frame table has mismatched rows:\n%s", out)
 	}
 }
