@@ -261,6 +261,28 @@ func BenchmarkExtAllgatherPipelinedSwitch8(b *testing.B) {
 	}
 }
 
+// BenchmarkExtNSweepSharedSwitch measures the figure 14n/15n points the
+// paper's 8-port testbed could not reach: the multicast suite against
+// the MPICH baseline at N ∈ {16, 32} on the shared-uplink switch (4
+// stations per port), where an uplink carries a multicast once per
+// segment but the unicast exchange once per destination.
+func BenchmarkExtNSweepSharedSwitch(b *testing.B) {
+	for _, procs := range []int{16, 32} {
+		for _, op := range []bench.Op{bench.OpAllgather, bench.OpAllreduce} {
+			for _, alg := range []bench.Algorithm{bench.MPICH, bench.McastBinary} {
+				b.Run(fmt.Sprintf("%s/%s/n=%d", op, alg, procs), func(b *testing.B) {
+					prof := simnet.DefaultProfile()
+					prof.UplinkFanout = 4
+					sc := bcastScenario(procs, simnet.SwitchShared, alg, 2000)
+					sc.Op = op
+					sc.Profile = &prof
+					simBench(b, sc)
+				})
+			}
+		}
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Wall-clock benchmarks: real transports and hot paths.
 

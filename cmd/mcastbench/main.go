@@ -1,12 +1,14 @@
 // Command mcastbench regenerates the paper's evaluation: every figure
-// (7–17, including the collective-suite extensions 14–17) and the
-// ablation experiments (a1–a4), measured on the simulated Fast Ethernet
-// testbed.
+// (7–19, including the collective-suite extensions and the shared-uplink
+// switch N-sweeps 14n/15n) and the ablation experiments (a1–a5),
+// measured on the simulated Fast Ethernet testbed.
 //
 // Usage:
 //
 //	mcastbench                  # run everything at paper methodology
 //	mcastbench -figure 8        # one experiment
+//	mcastbench -figure 14n      # allgather N-sweep, N in {4,8,16,32}
+//	mcastbench -figure a5       # shared-uplink queue occupancy + drop check
 //	mcastbench -quick           # coarse grid for a fast look
 //	mcastbench -reps 30 -step 100
 //	mcastbench -csv results/    # also write one CSV per experiment
@@ -24,7 +26,7 @@ import (
 
 func main() {
 	var (
-		figure = flag.String("figure", "all", "experiment id (7..17, a1..a4) or 'all'")
+		figure = flag.String("figure", "all", "experiment id (7..19, 14n, 15n, a1..a5) or 'all'")
 		reps   = flag.Int("reps", 20, "repetitions per point (paper used 20-30)")
 		step   = flag.Int("step", 250, "message size step in bytes")
 		max    = flag.Int("max", 5000, "maximum message size in bytes")

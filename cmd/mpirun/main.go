@@ -13,6 +13,8 @@
 //	mpirun -n 8 -workload alltoall -algorithm mcast-pipelined -size 1500
 //	mpirun -n 8 -workload scatter -algorithm mcast-resilient -size 4000
 //	mpirun -n 6 -workload pi
+//	mpirun -n 8 -workload allreduce -p2ploss 0.05   # drop 5% of p2p frames;
+//	                   # the reliable stream layer repairs them (stats printed)
 //	mpirun -probe      # check whether IP multicast works here
 //
 // The workload and algorithm lists come from the registries in
@@ -55,13 +57,14 @@ func algorithmNames() string {
 
 func main() {
 	var (
-		n     = flag.Int("n", 4, "number of ranks")
-		work  = flag.String("workload", "bcast", workloadNames())
-		alg   = flag.String("algorithm", "mcast-binary", algorithmNames())
-		size  = flag.Int("size", 1000, "message size in bytes (per-rank chunk for the rooted and all-to-all collectives)")
-		reps  = flag.Int("reps", 20, "repetitions")
-		port  = flag.Int("mcast-port", 45999, "multicast UDP port")
-		probe = flag.Bool("probe", false, "probe multicast support and exit")
+		n       = flag.Int("n", 4, "number of ranks")
+		work    = flag.String("workload", "bcast", workloadNames())
+		alg     = flag.String("algorithm", "mcast-binary", algorithmNames())
+		size    = flag.Int("size", 1000, "message size in bytes (per-rank chunk for the rooted and all-to-all collectives)")
+		reps    = flag.Int("reps", 20, "repetitions")
+		port    = flag.Int("mcast-port", 45999, "multicast UDP port")
+		probe   = flag.Bool("probe", false, "probe multicast support and exit")
+		p2ploss = flag.Float64("p2ploss", 0, "inject receiver-side point-to-point loss probability (exercises the reliable stream layer; stats printed after the run)")
 	)
 	flag.Parse()
 
@@ -88,6 +91,12 @@ func main() {
 
 	cfg := udpnet.DefaultConfig(*n)
 	cfg.McastPort = *port
+	cfg.P2PLossRate = *p2ploss
+	if *p2ploss > 0 {
+		// Repair promptly when the operator is deliberately dropping
+		// frames; the default RTO is tuned for quiet wires.
+		cfg.Stream.RTO = 20_000_000
+	}
 	switch {
 	case *work == "pi":
 		err = runPi(cfg, algs)
@@ -114,7 +123,7 @@ func isRegisteredOp(name string) bool {
 
 func runLatency(cfg udpnet.Config, algs mpi.Algorithms, work string, size, reps int) error {
 	samples := make([]float64, reps) // µs, max across ranks per rep
-	err := udpnet.Run(cfg, algs, func(c *mpi.Comm) error {
+	nw, err := udpnet.RunNet(cfg, algs, func(c *mpi.Comm) error {
 		op := workload.Make(c, workload.Op(work), size, 0)
 		for w := 0; w < 3; w++ { // warmup
 			if err := op(); err != nil {
@@ -149,6 +158,19 @@ func runLatency(cfg udpnet.Config, algs mpi.Algorithms, work string, size, reps 
 	fmt.Printf("%s n=%d size=%dB reps=%d (real UDP/IP multicast)\n", work, cfg.N, size, reps)
 	fmt.Printf("  median %8.1f µs   min %8.1f µs   max %8.1f µs\n",
 		samples[len(samples)/2], samples[0], samples[len(samples)-1])
+	if cfg.P2PLossRate > 0 {
+		var losses, streamed, retransmits, acks, probes int64
+		for i := 0; i < nw.Size(); i++ {
+			st := nw.Endpoint(i).Stats()
+			losses += st.InjectedP2PLosses
+			streamed += st.Stream.MsgsStreamed
+			retransmits += st.Stream.Retransmits
+			acks += st.Stream.AcksSent
+			probes += st.Stream.ProbesSent
+		}
+		fmt.Printf("  p2p loss %.1f%%: %d frames dropped, %d messages streamed, %d fragments retransmitted, %d probes, %d acks\n",
+			cfg.P2PLossRate*100, losses, streamed, retransmits, probes, acks)
+	}
 	return nil
 }
 

@@ -179,6 +179,56 @@ func TestConformanceInjectedLoss(t *testing.T) {
 	}
 }
 
+// TestConformanceP2PLoss drops point-to-point frames — the loss the
+// paper's model (and PR 3's NACK protocol) never covered: reduce halves,
+// gather chunks, scouts, repair NACKs, and the stream layer's own acks
+// and probes are all fair game. The reliable p2p stream must make every
+// collective loss-free for every frame kind:
+//
+//   - under pure p2p loss, the plain scout-gated suite survives (its
+//     multicast data is not at risk, and all its p2p rides the stream);
+//   - under combined multicast + p2p loss, the resilient suite survives
+//     both: the NACK protocol repairs multicast data while the stream
+//     repairs everything point-to-point, including lost NACKs and
+//     repair-of-repair exchanges.
+func TestConformanceP2PLoss(t *testing.T) {
+	cases := coretest.Grid([]int{2, 5, 8}, []int{0, 1, 1500, 4 * 1500})
+	for _, rate := range []float64{0.01, 0.05, 0.15} {
+		rate := rate
+		t.Run(fmt.Sprintf("p2p=%g", rate), func(t *testing.T) {
+			t.Run("mcast-binary", func(t *testing.T) {
+				prof := simnet.DefaultProfile()
+				prof.P2PLossRate = rate
+				prof.Seed = 23
+				prof.Stream.RTO = int64(3 * sim.Millisecond)
+				st := coretest.Check(t, coretest.SimRunner(simnet.Switch, prof, 0), core.Algorithms(core.Binary), cases)
+				if st.InjectedP2PLosses == 0 {
+					t.Fatal("p2p loss injection never fired; the claim is vacuous")
+				}
+				if st.StreamRetransmits == 0 {
+					t.Fatal("losses were injected but nothing was retransmitted")
+				}
+				t.Logf("recovered from %d injected p2p losses with %d retransmitted fragments",
+					st.InjectedP2PLosses, st.StreamRetransmits)
+			})
+			t.Run("mcast-resilient", func(t *testing.T) {
+				prof := simnet.DefaultProfile()
+				prof.P2PLossRate = rate
+				prof.LossRate = rate / 3
+				prof.Seed = 29
+				prof.Stream.RTO = int64(3 * sim.Millisecond)
+				algs := core.ResilientAlgorithms(core.NackOptions{Probe: int64(10 * sim.Millisecond), MaxRepairs: 64})
+				st := coretest.Check(t, coretest.SimRunner(simnet.Switch, prof, 0), algs, cases)
+				if st.InjectedP2PLosses == 0 || st.InjectedLosses == 0 {
+					t.Fatalf("loss injection never fired (mcast=%d p2p=%d)", st.InjectedLosses, st.InjectedP2PLosses)
+				}
+				t.Logf("recovered from %d mcast + %d p2p losses (%d stream retransmits, %d nacks)",
+					st.InjectedLosses, st.InjectedP2PLosses, st.StreamRetransmits, st.NackFrames)
+			})
+		})
+	}
+}
+
 // TestAlltoallLossWithoutRepairDeadlocks is the converse: the same loss
 // injection against the scout-only alltoall (no repair protocol) kills a
 // data fragment and the collective deadlocks — the failure mode the
@@ -213,15 +263,19 @@ func TestAlltoallLossWithoutRepairDeadlocks(t *testing.T) {
 // repair is itself lost or a probe fires early), so the per-loss repair
 // ratio is asserted flat across the grid.
 func TestConformanceGradedLossSweep(t *testing.T) {
-	// The chunk grid spans 1, 5 and 12 fragments per message. It stops
-	// below the switch's 64-frame egress queue for the gather funnel
-	// (N-1 senders converging ceil(M/T) fragments each on the root's
-	// port): switch-queue overflow drops point-to-point frames, which no
-	// NACK protocol covers — the shared-uplink switch-model item on the
-	// ROADMAP.
+	// The chunk grid spans 1, 5, 12 and 81 fragments per message. PR 3
+	// capped it below the switch's 64-frame egress queue because the
+	// gather funnel ((N-1) senders converging ceil(M/T) fragments each on
+	// the root's port) silently tail-dropped point-to-point frames that
+	// no protocol repaired; switch flow control (and, independently, the
+	// reliable p2p stream) lifted the cap, so the 81-fragment row now
+	// runs the funnel at 405 converging frames. The rate grid extends to
+	// p = 15%, where repair multicasts themselves lose fragments and the
+	// probe timer must scale with the observed inter-fragment arrival gap
+	// to avoid NACK storms.
 	const n = 6
 	algs := core.ResilientAlgorithms(core.NackOptions{Probe: int64(10 * sim.Millisecond), MaxRepairs: 64})
-	for _, chunk := range []int{1400, 7000, 16000} { // 1, 5, 12 fragments
+	for _, chunk := range []int{1400, 7000, 16000, 114000} { // 1, 5, 12, 81 fragments
 		chunk := chunk
 		t.Run(fmt.Sprintf("chunk=%d", chunk), func(t *testing.T) {
 			cases := []coretest.Case{{N: n, Chunk: chunk, Root: 0}}
@@ -230,7 +284,10 @@ func TestConformanceGradedLossSweep(t *testing.T) {
 			if base.InjectedLosses != 0 {
 				t.Fatalf("loss-free baseline reported %d losses", base.InjectedLosses)
 			}
-			for _, rate := range []float64{0.001, 0.01, 0.05} {
+			if base.QueueDrops != 0 {
+				t.Fatalf("flow control let %d frames tail-drop", base.QueueDrops)
+			}
+			for _, rate := range []float64{0.001, 0.01, 0.05, 0.15} {
 				rate := rate
 				t.Run(fmt.Sprintf("p=%g", rate), func(t *testing.T) {
 					prof := simnet.DefaultProfile()
@@ -257,6 +314,29 @@ func TestConformanceGradedLossSweep(t *testing.T) {
 						rate, st.InjectedLosses, extra, perLoss, st.NackFrames)
 				})
 			}
+			// The acceptance row: p = 15% multicast loss WITH p2p loss
+			// enabled — any frame kind may vanish, repair-of-repair
+			// included — and the total repair cost stays bounded per loss.
+			t.Run("p=0.15+p2p", func(t *testing.T) {
+				prof := simnet.DefaultProfile()
+				prof.LossRate = 0.15
+				prof.P2PLossRate = 0.05
+				prof.Seed = 13
+				prof.Stream.RTO = int64(3 * sim.Millisecond)
+				st := coretest.Check(t, coretest.SimRunner(simnet.Switch, prof, 0), algs, cases)
+				if st.InjectedLosses == 0 || st.InjectedP2PLosses == 0 {
+					t.Fatalf("loss injection never fired (mcast=%d p2p=%d)", st.InjectedLosses, st.InjectedP2PLosses)
+				}
+				extra := st.DataFrames - base.DataFrames
+				losses := st.InjectedLosses + st.InjectedP2PLosses
+				perLoss := float64(extra) / float64(losses)
+				if perLoss > 4.0 {
+					t.Errorf("combined repair cost %.1f data frames per loss (extra=%d mcast=%d p2p=%d)",
+						perLoss, extra, st.InjectedLosses, st.InjectedP2PLosses)
+				}
+				t.Logf("mcast losses=%d p2p losses=%d extra data frames=%d (%.2f/loss), nacks=%d stream retransmits=%d",
+					st.InjectedLosses, st.InjectedP2PLosses, extra, perLoss, st.NackFrames, st.StreamRetransmits)
+			})
 		})
 	}
 }

@@ -61,8 +61,11 @@ func Grid(sizes, chunks []int) []Case {
 type Stats struct {
 	// McastDropsNotPosted counts strict-mode losses (receiver not ready).
 	McastDropsNotPosted int64
-	// InjectedLosses counts random fragment losses from the loss rate.
+	// InjectedLosses counts random multicast fragment losses.
 	InjectedLosses int64
+	// InjectedP2PLosses counts injected bypass point-to-point losses
+	// (data, scouts, NACKs, stream acks and probes alike).
+	InjectedP2PLosses int64
 	// DataFrames counts ClassData frames put on the wire (initial
 	// transmissions plus any repairs).
 	DataFrames int64
@@ -70,14 +73,25 @@ type Stats struct {
 	NackFrames int64
 	// AckFrames counts acknowledgment frames.
 	AckFrames int64
+	// StreamFrames counts reliable-stream protocol frames (acks, probes).
+	StreamFrames int64
+	// StreamRetransmits counts stream data fragments retransmitted.
+	StreamRetransmits int64
+	// QueueDrops counts silent switch egress tail drops (zero whenever
+	// flow control is on).
+	QueueDrops int64
 }
 
 func (s *Stats) add(o Stats) {
 	s.McastDropsNotPosted += o.McastDropsNotPosted
 	s.InjectedLosses += o.InjectedLosses
+	s.InjectedP2PLosses += o.InjectedP2PLosses
 	s.DataFrames += o.DataFrames
 	s.NackFrames += o.NackFrames
 	s.AckFrames += o.AckFrames
+	s.StreamFrames += o.StreamFrames
+	s.StreamRetransmits += o.StreamRetransmits
+	s.QueueDrops += o.QueueDrops
 }
 
 // Runner executes one rank program per rank of an n-way world under the
@@ -112,9 +126,13 @@ func SimRunner(topo simnet.Topology, prof simnet.Profile, lag sim.Duration) Runn
 		if nw != nil {
 			st.McastDropsNotPosted = nw.Stats.McastDropsNotPosted
 			st.InjectedLosses = nw.Stats.InjectedLosses
+			st.InjectedP2PLosses = nw.Stats.InjectedP2PLosses
 			st.DataFrames = nw.Wire.Frames(transport.ClassData)
 			st.NackFrames = nw.Wire.Frames(transport.ClassNack)
 			st.AckFrames = nw.Wire.Frames(transport.ClassAck)
+			st.StreamFrames = nw.Wire.Frames(transport.ClassStream)
+			st.StreamRetransmits = nw.Stats.Stream.Retransmits
+			st.QueueDrops = nw.SwitchStats().QueueDrops
 		}
 		return st, err
 	}

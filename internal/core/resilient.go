@@ -120,7 +120,7 @@ func gatherResilient(c *mpi.Comm, send, recv []byte, root int, rep *NackOptions)
 		return err
 	}
 	if c.Rank() != root {
-		if _, err := awaitRepairedMulticast(cc, root, -1, *rep); err != nil {
+		if _, err := awaitRepairedMulticast(cc, root, -1, 0, *rep); err != nil {
 			return err
 		}
 		return cc.Send(root, phaseChunk, send, transport.ClassData, false)

@@ -217,33 +217,66 @@ func pipelinedGather(cc mpi.CollCtx, gather func(mpi.CollCtx, int, int) error, r
 // awaitRepairedMulticast blocks for this operation's multicast — the
 // whole-communicator message, or this rank's slice when slice >= 0 —
 // under the receiver-initiated repair protocol: probe for the message,
-// NACK the sender on timeout, give up after MaxRepairs requests. The
-// NACK carries the device's missing-fragment list for the sender's
-// partially received message (transport.EncodeRepairReq), so the sender
-// can retransmit exactly the lost fragments; an empty request asks for a
-// full resend (nothing of the message arrived at all).
+// NACK the sender on timeout, give up after MaxRepairs requests. bytes
+// is the round's expected payload size (known identically at every rank
+// by the collective's contract). The NACK carries the device's
+// missing-fragment list for the sender's partially received message
+// (transport.EncodeRepairReq), so the sender can retransmit exactly the
+// lost fragments; an empty request asks for a full resend (nothing of
+// the message arrived at all).
 //
-// The probe backs off exponentially: a fixed timer shorter than a
-// multi-fragment round's legitimate transmission time fires prematurely
-// on every waiting receiver at once, and the repair traffic it provokes
-// delays the round further — a positive feedback that can overflow
-// receive rings and lose protocol frames. Backing off caps the premature
-// NACKs per round at one per receiver while keeping the first repair
-// prompt. opts must be normalized (positive Probe).
-func awaitRepairedMulticast(cc mpi.CollCtx, sender, slice int, opts NackOptions) (transport.Message, error) {
+// The probe timer adapts on two axes so repair traffic never races a
+// transmission that is merely long:
+//
+//   - Exponential backoff: a fixed timer shorter than a multi-fragment
+//     round's legitimate transmission time fires prematurely on every
+//     waiting receiver at once, and the repair traffic it provokes
+//     delays the round further — a positive feedback that can overflow
+//     receive rings and lose protocol frames.
+//
+//   - Arrival-gap scaling: once fragments are arriving, the receiver
+//     estimates the inter-fragment arrival gap from the shrink of the
+//     missing set between probes and stretches the next probe past
+//     2 × gap × missing — the time the rest of the transmission
+//     legitimately needs. Without it, the p = 15% multi-fragment sweeps
+//     NACK into transmissions that are still draining and the repair
+//     multicasts feed the storm they were meant to quench.
+//
+// The no-evidence silence (the round has not started — the sender is
+// still finishing the previous round or serving its repairs) scales
+// with the expected fragment count: an empty NACK asks for a FULL
+// resend, which for an F-fragment round costs F frames, so the budget
+// before sending one grows with F. Losing every fragment of a large
+// message is p^F-unlikely — the prompt path matters only for small
+// messages, which keep the tight budget. opts must be normalized
+// (positive Probe).
+func awaitRepairedMulticast(cc mpi.CollCtx, sender, slice, bytes int, opts NackOptions) (transport.Message, error) {
 	probe := opts.Probe
+	maxProbe := opts.Probe << 10
+	// The device reports its fragment payload; a conservative fallback
+	// covers devices without one (over-counting fragments only lengthens
+	// the silence budget, the safe direction).
+	fragPayload := cc.FragPayload()
+	if fragPayload <= 0 {
+		fragPayload = 512
+	}
+	expectedFrags := bytes/fragPayload + 1
+	silentBudget := 2
+	if expectedFrags > 16 {
+		silentBudget = 2 + expectedFrags/16
+	}
 	// A NACK is only sent on stalled evidence: the device reports a
 	// partial message from the sender whose missing set has not shrunk
 	// since the previous probe. Progress means the transmission is still
-	// in flight (a multi-fragment round can legitimately outlast the
-	// probe timer) and a NACK now would request fragments that are
-	// already on the wire; no evidence at all usually means the round has
-	// not started (an earlier round's repair is holding the collective at
-	// its probe timer), so the first such expiry also stays silent. A
-	// genuine loss converges one probe later: the missing set is then
-	// static and named exactly.
+	// in flight and a NACK now would request fragments that are already
+	// on the wire; no evidence at all usually means the round has not
+	// started, so those expiries stay silent too. A genuine loss
+	// converges one probe later: the missing set is then static and
+	// named exactly.
 	lastMsgID := uint64(0)
 	lastMissing := -1
+	lastChange := cc.Comm().Now()
+	gapEst := int64(0)
 	silent := 0 // probe expiries that stayed silent (progress / no evidence)
 	requests := 0
 	for {
@@ -271,7 +304,7 @@ func awaitRepairedMulticast(cc mpi.CollCtx, sender, slice int, opts NackOptions)
 				cc.Comm().Rank(), sender, requests)
 		}
 		backoff := func() {
-			if probe < opts.Probe<<10 {
+			if probe < maxProbe {
 				probe *= 2
 			}
 		}
@@ -280,20 +313,37 @@ func awaitRepairedMulticast(cc mpi.CollCtx, sender, slice int, opts NackOptions)
 			// Progress since the last look (or first evidence): the
 			// transmission is still in flight. This path is bounded —
 			// each pass requires the missing set to shrink or a new
-			// message to appear.
+			// message to appear. Progress is also where the arrival gap
+			// is observable: stretch the next probe past the time the
+			// rest of the transmission legitimately needs.
+			now := cc.Comm().Now()
+			if msgID == lastMsgID && lastMissing > len(missing) {
+				if g := (now - lastChange) / int64(lastMissing-len(missing)); g > 0 {
+					gapEst = g
+				}
+			}
+			lastChange = now
 			lastMsgID, lastMissing = msgID, len(missing)
 			backoff()
+			if gapEst > 0 {
+				need := 2 * gapEst * int64(len(missing)+1)
+				if need > probe {
+					probe = need
+					if probe > maxProbe {
+						probe = maxProbe
+					}
+				}
+			}
 			continue
 		}
-		if !pending && silent < 2 {
+		if !pending && silent < silentBudget {
 			// No evidence at all: the round has almost certainly not
-			// started (an upstream repair is holding the collective for
-			// a probe period or two), rather than every fragment having
-			// been lost. Stay silent through the first two expiries —
-			// long enough for any single upstream repair to clear — so
-			// a full-resend request cannot race data that is about to
-			// arrive anyway. A genuine total loss still repairs, a few
-			// probe periods late.
+			// started (an upstream round or repair is holding the
+			// collective), rather than every fragment having been lost.
+			// Stay silent — for as many expiries as the full-resend an
+			// empty NACK would provoke costs fragments — so the request
+			// cannot race data that is about to arrive anyway. A genuine
+			// total loss still repairs, a few probe periods late.
 			silent++
 			backoff()
 			continue
@@ -397,7 +447,7 @@ func runDataPhase(cc mpi.CollCtx, rd *roundPlan, opt *roundOptions, nextSender i
 				m, err = cc.RecvMulticast()
 			}
 		} else {
-			m, err = awaitRepairedMulticast(cc, rd.sender, slice, *opt.repair)
+			m, err = awaitRepairedMulticast(cc, rd.sender, slice, rd.bytes, *opt.repair)
 		}
 		if err != nil {
 			return err

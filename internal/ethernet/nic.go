@@ -30,6 +30,7 @@ type NIC struct {
 	txq      []Frame
 	txActive bool
 	attempts int
+	paused   bool // 802.3x PAUSE asserted by the switch (flow control)
 
 	groups map[MAC]int // multicast membership refcounts
 	recv   func(Frame) // upcall to the network layer
@@ -111,13 +112,26 @@ func (n *NIC) Leave(g MAC) {
 func (n *NIC) Member(g MAC) bool { return n.groups[g] > 0 }
 
 func (n *NIC) pump() {
-	if n.txActive || len(n.txq) == 0 {
+	if n.txActive || n.paused || len(n.txq) == 0 {
 		return
 	}
 	n.txActive = true
 	n.attempts = 0
 	n.link.transmit(n, n.txq[0])
 }
+
+// setPaused asserts or releases switch flow control. A paused station
+// finishes the frame in flight but starts no new transmission; its queue
+// backs up in host memory instead of overflowing the switch.
+func (n *NIC) setPaused(paused bool) {
+	n.paused = paused
+	if !paused {
+		n.pump()
+	}
+}
+
+// Paused reports whether flow control is currently asserted.
+func (n *NIC) Paused() bool { return n.paused }
 
 // txDone is called by the medium when the head frame has been fully and
 // successfully transmitted.

@@ -6,8 +6,20 @@ import "repro/internal/sim"
 type SwitchStats struct {
 	FramesForwarded int64 // frame copies enqueued on egress ports
 	FramesFlooded   int64 // frames flooded for an unknown unicast dst
-	QueueDrops      int64 // tail drops on full egress queues
+	QueueDrops      int64 // tail drops on full egress queues (flow control off)
 	MulticastDrops  int64 // multicast frames with no snooped members
+	PauseEvents     int64 // source NICs paused by egress backpressure
+	MaxQueueDepth   int   // highest egress queue depth seen on any port
+}
+
+// SwitchPortStats is one egress port's occupancy record, for the
+// queue-depth instrumentation the shared-uplink experiments assert on.
+type SwitchPortStats struct {
+	Stations      int   // stations attached (1, or the segment fanout)
+	Forwarded     int64 // frame copies enqueued
+	HighWatermark int   // deepest egress queue observed, in frames
+	Held          int64 // frames parked at ingress by flow control
+	Drops         int64 // tail drops (flow control off)
 }
 
 // Switch is a store-and-forward switching hub with MAC learning and IGMP
@@ -18,23 +30,65 @@ type SwitchStats struct {
 // (egress serialization) + propagation, which is why the paper observes
 // higher per-frame latency on the switch than on the hub for multicast
 // while the hub degrades under contention.
+//
+// Two extensions model the dimensions the paper's 8-port testbed could
+// not reach:
+//
+//   - Flow control (Params.SwitchFlowControl, the default): a frame bound
+//     for a full egress queue is parked at ingress and the source station
+//     is PAUSEd (802.3x-style) until the queue drains below its cap,
+//     instead of being silently tail-dropped. Converging bursts — the
+//     (N-1)-senders-one-root gather funnel — then backpressure the
+//     senders' host queues rather than vanishing, which is what lets the
+//     gather collective survive bursts beyond SwitchQueueCap frames.
+//
+//   - Shared-uplink segments (AttachSegment): several stations share one
+//     port through a half-duplex segment, modeling stacked/cascaded
+//     switches where a port's bandwidth is an uplink shared by a group.
+//     One egress transmission is heard by every station on the segment
+//     (multicast pays the uplink once per group), while stations contend
+//     for the segment in both directions.
 type Switch struct {
 	eng    *sim.Engine
 	params Params
 
 	ports    []*swPort
 	macTable map[MAC]*swPort
-	groups   map[MAC]map[*swPort]bool
+	groups   map[MAC]map[*swPort]int // per-port membership refcounts
+	heldBy   map[*NIC]int            // frames parked per paused source NIC
 
 	Stats SwitchStats
 }
 
+// heldFrame is a frame parked at ingress because its egress queue was
+// full; src is the station the park paused.
+type heldFrame struct {
+	f   Frame
+	src *NIC
+}
+
+// segJob is one pending transmission on a shared segment: a station's
+// ingress frame, or the port's egress frame toward the stations.
+type segJob struct {
+	f      Frame
+	nic    *NIC // transmitting station (nil for egress)
+	egress bool
+}
+
 type swPort struct {
-	sw  *Switch
-	nic *NIC
+	sw   *Switch
+	nics []*NIC
 
 	outq    []Frame
 	outBusy bool
+	waitq   []heldFrame // frames parked by flow control
+
+	// Shared-segment arbitration (len(nics) > 1): the half-duplex medium
+	// serializes ingress and egress transmissions in FIFO order.
+	segBusy bool
+	segQ    []segJob
+
+	stats SwitchPortStats
 }
 
 // NewSwitch creates an empty switch.
@@ -43,41 +97,138 @@ func NewSwitch(eng *sim.Engine, params Params) *Switch {
 		eng:      eng,
 		params:   params,
 		macTable: make(map[MAC]*swPort),
-		groups:   make(map[MAC]map[*swPort]bool),
+		groups:   make(map[MAC]map[*swPort]int),
+		heldBy:   make(map[*NIC]int),
 	}
 }
 
-// Attach connects a NIC to a fresh switch port.
+// Attach connects a NIC to a fresh dedicated switch port.
 func (s *Switch) Attach(n *NIC) {
-	p := &swPort{sw: s, nic: n}
+	p := &swPort{sw: s, nics: []*NIC{n}}
+	p.stats.Stations = 1
 	s.ports = append(s.ports, p)
 	n.Attach(p)
 }
 
-// transmit implements Link for the station-to-switch direction. The link
-// is full duplex and dedicated, so there is never contention; the NIC's
-// own queue provides serialization.
+// AttachSegment connects a group of stations to one switch port through
+// a shared half-duplex segment — the shared-uplink port mode. The
+// segment serializes all transmissions (ingress and egress) in FIFO
+// order; an egress frame is heard by every station on the segment, and a
+// station's transmission is heard by its segment neighbours as well as
+// forwarded by the switch.
+func (s *Switch) AttachSegment(nics []*NIC) {
+	if len(nics) == 0 {
+		panic("ethernet: empty segment")
+	}
+	p := &swPort{sw: s, nics: append([]*NIC(nil), nics...)}
+	p.stats.Stations = len(nics)
+	s.ports = append(s.ports, p)
+	for _, n := range nics {
+		n.Attach(p)
+	}
+}
+
+// PortStats returns a copy of every port's occupancy counters, in
+// attachment order.
+func (s *Switch) PortStats() []SwitchPortStats {
+	out := make([]SwitchPortStats, len(s.ports))
+	for i, p := range s.ports {
+		out[i] = p.stats
+	}
+	return out
+}
+
+func (p *swPort) shared() bool { return len(p.nics) > 1 }
+
+// transmit implements Link for the station-to-switch direction. On a
+// dedicated port the link is full duplex, so there is never contention
+// (the NIC's own queue provides serialization). On a shared segment the
+// transmission must win the half-duplex medium first.
 func (p *swPort) transmit(n *NIC, f Frame) {
+	if p.shared() {
+		p.segSubmit(segJob{f: f, nic: n})
+		return
+	}
 	dur := p.sw.params.TxTime(f)
 	prop := p.sw.params.PropDelay
 	p.sw.eng.At(dur, n.txDone)
-	p.sw.eng.At(dur+prop, func() { p.sw.ingress(p, f) })
+	p.sw.eng.At(dur+prop, func() { p.sw.ingress(p, n, f) })
 }
 
-// notifyJoin implements Link: IGMP snooping.
+// segSubmit queues one transmission on the shared segment and starts the
+// pump if the medium is free.
+func (p *swPort) segSubmit(j segJob) {
+	p.segQ = append(p.segQ, j)
+	p.segPump()
+}
+
+// segPump runs the next queued transmission on the segment. The model is
+// an ideally arbitrated half-duplex medium: transmissions never collide,
+// they serialize in arrival order (the CSMA/CD hub model covers the
+// collision physics; here the contention cost is the serialization
+// itself, which is what a shared uplink fundamentally charges).
+func (p *swPort) segPump() {
+	if p.segBusy || len(p.segQ) == 0 {
+		return
+	}
+	p.segBusy = true
+	j := p.segQ[0]
+	p.segQ[0] = segJob{}
+	p.segQ = p.segQ[1:]
+	dur := p.sw.params.TxTime(j.f)
+	prop := p.sw.params.PropDelay
+	if j.egress {
+		// Switch-to-segment: every station hears the frame.
+		p.sw.eng.At(dur+prop, func() {
+			for _, n := range p.nics {
+				n.receiveFrame(j.f)
+			}
+		})
+		p.sw.eng.At(dur, func() {
+			p.segBusy = false
+			p.outBusy = false
+			p.segPump()
+			p.pumpOut()
+		})
+		return
+	}
+	// Station-to-switch: segment neighbours hear the frame (they filter
+	// by destination), and the switch receives it for forwarding.
+	p.sw.eng.At(dur, j.nic.txDone)
+	p.sw.eng.At(dur+prop, func() {
+		for _, n := range p.nics {
+			if n != j.nic {
+				n.receiveFrame(j.f)
+			}
+		}
+		p.sw.ingress(p, j.nic, j.f)
+	})
+	p.sw.eng.At(dur, func() {
+		p.segBusy = false
+		p.segPump()
+		p.pumpOut()
+	})
+}
+
+// notifyJoin implements Link: IGMP snooping with per-port refcounts (two
+// stations on one segment may join the same group; the port stays in the
+// group until the last one leaves).
 func (p *swPort) notifyJoin(_ *NIC, g MAC, joined bool) {
 	s := p.sw
 	if joined {
 		m := s.groups[g]
 		if m == nil {
-			m = make(map[*swPort]bool)
+			m = make(map[*swPort]int)
 			s.groups[g] = m
 		}
-		m[p] = true
+		m[p]++
 		return
 	}
 	if m := s.groups[g]; m != nil {
-		delete(m, p)
+		m[p]--
+		if m[p] <= 0 {
+			delete(m, p)
+		}
 		if len(m) == 0 {
 			delete(s.groups, g)
 		}
@@ -86,13 +237,14 @@ func (p *swPort) notifyJoin(_ *NIC, g MAC, joined bool) {
 
 // ingress runs when a frame has been fully received on a port
 // (store-and-forward). After the forwarding decision latency the frame is
-// enqueued on each egress port.
-func (s *Switch) ingress(from *swPort, f Frame) {
+// enqueued on each egress port. src is the transmitting station, the
+// target of any flow-control pause this frame provokes.
+func (s *Switch) ingress(from *swPort, src *NIC, f Frame) {
 	s.macTable[f.Src] = from
-	s.eng.At(s.params.SwitchLatency, func() { s.forward(from, f) })
+	s.eng.At(s.params.SwitchLatency, func() { s.forward(from, src, f) })
 }
 
-func (s *Switch) forward(from *swPort, f Frame) {
+func (s *Switch) forward(from *swPort, src *NIC, f Frame) {
 	var eligible []*swPort
 	switch {
 	case f.Dst.IsBroadcast():
@@ -108,7 +260,7 @@ func (s *Switch) forward(from *swPort, f Frame) {
 			}
 		} else {
 			for _, p := range s.ports { // deterministic port order
-				if p != from && members[p] {
+				if p != from && members[p] > 0 {
 					eligible = append(eligible, p)
 				}
 			}
@@ -124,7 +276,7 @@ func (s *Switch) forward(from *swPort, f Frame) {
 		}
 	}
 	for _, p := range eligible {
-		p.enqueue(f)
+		p.enqueue(f, src)
 	}
 }
 
@@ -138,14 +290,71 @@ func (s *Switch) allExcept(from *swPort) []*swPort {
 	return out
 }
 
-func (p *swPort) enqueue(f Frame) {
+// enqueue places a forwarded frame on this egress port. A full queue
+// either tail-drops (flow control off — the silent loss the gather
+// funnel deadlocks on) or parks the frame and PAUSEs the source station
+// until the queue drains.
+func (p *swPort) enqueue(f Frame, src *NIC) {
 	if len(p.outq) >= p.sw.params.SwitchQueueCap {
-		p.sw.Stats.QueueDrops++
+		if !p.sw.params.SwitchFlowControl {
+			p.sw.Stats.QueueDrops++
+			p.stats.Drops++
+			return
+		}
+		p.stats.Held++
+		p.waitq = append(p.waitq, heldFrame{f: f, src: src})
+		p.sw.pause(src)
 		return
 	}
 	p.sw.Stats.FramesForwarded++
+	p.stats.Forwarded++
 	p.outq = append(p.outq, f)
+	if d := len(p.outq); d > p.stats.HighWatermark {
+		p.stats.HighWatermark = d
+		if d > p.sw.Stats.MaxQueueDepth {
+			p.sw.Stats.MaxQueueDepth = d
+		}
+	}
 	p.pumpOut()
+}
+
+// pause suspends a source NIC (802.3x PAUSE). A NIC may have frames
+// parked on several egress ports at once (a multicast fanned out into
+// more than one full queue); it resumes when the last of them drains.
+func (s *Switch) pause(n *NIC) {
+	if n == nil {
+		return
+	}
+	s.heldBy[n]++
+	if s.heldBy[n] == 1 {
+		s.Stats.PauseEvents++
+		n.setPaused(true)
+	}
+}
+
+func (s *Switch) unpause(n *NIC) {
+	if n == nil {
+		return
+	}
+	s.heldBy[n]--
+	if s.heldBy[n] <= 0 {
+		delete(s.heldBy, n)
+		n.setPaused(false)
+	}
+}
+
+// drainWait moves parked frames into freed queue space, resuming their
+// sources.
+func (p *swPort) drainWait() {
+	for len(p.waitq) > 0 && len(p.outq) < p.sw.params.SwitchQueueCap {
+		h := p.waitq[0]
+		p.waitq[0] = heldFrame{}
+		p.waitq = p.waitq[1:]
+		p.sw.Stats.FramesForwarded++
+		p.stats.Forwarded++
+		p.outq = append(p.outq, h.f)
+		p.sw.unpause(h.src)
+	}
 }
 
 func (p *swPort) pumpOut() {
@@ -156,9 +365,16 @@ func (p *swPort) pumpOut() {
 	f := p.outq[0]
 	p.outq[0] = Frame{}
 	p.outq = p.outq[1:]
+	p.drainWait()
+	if p.shared() {
+		// Egress must win the shared segment like any transmission; the
+		// segment pump clears outBusy when the frame is on the wire.
+		p.segSubmit(segJob{f: f, egress: true})
+		return
+	}
 	dur := p.sw.params.TxTime(f)
 	prop := p.sw.params.PropDelay
-	p.sw.eng.At(dur+prop, func() { p.nic.receiveFrame(f) })
+	p.sw.eng.At(dur+prop, func() { p.nics[0].receiveFrame(f) })
 	p.sw.eng.At(dur, func() {
 		p.outBusy = false
 		p.pumpOut()

@@ -199,6 +199,7 @@ func TestSwitchQueueTailDrop(t *testing.T) {
 	e := sim.New()
 	params := DefaultParams()
 	params.SwitchQueueCap = 2
+	params.SwitchFlowControl = false // legacy tail-drop behaviour under test
 	sw := NewSwitch(e, params)
 	rng := sim.NewRand(1)
 	var nics []*NIC

@@ -65,7 +65,7 @@ func (cc CollCtx) Send(dst, phase int, payload []byte, class transport.Class, re
 	if dst < 0 || dst >= cc.c.Size() {
 		return fmt.Errorf("%w: collective send to %d (size %d)", ErrInvalidRank, dst, cc.c.Size())
 	}
-	return cc.c.rt.ep.Send(cc.c.group[dst], transport.Message{
+	return cc.c.rt.sendP2P(cc.c.group[dst], transport.Message{
 		Comm:     cc.c.ctx,
 		Tag:      collTagBase - int32(phase),
 		Seq:      cc.seq,
@@ -253,6 +253,17 @@ func (cc CollCtx) repair(group uint32, tag int32, payload []byte, class transpor
 		return cc.c.rt.mc.Multicast(group, m)
 	}
 	return fr.RepairMulticast(group, m, msgID, frags)
+}
+
+// FragPayload returns the device's fragment payload size (message bytes
+// per wire frame), or 0 when the device does not expose one. Protocols
+// scaling timeouts with a message's expected fragment count use it
+// instead of guessing an MTU.
+func (cc CollCtx) FragPayload() int {
+	if fr, ok := cc.c.rt.ep.(transport.Fragmenter); ok {
+		return fr.MaxFragPayload()
+	}
+	return 0
 }
 
 // Pace suspends the calling rank for d nanoseconds on the device clock

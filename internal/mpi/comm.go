@@ -52,7 +52,8 @@ var (
 // with NewRuntime, then derive the world communicator.
 type Runtime struct {
 	ep transport.Endpoint
-	mc transport.Multicaster // nil when the device has no multicast
+	mc transport.Multicaster    // nil when the device has no multicast
+	rs transport.ReliableSender // nil when the device has no p2p stream
 
 	// unexpected buffers messages that arrived before a matching receive
 	// was posted, in arrival order (MPI's unexpected-message queue).
@@ -74,7 +75,24 @@ func NewRuntime(ep transport.Endpoint) *Runtime {
 	if mc, ok := ep.(transport.Multicaster); ok {
 		rt.mc = mc
 	}
+	if rs, ok := ep.(transport.ReliableSender); ok {
+		rt.rs = rs
+	}
 	return rt
+}
+
+// sendP2P routes a point-to-point message to world rank dstWorld.
+// Bypass traffic (Reliable=false — the paper's UDP path: scouts, reduce
+// halves, gather chunks, repair requests) rides the device's reliable
+// stream when it offers one, so a lost frame of any kind is retransmitted
+// instead of deadlocking the collective. Reliable=true messages model the
+// MPICH baseline's kernel TCP and keep the plain path (that protocol is
+// reliable by fiat, with its own modeled acknowledgment traffic).
+func (rt *Runtime) sendP2P(dstWorld int, m transport.Message) error {
+	if rt.rs != nil && !m.Reliable {
+		return rt.rs.SendReliable(dstWorld, m)
+	}
+	return rt.ep.Send(dstWorld, m)
 }
 
 // Endpoint returns the underlying device endpoint.

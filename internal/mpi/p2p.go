@@ -27,7 +27,7 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 	if tag < 0 {
 		return fmt.Errorf("%w: %d", ErrInvalidTag, tag)
 	}
-	return c.rt.ep.Send(c.group[dst], transport.Message{
+	return c.rt.sendP2P(c.group[dst], transport.Message{
 		Comm:     c.ctx,
 		Tag:      int32(tag),
 		Class:    transport.ClassData,

@@ -1,0 +1,543 @@
+// Package reliab implements the reliable point-to-point delivery
+// protocol both network transports (simnet, udpnet) layer under the MPI
+// bypass traffic: per-peer sequence-numbered streams with a sliding send
+// window, cumulative acknowledgments, and selective retransmission on
+// timeout.
+//
+// The paper's NACK protocol repairs multicast fragments only; every
+// reduce half, gather chunk and scout rides raw unicast, so a single
+// lost point-to-point frame deadlocks the collective that was waiting
+// for it. This layer closes that gap the way the multicast repair does —
+// receiver state names exactly what is missing — but sender-driven,
+// because unicast has exactly one receiver and the sender already holds
+// the payload:
+//
+//   - Every streamed message carries a per-(sender,peer) sequence number
+//     in the fragment header (transport.Fragment.Stream). The sender
+//     keeps the fragments of up to Window unacknowledged messages and
+//     blocks (or paces) when the window is full — backpressure, never a
+//     silent drop.
+//
+//   - The receiver is silent on the happy path: frames are delivered as
+//     they complete, duplicates are suppressed by sequence number, and
+//     no acknowledgment traffic rides the wire while everything arrives.
+//     This keeps the lossless wire byte-for-byte identical to the
+//     paper's model (the frame-count formulas of §3 still hold exactly).
+//
+//   - The sender probes after RTO of silence: a probe solicits one
+//     cumulative ACK naming everything the receiver has — delivered
+//     sequence numbers (cumulative + selective) and, for partially
+//     reassembled messages, the exact missing fragment indexes (the
+//     receiver's reassembler already tracks them, mirroring the
+//     multicast FragmentRepairer). The sender retransmits only what the
+//     ACK proves lost, with exponential backoff, and fails the stream
+//     after MaxProbes consecutive probes without progress.
+//
+//   - A receiver that can prove a loss early — a later sequence number
+//     completed while an earlier one is missing, or duplicate fragments
+//     arrived (the sender is already retransmitting) — volunteers an ACK
+//     without waiting for a probe, so repair converges in one round trip
+//     instead of an RTO.
+//
+// The package holds only the protocol state machines and the control
+// wire format; timers, locking and actual frame transmission belong to
+// the transport that embeds it (virtual-time events in simnet, goroutines
+// and wall-clock timers in udpnet).
+package reliab
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/transport"
+)
+
+// Options tunes one transport's streams. The zero value is filled with
+// defaults by Fill.
+type Options struct {
+	// Window is the maximum number of unacknowledged messages per peer
+	// before SendReliable blocks.
+	Window int
+	// RTO is the initial probe timeout in clock nanoseconds (virtual
+	// time under the simulator, wall time otherwise): how long a sender
+	// stays silent about unacknowledged messages before soliciting an
+	// acknowledgment.
+	RTO int64
+	// MaxProbes bounds consecutive probes without progress before the
+	// stream is declared broken.
+	MaxProbes int
+}
+
+// Fill replaces zero fields with defaults: window 32, RTO 25 ms, 20
+// probes. The default RTO sits above a collective's duration on the
+// calibrated testbed on purpose: on the happy path the whole protocol
+// then costs one probe/ack pair per peer after the traffic quiesces, so
+// the measured window of a lossless run carries no protocol frames at
+// all and the paper's latency comparisons are undisturbed (a probe that
+// fires mid-collective on a shared hub collides with the data it is
+// probing for). Loss-injection tests that want fast repair configure a
+// tighter RTO explicitly.
+func (o Options) Fill() Options {
+	if o.Window <= 0 {
+		o.Window = 32
+	}
+	if o.RTO <= 0 {
+		o.RTO = 25_000_000
+	}
+	if o.MaxProbes <= 0 {
+		o.MaxProbes = 20
+	}
+	return o
+}
+
+// Stats counts protocol events on one endpoint's streams (all peers).
+type Stats struct {
+	MsgsStreamed   int64 // messages sent over streams
+	Retransmits    int64 // data fragments retransmitted
+	ProbesSent     int64 // ack-soliciting probes
+	AcksSent       int64 // acknowledgment frames emitted (receiver side)
+	AcksReceived   int64 // acknowledgment frames consumed (sender side)
+	DupFragments   int64 // duplicate stream fragments suppressed
+	WindowStalls   int64 // sends that had to wait for window space
+	StreamFailures int64 // streams that exhausted MaxProbes
+}
+
+// ---------------------------------------------------------------------------
+// Sender side.
+
+// outMsg is one unacknowledged message in the send window.
+type outMsg struct {
+	seq   uint32
+	msgID uint64
+	frags []transport.Fragment
+}
+
+// SendStream is the sender half of one peer's stream. It is a pure
+// state machine: the owner serializes access and owns timers/transmits.
+type SendStream struct {
+	opts    Options
+	next    uint32             // next sequence number to assign (first is 1)
+	cum     uint32             // highest cumulatively acknowledged sequence
+	unacked map[uint32]*outMsg // in-window, not yet acknowledged
+	probes  int                // consecutive probes without progress
+	rto     int64              // current (backed-off) probe timeout
+	// sent is the highest sequence number whose fragments have actually
+	// been handed to the device (MarkSent). It lags next during the host
+	// send cost: the simulator charges OSend/OByte between assigning a
+	// sequence number and the frames reaching the NIC, and a probe fired
+	// in that window must not treat the message as probed.
+	sent uint32
+	// nonce numbers the probes; horizons records, per outstanding probe,
+	// the highest device-handed sequence number when it went out. An ack
+	// echoing a probe's nonce licenses full resends only up to that
+	// probe's horizon: messages sent after the probe (or acks answering
+	// an older probe, arriving after a newer one went out) may cross the
+	// ack on the wire and must not be duplicated on its silence.
+	nonce    uint32
+	horizons map[uint32]uint32
+}
+
+// NewSendStream returns an empty stream under o (which must be filled).
+func NewSendStream(o Options) *SendStream {
+	return &SendStream{
+		opts:     o,
+		unacked:  make(map[uint32]*outMsg),
+		rto:      o.RTO,
+		horizons: make(map[uint32]uint32),
+	}
+}
+
+// Full reports whether the send window has no room for another message.
+func (s *SendStream) Full() bool { return len(s.unacked) >= s.opts.Window }
+
+// InFlight reports the number of unacknowledged messages.
+func (s *SendStream) InFlight() int { return len(s.unacked) }
+
+// Begin assigns the next sequence number and records the message's
+// fragments (as transmitted, so retransmission reuses them verbatim).
+// The caller must have checked Full, and must call MarkSent once the
+// fragments have been handed to the device.
+func (s *SendStream) Begin(msgID uint64, frags []transport.Fragment) uint32 {
+	s.next++
+	seq := s.next
+	s.unacked[seq] = &outMsg{seq: seq, msgID: msgID, frags: frags}
+	return seq
+}
+
+// MarkSent records that seq's fragments reached the device, making the
+// message probeable.
+func (s *SendStream) MarkSent(seq uint32) {
+	if seq > s.sent {
+		s.sent = seq
+	}
+}
+
+// RTO returns the current (backed-off) probe timeout.
+func (s *SendStream) RTO() int64 { return s.rto }
+
+// NeedProbe reports whether unacknowledged messages warrant a probe.
+func (s *SendStream) NeedProbe() bool { return len(s.unacked) > 0 }
+
+// OnProbe records a probe being sent and backs the timeout off. It
+// returns the probe's nonce (to carry on the wire) and ok=false when the
+// stream has exhausted MaxProbes without progress and must be declared
+// broken.
+func (s *SendStream) OnProbe() (nonce uint32, ok bool) {
+	s.probes++
+	if s.probes > s.opts.MaxProbes {
+		return 0, false
+	}
+	if s.rto < s.opts.RTO<<8 {
+		s.rto *= 2
+	}
+	s.nonce++
+	s.horizons[s.nonce] = s.sent
+	return s.nonce, true
+}
+
+// Resend names what an acknowledgment proved lost: the fragments of one
+// recorded message to put back on the wire.
+type Resend struct {
+	Seq   uint32
+	Frags []transport.Fragment // subset (or all) of the original fragments
+}
+
+// HandleAck folds a received acknowledgment into the window. It returns
+// the retransmissions the ack calls for and whether window space was
+// freed (so a blocked sender can be woken). Progress — anything newly
+// acknowledged — resets the probe backoff.
+//
+// Retransmission policy: sequences the receiver reports partially
+// reassembled are resent selectively (exactly the named missing
+// fragments); sequences the ack omits entirely are resent whole — but
+// only when the ack answers a known probe (its nonce matches) and the
+// sequence is at or below that probe's horizon, because an unsolicited
+// or stale ack can race fragments still in flight and a premature full
+// resend would be pure duplication.
+func (s *SendStream) HandleAck(a Ack) (resend []Resend, freed bool) {
+	progress := false
+	retire := func(seq uint32) {
+		if _, ok := s.unacked[seq]; ok {
+			delete(s.unacked, seq)
+			progress = true
+			freed = true
+		}
+	}
+	for seq := range s.unacked {
+		if seq <= a.Cum {
+			retire(seq)
+		}
+	}
+	if a.Cum > s.cum {
+		s.cum = a.Cum
+		progress = true
+	}
+	for _, seq := range a.Sacks {
+		retire(seq)
+	}
+	horizon, probed := s.horizons[a.Nonce]
+	if probed {
+		// This probe is answered; older probes' answers are now stale.
+		for n := range s.horizons {
+			if n <= a.Nonce {
+				delete(s.horizons, n)
+			}
+		}
+	}
+	partial := make(map[uint32][]int, len(a.Partials))
+	for _, p := range a.Partials {
+		partial[p.Seq] = p.Missing
+	}
+	// Deterministic resend order (map iteration is randomized).
+	seqs := make([]int, 0, len(s.unacked))
+	for seq := range s.unacked {
+		seqs = append(seqs, int(seq))
+	}
+	sort.Ints(seqs)
+	for _, si := range seqs {
+		seq := uint32(si)
+		om := s.unacked[seq]
+		// A partial entry must name fragments; an empty list (possible
+		// only from a malformed peer — the encoder never emits one) is
+		// treated as "holds nothing" and falls through to the probed
+		// full-resend below rather than suppressing repair.
+		if miss, ok := partial[seq]; ok && len(miss) > 0 {
+			sub := make([]transport.Fragment, 0, len(miss))
+			for _, idx := range miss {
+				if idx >= 0 && idx < len(om.frags) {
+					sub = append(sub, om.frags[idx])
+				}
+			}
+			if len(sub) > 0 {
+				resend = append(resend, Resend{Seq: seq, Frags: sub})
+			}
+			continue
+		}
+		if probed && seq <= horizon {
+			// The receiver answered a probe covering this message and
+			// holds nothing of it: every fragment was lost, resend all.
+			resend = append(resend, Resend{Seq: seq, Frags: om.frags})
+		}
+	}
+	if progress {
+		s.probes = 0
+		s.rto = s.opts.RTO
+	}
+	return resend, freed
+}
+
+// ---------------------------------------------------------------------------
+// Receiver side.
+
+// RecvStream is the receiver half of one peer's stream: duplicate
+// suppression and acknowledgment state. Delivery order is arrival order
+// (MPI matching tolerates reordering); the sequence numbers exist for
+// exactly-once delivery and for naming losses, not for resequencing.
+type RecvStream struct {
+	cum     uint32            // every sequence <= cum has been delivered
+	above   map[uint32]bool   // delivered sequences > cum
+	partial map[uint32]uint64 // seen but incomplete: seq -> device msgID
+	horizon uint32            // highest sequence number seen at all
+}
+
+// NewRecvStream returns an empty receive stream.
+func NewRecvStream() *RecvStream {
+	return &RecvStream{above: make(map[uint32]bool), partial: make(map[uint32]uint64)}
+}
+
+// Fresh reports whether a fragment with the given sequence number is new
+// (not yet delivered); duplicates of delivered messages must be dropped
+// before they reach the reassembler, where they would found ghost
+// partial state. It also records the stream horizon and the partial
+// message id for loss naming.
+func (r *RecvStream) Fresh(seq uint32, msgID uint64) bool {
+	if seq <= r.cum || r.above[seq] {
+		return false
+	}
+	if seq > r.horizon {
+		r.horizon = seq
+	}
+	r.partial[seq] = msgID
+	return true
+}
+
+// Deliver marks a sequence number fully reassembled and handed up,
+// advancing the cumulative horizon over any contiguous prefix.
+func (r *RecvStream) Deliver(seq uint32) {
+	delete(r.partial, seq)
+	if seq <= r.cum || r.above[seq] {
+		return
+	}
+	r.above[seq] = true
+	for r.above[r.cum+1] {
+		r.cum++
+		delete(r.above, r.cum)
+	}
+}
+
+// Gapped reports whether the receiver can already prove a loss without
+// waiting for a probe: some sequence number below the horizon is neither
+// delivered nor partially held (its fragments vanished entirely), or a
+// partial has a newer completed successor. Such evidence triggers a
+// volunteer acknowledgment.
+func (r *RecvStream) Gapped() bool {
+	for seq := r.cum + 1; seq <= r.horizon; seq++ {
+		if r.above[seq] {
+			continue
+		}
+		if _, held := r.partial[seq]; !held {
+			return true
+		}
+	}
+	// A partial below the horizon: the sender transmits messages in
+	// sequence order, so fragments of a newer message behind the gap have
+	// already arrived — the partial's missing fragments are lost, not in
+	// flight (both transports deliver a pair's frames near-FIFO).
+	for seq := range r.partial {
+		if seq < r.horizon {
+			return true
+		}
+	}
+	return false
+}
+
+// AckState assembles the acknowledgment describing everything this
+// receiver holds. missing reports the missing fragment indexes of a
+// partially reassembled message by device message id (the transport's
+// reassembler owns that state); a non-zero nonce marks the ack as
+// answering that probe, which licenses the sender to fully resend what
+// the ack omits (up to the probe's horizon).
+func (r *RecvStream) AckState(missing func(msgID uint64) []int, nonce uint32) Ack {
+	a := Ack{Cum: r.cum, Nonce: nonce}
+	for seq := range r.above {
+		a.Sacks = append(a.Sacks, seq)
+	}
+	sort.Slice(a.Sacks, func(i, j int) bool { return a.Sacks[i] < a.Sacks[j] })
+	seqs := make([]int, 0, len(r.partial))
+	for seq := range r.partial {
+		seqs = append(seqs, int(seq))
+	}
+	sort.Ints(seqs)
+	for _, si := range seqs {
+		seq := uint32(si)
+		msgID := r.partial[seq]
+		if miss := missing(msgID); len(miss) > 0 {
+			a.Partials = append(a.Partials, Partial{Seq: seq, Missing: miss})
+		}
+	}
+	return a
+}
+
+// ---------------------------------------------------------------------------
+// Control wire format. Control frames ride transport fragments flagged
+// FlagStreamCtl with this body as payload; they are consumed by the
+// stream layer and never surface as messages.
+
+// Partial names a partially reassembled message in an acknowledgment.
+type Partial struct {
+	Seq     uint32
+	Missing []int // missing fragment indexes
+}
+
+// Ack is the receiver's state report.
+type Ack struct {
+	// Cum: every sequence number <= Cum has been delivered.
+	Cum uint32
+	// Sacks lists delivered sequence numbers above Cum.
+	Sacks []uint32
+	// Partials names partially reassembled messages and their missing
+	// fragments, so the sender can retransmit selectively.
+	Partials []Partial
+	// Nonce echoes the probe this ack answers (0: unsolicited). A probed
+	// ack's report is complete up to the probe's horizon, so the sender
+	// may fully resend any message it omits there.
+	Nonce uint32
+}
+
+// Control ops.
+const (
+	opProbe = 1
+	opAck   = 2
+)
+
+// EncodeProbe serializes an ack-soliciting probe carrying its nonce.
+func EncodeProbe(nonce uint32) []byte {
+	return binary.BigEndian.AppendUint32([]byte{opProbe}, nonce)
+}
+
+// EncodeAck serializes a, bounded to maxBytes (the transport's fragment
+// payload: control frames ride a single unfragmented frame, so an ack
+// that cannot fit must shed detail rather than exceed the MTU and be
+// undeliverable). Shedding is safe, merely less selective: a truncated
+// missing list repairs the named subset now and the rest on a later
+// ack; a dropped partial entry makes a probed sender fall back to a
+// full resend of that one message. Sacks and partial headers are kept
+// ahead of missing-index detail.
+//
+//	offset size field
+//	0      1    op (2)
+//	1      4    probe nonce (0: unsolicited)
+//	5      4    cumulative sequence
+//	9      2    sack count, then 4 bytes per sack
+//	-      2    partial count, then per partial:
+//	             4 seq, 2 missing count, 2 bytes per missing index
+func EncodeAck(a Ack, maxBytes int) []byte {
+	const header = 11
+	if maxBytes < header+2 {
+		maxBytes = header + 2
+	}
+	b := make([]byte, 0, maxBytes)
+	b = append(b, opAck)
+	b = binary.BigEndian.AppendUint32(b, a.Nonce)
+	b = binary.BigEndian.AppendUint32(b, a.Cum)
+	sacks := a.Sacks
+	if max := (maxBytes - header - 2) / 4; len(sacks) > max {
+		sacks = sacks[:max]
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(sacks)))
+	for _, s := range sacks {
+		b = binary.BigEndian.AppendUint32(b, s)
+	}
+	countAt := len(b)
+	b = binary.BigEndian.AppendUint16(b, 0) // partial count, patched below
+	partials := 0
+	for _, p := range a.Partials {
+		// An entry must name at least one missing index: a partial with
+		// an empty list would read as "I hold this message" and suppress
+		// both selective and full retransmission at the sender — better
+		// to omit the entry entirely and let a probed sender fall back
+		// to a full resend.
+		if len(b)+8 > maxBytes {
+			break
+		}
+		b = binary.BigEndian.AppendUint32(b, p.Seq)
+		miss := p.Missing
+		if max := (maxBytes - len(b) - 2) / 2; len(miss) > max {
+			miss = miss[:max]
+		}
+		if len(miss) > 0xFFFF {
+			miss = miss[:0xFFFF]
+		}
+		b = binary.BigEndian.AppendUint16(b, uint16(len(miss)))
+		for _, idx := range miss {
+			b = binary.BigEndian.AppendUint16(b, uint16(idx))
+		}
+		partials++
+	}
+	binary.BigEndian.PutUint16(b[countAt:], uint16(partials))
+	return b
+}
+
+// DecodeCtl parses a stream control body: either a probe (probe=true,
+// nonce in a.Nonce) or an acknowledgment.
+func DecodeCtl(b []byte) (a Ack, probe bool, err error) {
+	if len(b) < 1 {
+		return a, false, fmt.Errorf("%w: empty stream control", transport.ErrBadPacket)
+	}
+	switch b[0] {
+	case opProbe:
+		if len(b) < 5 {
+			return a, false, fmt.Errorf("%w: stream probe %d bytes", transport.ErrBadPacket, len(b))
+		}
+		a.Nonce = binary.BigEndian.Uint32(b[1:5])
+		return a, true, nil
+	case opAck:
+	default:
+		return a, false, fmt.Errorf("%w: stream control op %d", transport.ErrBadPacket, b[0])
+	}
+	if len(b) < 11 {
+		return a, false, fmt.Errorf("%w: stream ack %d bytes", transport.ErrBadPacket, len(b))
+	}
+	a.Nonce = binary.BigEndian.Uint32(b[1:5])
+	a.Cum = binary.BigEndian.Uint32(b[5:9])
+	off := 9
+	nsack := int(binary.BigEndian.Uint16(b[off : off+2]))
+	off += 2
+	if len(b) < off+4*nsack+2 {
+		return a, false, fmt.Errorf("%w: stream ack truncated sacks", transport.ErrBadPacket)
+	}
+	for i := 0; i < nsack; i++ {
+		a.Sacks = append(a.Sacks, binary.BigEndian.Uint32(b[off:off+4]))
+		off += 4
+	}
+	nPart := int(binary.BigEndian.Uint16(b[off : off+2]))
+	off += 2
+	for i := 0; i < nPart; i++ {
+		if len(b) < off+6 {
+			return a, false, fmt.Errorf("%w: stream ack truncated partial", transport.ErrBadPacket)
+		}
+		p := Partial{Seq: binary.BigEndian.Uint32(b[off : off+4])}
+		nm := int(binary.BigEndian.Uint16(b[off+4 : off+6]))
+		off += 6
+		if len(b) < off+2*nm {
+			return a, false, fmt.Errorf("%w: stream ack truncated missing list", transport.ErrBadPacket)
+		}
+		for j := 0; j < nm; j++ {
+			p.Missing = append(p.Missing, int(binary.BigEndian.Uint16(b[off:off+2])))
+			off += 2
+		}
+		a.Partials = append(a.Partials, p)
+	}
+	return a, false, nil
+}

@@ -1,0 +1,236 @@
+package reliab
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+func frags(msgID uint64, n int) []transport.Fragment {
+	out := make([]transport.Fragment, n)
+	for i := range out {
+		out[i] = transport.Fragment{
+			Msg:   transport.Message{Kind: transport.P2P, Payload: []byte{byte(i)}},
+			MsgID: msgID, Index: uint16(i), Count: uint16(n), TotalLen: uint32(n), Offset: uint32(i),
+		}
+	}
+	return out
+}
+
+func TestSendWindowAndCumAck(t *testing.T) {
+	o := Options{Window: 2}.Fill()
+	s := NewSendStream(o)
+	s.Begin(1, frags(1, 1))
+	seq2 := s.Begin(2, frags(2, 1))
+	if seq2 != 2 {
+		t.Fatalf("second seq = %d, want 2", seq2)
+	}
+	if !s.Full() {
+		t.Fatal("window of 2 should be full after two sends")
+	}
+	resend, freed := s.HandleAck(Ack{Cum: 2})
+	if len(resend) != 0 || !freed {
+		t.Fatalf("cumulative ack: resend=%v freed=%v", resend, freed)
+	}
+	if s.Full() || s.InFlight() != 0 {
+		t.Fatalf("window not drained: in flight %d", s.InFlight())
+	}
+}
+
+func TestSelectiveRetransmitFromPartial(t *testing.T) {
+	s := NewSendStream(Options{}.Fill())
+	s.Begin(7, frags(7, 5))
+	resend, _ := s.HandleAck(Ack{Cum: 0, Partials: []Partial{{Seq: 1, Missing: []int{1, 3}}}})
+	if len(resend) != 1 {
+		t.Fatalf("resend count = %d, want 1", len(resend))
+	}
+	if got := resend[0]; got.Seq != 1 || len(got.Frags) != 2 ||
+		got.Frags[0].Index != 1 || got.Frags[1].Index != 3 {
+		t.Fatalf("selective resend named wrong fragments: %+v", got)
+	}
+}
+
+func TestFullResendOnlyWhenProbed(t *testing.T) {
+	s := NewSendStream(Options{}.Fill())
+	s.Begin(9, frags(9, 3))
+	// Unsolicited ack that omits seq 1: frames may still be in flight.
+	if resend, _ := s.HandleAck(Ack{Cum: 0}); len(resend) != 0 {
+		t.Fatalf("unsolicited ack triggered resend: %v", resend)
+	}
+	// An ack claiming an unknown probe nonce must not resend (stale ack).
+	if resend, _ := s.HandleAck(Ack{Cum: 0, Nonce: 99}); len(resend) != 0 {
+		t.Fatalf("ack with unknown nonce triggered resend: %v", resend)
+	}
+	// A message begun but not yet handed to the device (the host send
+	// cost is still being charged) is not probeable.
+	s.MarkSent(0)
+	if n, ok := s.OnProbe(); !ok {
+		t.Fatalf("OnProbe = (%d, %v)", n, ok)
+	} else if resend, _ := s.HandleAck(Ack{Cum: 0, Nonce: n}); len(resend) != 0 {
+		t.Fatalf("probe before MarkSent triggered resend: %v", resend)
+	}
+	s.MarkSent(1)
+	nonce, ok := s.OnProbe()
+	if !ok || nonce == 0 {
+		t.Fatalf("OnProbe = (%d, %v)", nonce, ok)
+	}
+	// Message sent after the probe: the answering ack cannot know it.
+	seq2 := s.Begin(10, frags(10, 2))
+	s.MarkSent(seq2)
+	resend, _ := s.HandleAck(Ack{Cum: 0, Nonce: nonce})
+	if len(resend) != 1 || resend[0].Seq != 1 || len(resend[0].Frags) != 3 {
+		t.Fatalf("probed ack resend = %v, want full resend of seq 1 only", resend)
+	}
+}
+
+func TestProbeBackoffAndFailure(t *testing.T) {
+	o := Options{RTO: 100, MaxProbes: 3}.Fill()
+	s := NewSendStream(o)
+	s.Begin(1, frags(1, 1))
+	if !s.NeedProbe() {
+		t.Fatal("unacked message should need a probe")
+	}
+	rto0 := s.RTO()
+	for i := 0; i < 3; i++ {
+		if _, ok := s.OnProbe(); !ok {
+			t.Fatalf("probe %d should still be allowed", i+1)
+		}
+	}
+	if s.RTO() <= rto0 {
+		t.Fatal("probe timeout did not back off")
+	}
+	if _, ok := s.OnProbe(); ok {
+		t.Fatal("stream should fail after MaxProbes")
+	}
+	// Progress resets the budget.
+	s2 := NewSendStream(o)
+	s2.Begin(1, frags(1, 1))
+	s2.Begin(2, frags(2, 1))
+	s2.OnProbe()
+	s2.OnProbe()
+	if _, freed := s2.HandleAck(Ack{Cum: 1}); !freed {
+		t.Fatal("ack should free window space")
+	}
+	if s2.RTO() != o.RTO {
+		t.Fatal("progress did not reset the backoff")
+	}
+}
+
+func TestRecvDedupAndCumAdvance(t *testing.T) {
+	r := NewRecvStream()
+	if !r.Fresh(1, 100) || !r.Fresh(2, 101) {
+		t.Fatal("new sequences should be fresh")
+	}
+	r.Deliver(2) // out of order
+	r.Deliver(1)
+	a := r.AckState(func(uint64) []int { return nil }, 0)
+	if a.Cum != 2 || len(a.Sacks) != 0 {
+		t.Fatalf("ack = %+v, want cum=2 no sacks", a)
+	}
+	if r.Fresh(1, 100) || r.Fresh(2, 101) {
+		t.Fatal("delivered sequences must be duplicates")
+	}
+	if !r.Fresh(4, 103) {
+		t.Fatal("gap sequence should be fresh")
+	}
+	r.Deliver(4)
+	a = r.AckState(func(uint64) []int { return nil }, 0)
+	if a.Cum != 2 || !reflect.DeepEqual(a.Sacks, []uint32{4}) {
+		t.Fatalf("ack = %+v, want cum=2 sacks=[4]", a)
+	}
+}
+
+func TestGapEvidence(t *testing.T) {
+	r := NewRecvStream()
+	r.Fresh(1, 100)
+	r.Deliver(1)
+	if r.Gapped() {
+		t.Fatal("no gap after in-order delivery")
+	}
+	// Seq 3 completes while seq 2 was never seen: provable loss.
+	r.Fresh(3, 102)
+	r.Deliver(3)
+	if !r.Gapped() {
+		t.Fatal("missing seq 2 below the horizon should be a provable gap")
+	}
+	// Partial below the horizon is also evidence.
+	r2 := NewRecvStream()
+	r2.Fresh(1, 100) // incomplete
+	r2.Fresh(2, 101)
+	r2.Deliver(2)
+	if !r2.Gapped() {
+		t.Fatal("partial below the horizon should be a provable gap")
+	}
+}
+
+func TestAckCodecRoundTrip(t *testing.T) {
+	in := Ack{
+		Cum:   7,
+		Sacks: []uint32{9, 12},
+		Partials: []Partial{
+			{Seq: 8, Missing: []int{0, 5, 63}},
+			{Seq: 10, Missing: []int{2}},
+		},
+		Nonce: 3,
+	}
+	a, probe, err := DecodeCtl(EncodeAck(in, 1400))
+	if err != nil || probe {
+		t.Fatalf("decode: probe=%v err=%v", probe, err)
+	}
+	if !reflect.DeepEqual(a, in) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", a, in)
+	}
+	// Bounded encoding: a state report too big for one frame sheds
+	// detail instead of exceeding the MTU, and still decodes.
+	big := Ack{Cum: 1, Nonce: 9}
+	for s := uint32(0); s < 200; s++ {
+		big.Sacks = append(big.Sacks, 3+2*s)
+		miss := make([]int, 300)
+		for i := range miss {
+			miss[i] = i
+		}
+		big.Partials = append(big.Partials, Partial{Seq: 4 + 2*s, Missing: miss})
+	}
+	for _, budget := range []int{16, 20, 64, 600, 1400} {
+		enc := EncodeAck(big, budget)
+		if len(enc) > budget && budget >= 16 {
+			t.Fatalf("bounded ack is %d bytes, budget %d", len(enc), budget)
+		}
+		got, _, err := DecodeCtl(enc)
+		if err != nil {
+			t.Fatalf("bounded ack (budget %d) does not decode: %v", budget, err)
+		}
+		if got.Cum != 1 || got.Nonce != 9 {
+			t.Fatalf("bounded ack lost its head state: %+v", got)
+		}
+		// A partial entry squeezed to an empty missing list would read as
+		// "I hold this message" and suppress repair: it must never be
+		// emitted (confirmed livelock before this guard).
+		for _, p := range got.Partials {
+			if len(p.Missing) == 0 {
+				t.Fatalf("budget %d emitted a partial with no missing indexes: %+v", budget, got)
+			}
+		}
+	}
+	// Sender-side belt and braces: an empty partial from a malformed
+	// peer must not suppress the probed full resend.
+	s3 := NewSendStream(Options{}.Fill())
+	seq := s3.Begin(1, frags(1, 2))
+	s3.MarkSent(seq)
+	n3, _ := s3.OnProbe()
+	resend3, _ := s3.HandleAck(Ack{Nonce: n3, Partials: []Partial{{Seq: seq}}})
+	if len(resend3) != 1 || len(resend3[0].Frags) != 2 {
+		t.Fatalf("empty partial suppressed the probed full resend: %v", resend3)
+	}
+	p, probe, err := DecodeCtl(EncodeProbe(42))
+	if err != nil || !probe || p.Nonce != 42 {
+		t.Fatalf("probe decode: probe=%v nonce=%d err=%v", probe, p.Nonce, err)
+	}
+	if _, _, err := DecodeCtl(nil); err == nil {
+		t.Fatal("empty control should fail to decode")
+	}
+	if _, _, err := DecodeCtl([]byte{9}); err == nil {
+		t.Fatal("unknown op should fail to decode")
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/ethernet"
 	"repro/internal/ipnet"
+	"repro/internal/reliab"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -37,13 +38,27 @@ const (
 	// Switch is the store-and-forward switch (HP ProCurve) with IGMP
 	// snooping.
 	Switch
+	// SwitchShared is the switch in shared-uplink port mode: stations
+	// are grouped into half-duplex segments of Profile.UplinkFanout that
+	// each share one switch port, modeling the stacked/cascaded fabrics
+	// needed to host more stations than the testbed's 8-port switch.
+	// A port's bandwidth becomes an uplink shared by its group — one
+	// multicast egress transmission serves every station on the segment,
+	// while unicast fan-in converges on the bounded, flow-controlled
+	// port queues. This is the topology the figure 14/15 N-sweeps run
+	// on for N beyond the physical port count.
+	SwitchShared
 )
 
 func (t Topology) String() string {
-	if t == Hub {
+	switch t {
+	case Hub:
 		return "hub"
+	case SwitchShared:
+		return "switch-shared"
+	default:
+		return "switch"
 	}
-	return "switch"
 }
 
 // Profile holds the calibrated timing model.
@@ -95,6 +110,31 @@ type Profile struct {
 	// surgical loss — "drop exactly fragment 37 of the next multicast at
 	// rank 3" — where LossRate only offers seeded randomness.
 	DropFrag func(dst int, f transport.Fragment) bool
+	// P2PLossRate injects independent random loss of point-to-point
+	// fragments on the UDP bypass (messages with Reliable=false: scouts,
+	// reduce halves, gather chunks, NACKs, and the stream layer's own
+	// acknowledgments and probes). The modeled-TCP baseline traffic
+	// (Reliable=true) is exempt — the kernel's TCP is reliable by fiat in
+	// the paper's model — so this knob exercises exactly the reliable
+	// stream layer (package reliab) that makes the bypass survivable.
+	P2PLossRate float64
+	// DropP2P is the deterministic, surgical analogue of P2PLossRate:
+	// consulted for every bypass point-to-point fragment arriving at an
+	// endpoint; returning true drops it (counted in
+	// Stats.InjectedP2PLosses).
+	DropP2P func(dst int, f transport.Fragment) bool
+	// Stream tunes the reliable point-to-point stream layer (window,
+	// probe timeout); zero fields take the reliab defaults.
+	Stream reliab.Options
+	// DisableP2PStream routes SendReliable through the plain datagram
+	// path — no sequence numbers, no acknowledgments, no retransmission.
+	// It exists for ablations and negative controls (showing the
+	// deadlock the stream layer prevents); never set it otherwise.
+	DisableP2PStream bool
+	// UplinkFanout is the number of stations sharing one switch port
+	// (through a shared half-duplex segment) under the SwitchShared
+	// topology; 0 means 4. Ignored by Hub and Switch.
+	UplinkFanout int
 	// Seed drives all randomness (CSMA/CD backoff, loss injection).
 	Seed uint64
 }
@@ -121,8 +161,10 @@ const MaxFragPayload = ipnet.MaxUDPPayload - transport.HeaderLen
 type Stats struct {
 	McastDropsNotPosted int64 // strict-mode losses (receiver not ready)
 	RingOverflows       int64 // receive-ring overflow losses
-	InjectedLosses      int64 // random losses from Profile.LossRate
+	InjectedLosses      int64 // random multicast losses (LossRate/DropFrag)
+	InjectedP2PLosses   int64 // injected bypass p2p losses (P2PLossRate/DropP2P)
 	KernelAcks          int64 // TCP-style acknowledgment frames absorbed
+	Stream              reliab.Stats
 }
 
 // kernelAck marks transport-invisible acknowledgment frames that model
@@ -158,29 +200,54 @@ func New(n int, topo Topology, prof Profile) *Network {
 	if prof.RecvRing <= 0 {
 		prof.RecvRing = 1
 	}
+	prof.Stream = prof.Stream.Fill()
 	eng := sim.New()
 	nw := &Network{eng: eng, prof: prof, topo: topo, rng: sim.NewRand(prof.Seed)}
-	var attach func(*ethernet.NIC)
+	// The NIC and loss RNG forks interleave per rank (NIC 0, loss 0,
+	// NIC 1, …) so seeded runs reproduce the pre-shared-uplink timelines
+	// exactly; the endpoints are built in the same loop for the same
+	// reason, with only the topology attachment batched afterwards.
+	nics := make([]*ethernet.NIC, n)
+	lossRngs := make([]*sim.Rand, n)
+	for i := 0; i < n; i++ {
+		nics[i] = ethernet.NewNIC(eng, ethernet.UnicastMAC(i), prof.Ethernet, nw.rng.Fork())
+		lossRngs[i] = nw.rng.Fork()
+	}
 	switch topo {
 	case Hub:
 		nw.hub = ethernet.NewHub(eng, prof.Ethernet)
-		attach = nw.hub.Attach
+		for _, nic := range nics {
+			nw.hub.Attach(nic)
+		}
 	case Switch:
 		nw.sw = ethernet.NewSwitch(eng, prof.Ethernet)
-		attach = nw.sw.Attach
+		for _, nic := range nics {
+			nw.sw.Attach(nic)
+		}
+	case SwitchShared:
+		nw.sw = ethernet.NewSwitch(eng, prof.Ethernet)
+		fanout := prof.UplinkFanout
+		if fanout <= 0 {
+			fanout = 4
+		}
+		for lo := 0; lo < n; lo += fanout {
+			hi := lo + fanout
+			if hi > n {
+				hi = n
+			}
+			nw.sw.AttachSegment(nics[lo:hi])
+		}
 	default:
 		panic(fmt.Sprintf("simnet: unknown topology %d", topo))
 	}
 	for i := 0; i < n; i++ {
-		nic := ethernet.NewNIC(eng, ethernet.UnicastMAC(i), prof.Ethernet, nw.rng.Fork())
-		attach(nic)
-		node := ipnet.NewNode(eng, nic, ipnet.RankAddr(i))
+		node := ipnet.NewNode(eng, nics[i], ipnet.RankAddr(i))
 		ep := &Endpoint{
 			nw:      nw,
 			rank:    i,
 			node:    node,
 			inbox:   sim.NewQueue[arrived](eng),
-			lossRng: nw.rng.Fork(),
+			lossRng: lossRngs[i],
 		}
 		node.SetHandler(ep.handleDatagram)
 		nw.eps = append(nw.eps, ep)
@@ -214,6 +281,16 @@ func (nw *Network) SwitchStats() ethernet.SwitchStats {
 		return ethernet.SwitchStats{}
 	}
 	return nw.sw.Stats
+}
+
+// SwitchPortStats returns per-port egress occupancy counters (nil on a
+// hub): the queue-depth high-watermark instrumentation the shared-uplink
+// experiments and the CI silent-drop gate read.
+func (nw *Network) SwitchPortStats() []ethernet.SwitchPortStats {
+	if nw.sw == nil {
+		return nil
+	}
+	return nw.sw.PortStats()
 }
 
 // RankError reports which rank program failed.
@@ -282,6 +359,31 @@ type Endpoint struct {
 	lossRng   *sim.Rand
 	closed    bool
 	delivered DeliveredStats
+
+	// Reliable point-to-point stream state (package reliab): the sender
+	// halves keyed by destination rank, the receiver halves by source.
+	sstreams  map[int]*sendPeer
+	rstreams  map[int]*recvPeer
+	streamErr error
+}
+
+// sendPeer is the sender half of one peer's reliable stream plus its
+// probe timer state. lastActivity (device clock) records the most
+// recent send or acknowledgment on the stream: probes fire RTO after
+// the LAST activity, not the first, so a long collective's steady
+// traffic never provokes mid-run protocol frames.
+type sendPeer struct {
+	ss           *reliab.SendStream
+	armed        bool // a probe timer event is pending
+	lastActivity int64
+}
+
+// recvPeer is the receiver half of one peer's reliable stream plus the
+// volunteer-ack throttle (at most one unsolicited ack per quarter-RTO,
+// so gap evidence cannot turn into an ack storm).
+type recvPeer struct {
+	rs        *reliab.RecvStream
+	nextAckAt int64
 }
 
 type reasmID struct {
@@ -294,6 +396,8 @@ var (
 	_ transport.Multicaster      = (*Endpoint)(nil)
 	_ transport.FragmentRepairer = (*Endpoint)(nil)
 	_ transport.Pacer            = (*Endpoint)(nil)
+	_ transport.ReliableSender   = (*Endpoint)(nil)
+	_ transport.DeadlineRecver   = (*Endpoint)(nil)
 )
 
 // Rank implements transport.Endpoint.
@@ -321,6 +425,8 @@ func classToFrameKind(c transport.Class) ethernet.FrameKind {
 		return ethernet.KindAck
 	case transport.ClassNack:
 		return ethernet.KindNack
+	case transport.ClassStream:
+		return ethernet.KindAck
 	default:
 		return ethernet.KindControl
 	}
@@ -336,6 +442,239 @@ func (ep *Endpoint) Send(dst int, m transport.Message) error {
 	}
 	m.Kind = transport.P2P
 	return ep.transmit(ipnet.RankAddr(dst), m)
+}
+
+// SendReliable implements transport.ReliableSender: m rides the
+// per-peer sequence-numbered stream to dst with a sliding send window —
+// the call blocks (in virtual time) while the window is full — and the
+// stream layer retransmits anything the receiver proves lost. The
+// initial transmission charges the ordinary host send costs; protocol
+// frames and retransmissions are driven from event context (the
+// NIC/kernel reliability layer) and cost the host nothing, exactly like
+// the modeled TCP acknowledgments.
+func (ep *Endpoint) SendReliable(dst int, m transport.Message) error {
+	if ep.closed {
+		return transport.ErrClosed
+	}
+	if ep.streamErr != nil {
+		return ep.streamErr
+	}
+	if dst < 0 || dst >= len(ep.nw.eps) {
+		return fmt.Errorf("simnet: send to rank %d outside world of %d", dst, len(ep.nw.eps))
+	}
+	if ep.nw.prof.DisableP2PStream {
+		return ep.Send(dst, m)
+	}
+	p := ep.proc
+	if p == nil {
+		panic("simnet: endpoint used outside Network.Run")
+	}
+	sp := ep.sendPeer(dst)
+	if sp.ss.Full() {
+		ep.nw.Stats.Stream.WindowStalls++
+		_ = p.WaitFor(func() bool {
+			return !sp.ss.Full() || ep.streamErr != nil || ep.closed
+		}, 0)
+		if ep.streamErr != nil {
+			return ep.streamErr
+		}
+		if ep.closed {
+			return transport.ErrClosed
+		}
+	}
+	m.Kind = transport.P2P
+	m.Src = ep.rank
+	// Retransmission may happen long after this call returns, so the
+	// recorded fragments must not alias a caller buffer the application
+	// is free to reuse (plain Send semantics): copy once at admission.
+	m.Payload = append([]byte(nil), m.Payload...)
+	ep.msgID++
+	frags := transport.Split(m, ep.msgID, MaxFragPayload)
+	seq := sp.ss.Begin(ep.msgID, frags)
+	for i := range frags {
+		frags[i].Stream = seq
+	}
+	ep.nw.Stats.Stream.MsgsStreamed++
+	if err := ep.transmitFrags(ipnet.RankAddr(dst), m, frags); err != nil {
+		return err
+	}
+	// Only now are the fragments at the device (transmitFrags slept the
+	// host send cost); a probe fired during that sleep must not have
+	// covered this message.
+	sp.ss.MarkSent(seq)
+	sp.lastActivity = int64(ep.nw.eng.Now())
+	ep.armProbe(dst, sp)
+	return nil
+}
+
+func (ep *Endpoint) sendPeer(dst int) *sendPeer {
+	if ep.sstreams == nil {
+		ep.sstreams = make(map[int]*sendPeer)
+	}
+	sp := ep.sstreams[dst]
+	if sp == nil {
+		sp = &sendPeer{ss: reliab.NewSendStream(ep.nw.prof.Stream)}
+		ep.sstreams[dst] = sp
+	}
+	return sp
+}
+
+func (ep *Endpoint) recvPeer(src int) *recvPeer {
+	if ep.rstreams == nil {
+		ep.rstreams = make(map[int]*recvPeer)
+	}
+	rp := ep.rstreams[src]
+	if rp == nil {
+		rp = &recvPeer{rs: reliab.NewRecvStream()}
+		ep.rstreams[src] = rp
+	}
+	return rp
+}
+
+// armProbe schedules the stream's ack-soliciting probe timer for dst if
+// none is pending.
+func (ep *Endpoint) armProbe(dst int, sp *sendPeer) {
+	if sp.armed {
+		return
+	}
+	sp.armed = true
+	ep.nw.eng.At(sp.ss.RTO(), func() { ep.probeTick(dst, sp) })
+}
+
+// probeTick runs in event context when the probe timer for dst fires:
+// nothing acknowledged the stream's tail within RTO of its last
+// activity, so solicit the receiver's state (and back off). The stream
+// fails after MaxProbes consecutive silent probes.
+func (ep *Endpoint) probeTick(dst int, sp *sendPeer) {
+	sp.armed = false
+	if ep.closed || !sp.ss.NeedProbe() {
+		return
+	}
+	// The stream has been active since the timer was armed: the silence
+	// period restarts at the last activity — re-arm without probing, so
+	// steady traffic (a long collective mid-run) provokes no protocol
+	// frames on the measured wire.
+	if wait := sp.lastActivity + sp.ss.RTO() - int64(ep.nw.eng.Now()); wait > 0 {
+		sp.armed = true
+		ep.nw.eng.At(wait, func() { ep.probeTick(dst, sp) })
+		return
+	}
+	nonce, ok := sp.ss.OnProbe()
+	if !ok {
+		ep.failStream(fmt.Errorf("simnet: reliable stream %d->%d failed: %d unacknowledged messages after %d probes",
+			ep.rank, dst, sp.ss.InFlight(), ep.nw.prof.Stream.MaxProbes))
+		return
+	}
+	ep.nw.Stats.Stream.ProbesSent++
+	ep.sendCtl(dst, reliab.EncodeProbe(nonce))
+	ep.armProbe(dst, sp)
+}
+
+// failStream declares this endpoint's streams broken: the error is
+// surfaced on every subsequent Send/Recv, and the inbox is closed so a
+// blocked receive observes it instead of deadlocking silently.
+func (ep *Endpoint) failStream(err error) {
+	if ep.streamErr != nil {
+		return
+	}
+	ep.streamErr = err
+	ep.nw.Stats.Stream.StreamFailures++
+	ep.inbox.Close()
+	if ep.proc != nil {
+		ep.proc.Nudge()
+	}
+}
+
+// sendCtl emits one stream control frame (probe or ack) to dst from
+// event context. Control frames are real, droppable wire frames counted
+// in the ClassAck column, but they never reach the application and cost
+// the hosts nothing at the transport layer.
+func (ep *Endpoint) sendCtl(dst int, body []byte) {
+	ep.msgID++
+	f := transport.Fragment{
+		Msg: transport.Message{
+			Kind:    transport.P2P,
+			Src:     ep.rank,
+			Class:   transport.ClassStream,
+			Payload: body,
+		},
+		MsgID: ep.msgID,
+		Count: 1,
+		Ctl:   true,
+	}
+	f.TotalLen = uint32(len(body))
+	ep.nw.Wire.CountSend(transport.ClassStream, 1, len(body))
+	_ = ep.node.SendUDP(ipnet.Datagram{
+		Dst:     ipnet.RankAddr(dst),
+		DstPort: 5000,
+		Kind:    ethernet.KindAck,
+		Payload: transport.EncodeFragment(f),
+	})
+}
+
+// resendFrags retransmits recorded stream fragments to dst from event
+// context (no host cost — the reliability layer lives below the socket
+// boundary, like the kernel's TCP retransmission).
+func (ep *Endpoint) resendFrags(dst int, frags []transport.Fragment) {
+	bytes := 0
+	for _, f := range frags {
+		bytes += len(f.Msg.Payload)
+	}
+	if len(frags) == 0 {
+		return
+	}
+	ep.nw.Stats.Stream.Retransmits += int64(len(frags))
+	ep.nw.Wire.CountSend(frags[0].Msg.Class, len(frags), bytes)
+	for _, f := range frags {
+		_ = ep.node.SendUDP(ipnet.Datagram{
+			Dst:     ipnet.RankAddr(dst),
+			DstPort: 5000,
+			Kind:    classToFrameKind(f.Msg.Class),
+			Payload: transport.EncodeFragment(f),
+		})
+	}
+}
+
+// sendStreamAck emits the receiver-side state report for src. Probed
+// acks (answering probe nonce != 0) always go out; volunteer acks (gap
+// evidence, duplicates) are throttled to one per quarter-RTO per peer.
+func (ep *Endpoint) sendStreamAck(src int, rp *recvPeer, nonce uint32) {
+	now := int64(ep.nw.eng.Now())
+	if nonce == 0 && now < rp.nextAckAt {
+		return
+	}
+	rp.nextAckAt = now + ep.nw.prof.Stream.RTO/4
+	ack := rp.rs.AckState(func(msgID uint64) []int {
+		return ep.reasm.Missing(src, msgID)
+	}, nonce)
+	ep.nw.Stats.Stream.AcksSent++
+	ep.sendCtl(src, reliab.EncodeAck(ack, MaxFragPayload))
+}
+
+// handleStreamCtl consumes a stream control frame in event context.
+func (ep *Endpoint) handleStreamCtl(f transport.Fragment) {
+	src := f.Msg.Src
+	ack, probe, err := reliab.DecodeCtl(f.Msg.Payload)
+	if err != nil {
+		return
+	}
+	if probe {
+		ep.sendStreamAck(src, ep.recvPeer(src), ack.Nonce)
+		return
+	}
+	sp := ep.sendPeer(src)
+	ep.nw.Stats.Stream.AcksReceived++
+	resend, freed := sp.ss.HandleAck(ack)
+	sp.lastActivity = int64(ep.nw.eng.Now())
+	for _, r := range resend {
+		ep.resendFrags(src, r.Frags)
+	}
+	if len(resend) > 0 {
+		ep.armProbe(src, sp)
+	}
+	if freed && ep.proc != nil {
+		ep.proc.Nudge()
+	}
 }
 
 // Join implements transport.Multicaster.
@@ -439,6 +778,9 @@ func (ep *Endpoint) PendingFrom(src int) (msgID uint64, missing []int, ok bool) 
 	return ep.reasm.PendingFrom(src)
 }
 
+// MaxFragPayload implements transport.Fragmenter.
+func (ep *Endpoint) MaxFragPayload() int { return MaxFragPayload }
+
 // Pace implements transport.Pacer as virtual-time sleep.
 func (ep *Endpoint) Pace(d int64) {
 	p := ep.proc
@@ -484,6 +826,38 @@ func (ep *Endpoint) handleDatagram(d ipnet.Datagram) {
 		ep.nw.Stats.KernelAcks++
 		return
 	}
+	if f.Msg.Kind == transport.P2P && !f.Msg.Reliable {
+		// Bypass point-to-point loss: unlike the paper's model, ANY frame
+		// kind may vanish — data, scout, stream ack, probe, NACK. The
+		// stream layer (and only it) makes this survivable.
+		if prof.DropP2P != nil && prof.DropP2P(ep.rank, f) {
+			ep.nw.Stats.InjectedP2PLosses++
+			return
+		}
+		if prof.P2PLossRate > 0 {
+			if float64(ep.lossRng.Uint64()%1_000_000)/1_000_000 < prof.P2PLossRate {
+				ep.nw.Stats.InjectedP2PLosses++
+				return
+			}
+		}
+	}
+	if f.Ctl {
+		// Stream control (ack/probe): consumed below the receive path.
+		ep.handleStreamCtl(f)
+		return
+	}
+	var rp *recvPeer
+	if f.Stream != 0 && f.Msg.Kind == transport.P2P {
+		rp = ep.recvPeer(f.Msg.Src)
+		if !rp.rs.Fresh(f.Stream, f.MsgID) {
+			// Duplicate of a delivered message (a retransmission raced
+			// the ack): suppress it before it founds ghost reassembly
+			// state, and re-advertise our state so the sender retires it.
+			ep.nw.Stats.Stream.DupFragments++
+			ep.sendStreamAck(f.Msg.Src, rp, 0)
+			return
+		}
+	}
 	id := reasmID{src: f.Msg.Src, msgID: f.MsgID}
 	if ep.fragCnt == nil {
 		ep.fragCnt = make(map[reasmID]int)
@@ -495,6 +869,11 @@ func (ep *Endpoint) handleDatagram(d ipnet.Datagram) {
 		return
 	}
 	if !done {
+		if rp != nil && rp.rs.Gapped() {
+			// Provable loss (a newer message's fragments arrived past the
+			// gap): volunteer our state instead of waiting for a probe.
+			ep.sendStreamAck(f.Msg.Src, rp, 0)
+		}
 		return
 	}
 	nfrags := ep.fragCnt[id]
@@ -503,8 +882,15 @@ func (ep *Endpoint) handleDatagram(d ipnet.Datagram) {
 		ep.sendKernelAcks(m.Src, (nfrags+1)/2)
 	}
 	if ep.inbox.Len() >= prof.RecvRing {
+		// For a streamed message the overflow is not a loss: the message
+		// stays unacknowledged (its reassembly state is gone, so the ack
+		// names nothing) and the sender's probe drives a full resend once
+		// the ring has drained.
 		ep.nw.Stats.RingOverflows++
 		return
+	}
+	if rp != nil {
+		rp.rs.Deliver(f.Stream)
 	}
 	ep.delivered.Messages++
 	ep.delivered.Frames += int64(nfrags)
@@ -513,6 +899,9 @@ func (ep *Endpoint) handleDatagram(d ipnet.Datagram) {
 		ep.delivered.DataBytes += int64(len(m.Payload))
 	}
 	ep.inbox.Push(arrived{msg: m, frags: nfrags})
+	if rp != nil && rp.rs.Gapped() {
+		ep.sendStreamAck(f.Msg.Src, rp, 0)
+	}
 }
 
 // sendKernelAcks emits n minimum-size acknowledgment frames back to the
@@ -555,6 +944,9 @@ func (ep *Endpoint) Recv() (transport.Message, error) {
 	defer func() { ep.posted-- }()
 	a, ok := ep.inbox.Recv(p)
 	if !ok {
+		if ep.streamErr != nil {
+			return transport.Message{}, ep.streamErr
+		}
 		return transport.Message{}, transport.ErrClosed
 	}
 	prof := &ep.nw.prof
@@ -577,6 +969,9 @@ func (ep *Endpoint) RecvTimeout(timeout int64) (transport.Message, bool, error) 
 	a, ok := ep.inbox.RecvDeadline(p, ep.nw.eng.Now()+sim.Time(timeout))
 	if !ok {
 		if ep.inbox.Closed() {
+			if ep.streamErr != nil {
+				return transport.Message{}, false, ep.streamErr
+			}
 			return transport.Message{}, false, transport.ErrClosed
 		}
 		return transport.Message{}, false, nil

@@ -13,10 +13,10 @@ import (
 //
 //	offset size field
 //	0      4    magic 0x4D50494D ("MPIM")
-//	4      1    version (1)
+//	4      1    version (2)
 //	5      1    kind
 //	6      1    class
-//	7      1    flags (bit 0: reliable)
+//	7      1    flags (bit 0: reliable, bit 1: stream, bit 2: stream control)
 //	8      4    comm
 //	12     4    src world rank
 //	16     4    tag (two's complement)
@@ -26,13 +26,29 @@ import (
 //	34     2    fragment count
 //	36     4    total payload length
 //	40     4    fragment byte offset
-//	44     -    fragment payload
+//	44     4    stream sequence (reliable point-to-point stream, 0 = none)
+//	48     -    fragment payload
+//
+// Version 2 added the stream sequence field for the windowed reliable
+// point-to-point protocol of package reliab: a fragment with the stream
+// flag set belongs to the per-peer sequence-numbered stream identified by
+// (src, dst) and is delivered exactly once, in stream handling, below the
+// application receive path. A fragment with the stream-control flag set
+// is a protocol frame of that layer (cumulative ACK or ack-soliciting
+// probe) and never surfaces as a message.
 const (
-	HeaderLen   = 44
+	HeaderLen   = 48
 	wireMagic   = 0x4D50494D
-	wireVersion = 1
+	wireVersion = 2
 
 	flagReliable = 1 << 0
+
+	// FlagStream marks a fragment of a reliable point-to-point stream
+	// (Fragment.Stream carries the per-peer sequence number).
+	FlagStream = 1 << 1
+	// FlagStreamCtl marks a stream protocol frame (ACK or probe); the
+	// payload is a reliab control body, not message data.
+	FlagStreamCtl = 1 << 2
 )
 
 // Fragment is one wire unit of a (possibly multi-fragment) message.
@@ -43,6 +59,12 @@ type Fragment struct {
 	Count    uint16
 	TotalLen uint32
 	Offset   uint32 // byte offset of this fragment within the message
+	// Stream is the per-peer reliable-stream sequence number (0 when the
+	// fragment does not belong to a stream; see package reliab).
+	Stream uint32
+	// Ctl marks a stream protocol frame (ACK/probe) whose payload is a
+	// reliab control body rather than message data.
+	Ctl bool
 }
 
 // ErrBadPacket reports an undecodable wire packet.
@@ -58,6 +80,12 @@ func EncodeFragment(f Fragment) []byte {
 	if f.Msg.Reliable {
 		b[7] |= flagReliable
 	}
+	if f.Stream != 0 {
+		b[7] |= FlagStream
+	}
+	if f.Ctl {
+		b[7] |= FlagStreamCtl
+	}
 	binary.BigEndian.PutUint32(b[8:12], f.Msg.Comm)
 	binary.BigEndian.PutUint32(b[12:16], uint32(int32(f.Msg.Src)))
 	binary.BigEndian.PutUint32(b[16:20], uint32(f.Msg.Tag))
@@ -67,6 +95,7 @@ func EncodeFragment(f Fragment) []byte {
 	binary.BigEndian.PutUint16(b[34:36], f.Count)
 	binary.BigEndian.PutUint32(b[36:40], f.TotalLen)
 	binary.BigEndian.PutUint32(b[40:44], f.Offset)
+	binary.BigEndian.PutUint32(b[44:48], f.Stream)
 	copy(b[HeaderLen:], f.Msg.Payload)
 	return b
 }
@@ -87,6 +116,7 @@ func DecodeFragment(b []byte) (Fragment, error) {
 	f.Msg.Kind = Kind(b[5])
 	f.Msg.Class = Class(b[6])
 	f.Msg.Reliable = b[7]&flagReliable != 0
+	f.Ctl = b[7]&FlagStreamCtl != 0
 	f.Msg.Comm = binary.BigEndian.Uint32(b[8:12])
 	f.Msg.Src = int(int32(binary.BigEndian.Uint32(b[12:16])))
 	f.Msg.Tag = int32(binary.BigEndian.Uint32(b[16:20]))
@@ -96,9 +126,13 @@ func DecodeFragment(b []byte) (Fragment, error) {
 	f.Count = binary.BigEndian.Uint16(b[34:36])
 	f.TotalLen = binary.BigEndian.Uint32(b[36:40])
 	f.Offset = binary.BigEndian.Uint32(b[40:44])
+	f.Stream = binary.BigEndian.Uint32(b[44:48])
 	f.Msg.Payload = b[HeaderLen:]
 	if f.Count == 0 || f.Index >= f.Count {
 		return f, fmt.Errorf("%w: fragment %d/%d", ErrBadPacket, f.Index, f.Count)
+	}
+	if (b[7]&FlagStream != 0) != (f.Stream != 0) {
+		return f, fmt.Errorf("%w: stream flag disagrees with sequence %d", ErrBadPacket, f.Stream)
 	}
 	if int(f.Offset)+len(f.Msg.Payload) > int(f.TotalLen) {
 		return f, fmt.Errorf("%w: fragment overflows message", ErrBadPacket)
@@ -301,15 +335,19 @@ func (r *Reassembler) Add(f Fragment) (m Message, done bool, err error) {
 // Pending reports the number of partially reassembled messages.
 func (r *Reassembler) Pending() int { return len(r.pending) }
 
-// PendingFrom returns the newest partially reassembled message from
+// PendingFrom returns the newest partially reassembled *multicast* from
 // world rank src: its message id and the sorted missing fragment
 // indexes. ok=false means nothing from src is pending. Receiver-driven
-// repair protocols use it to name exactly the fragments a NACK should
-// request; the newest partial is the one belonging to the current
+// multicast repair protocols use it to name exactly the fragments a NACK
+// should request; the newest partial is the one belonging to the current
 // protocol round (older ones are stragglers of abandoned messages).
+// Point-to-point partials are excluded: with the reliable stream layer a
+// p2p message from the same source can legitimately sit half-reassembled
+// (a lost stream fragment awaiting retransmission), and naming its id in
+// a multicast NACK would request repairs for the wrong message.
 func (r *Reassembler) PendingFrom(src int) (msgID uint64, missing []int, ok bool) {
-	for key := range r.pending {
-		if key.src == src && (!ok || key.msgID > msgID) {
+	for key, st := range r.pending {
+		if key.src == src && st.template.Kind == Mcast && (!ok || key.msgID > msgID) {
 			msgID, ok = key.msgID, true
 		}
 	}

@@ -55,6 +55,7 @@ const (
 	ClassAck                  // acknowledgment
 	ClassNack                 // retransmission request
 	ClassControl              // barrier release and other control traffic
+	ClassStream               // reliable-stream protocol frames (acks, probes)
 )
 
 func (c Class) String() string {
@@ -69,6 +70,8 @@ func (c Class) String() string {
 		return "nack"
 	case ClassControl:
 		return "control"
+	case ClassStream:
+		return "stream"
 	default:
 		return fmt.Sprintf("class(%d)", uint8(c))
 	}
@@ -159,6 +162,40 @@ type FragmentRepairer interface {
 	// ok=false means nothing from src is pending (the message was never
 	// seen at all, or already completed).
 	PendingFrom(src int) (msgID uint64, missing []int, ok bool)
+}
+
+// ReliableSender is the optional capability of windowed reliable
+// point-to-point delivery (package reliab): messages to a peer ride a
+// per-peer sequence-numbered stream with a sliding send window,
+// cumulative acknowledgments and selective retransmission on timeout, so
+// a lost fragment — of any frame kind: a scout, a reduce half, a gather
+// chunk, even a repair request — is retransmitted instead of deadlocking
+// the protocol that was waiting for it. The call may block (or pace, on
+// the simulator's virtual clock) while the peer's send window is full:
+// that backpressure, not a silent drop, is what bounds the in-flight
+// traffic a fast sender can converge on one receiver.
+//
+// Package mpi routes the collective bypass traffic (messages with
+// Reliable=false — the paper's UDP path) through this capability when
+// the device offers it; Reliable=true messages model the MPICH baseline's
+// kernel TCP and keep the plain path. Devices whose delivery is already
+// lossless (the in-process channel transport) simply do not implement it.
+type ReliableSender interface {
+	// SendReliable transmits m to world rank dst over the reliable
+	// stream. It returns once the message is handed to the device with a
+	// window reservation; delivery and retransmission are asynchronous.
+	SendReliable(dst int, m Message) error
+}
+
+// Fragmenter is the optional capability of reporting the device's
+// fragment payload size — the message bytes carried per wire frame.
+// Protocols that scale timeouts or silence budgets with a message's
+// expected fragment count read it here instead of guessing an MTU
+// (devices without one, like the in-process channel transport, simply
+// do not implement it).
+type Fragmenter interface {
+	// MaxFragPayload returns the message payload bytes per fragment.
+	MaxFragPayload() int
 }
 
 // Pacer is the optional capability of pausing the calling rank for a

@@ -43,6 +43,7 @@ func RunAll(t *testing.T, f Factory) {
 	t.Run("AllToOneFanIn", func(t *testing.T) { testAllToOneFanIn(t, f) })
 	t.Run("Exchange", func(t *testing.T) { testExchange(t, f) })
 	t.Run("ClockMonotonic", func(t *testing.T) { testClockMonotonic(t, f) })
+	t.Run("ReliableStream", func(t *testing.T) { testReliableStream(t, f) })
 }
 
 func pattern(n int, seed byte) []byte {
@@ -438,6 +439,74 @@ func testExchange(t *testing.T, f Factory) {
 			}
 			return nil
 		}
+	}
+	h.Run(t, fns)
+}
+
+// testReliableStream exercises the optional ReliableSender capability:
+// a burst of streamed messages — small, empty and multi-fragment,
+// interleaved with a plain send — must arrive exactly once each with
+// payloads intact. Transports without the capability are skipped (their
+// delivery is already lossless).
+func testReliableStream(t *testing.T, f Factory) {
+	h := f(t, 2)
+	const burst = 40
+	fns := make([]func(transport.Endpoint) error, h.Size())
+	fns[0] = func(ep transport.Endpoint) error {
+		rs, ok := ep.(transport.ReliableSender)
+		if !ok {
+			return nil
+		}
+		for i := 0; i < burst; i++ {
+			var payload []byte
+			switch i % 3 {
+			case 0:
+				payload = pattern(50+i, byte(i))
+			case 1:
+				payload = nil // empty message
+			case 2:
+				payload = pattern(4000+i, byte(i)) // several fragments
+			}
+			if err := rs.SendReliable(1, transport.Message{Tag: int32(i), Payload: payload}); err != nil {
+				return fmt.Errorf("streamed send %d: %w", i, err)
+			}
+		}
+		// A plain send closes the burst; both paths must coexist.
+		return ep.Send(1, transport.Message{Tag: burst, Reliable: true, Payload: pattern(10, 99)})
+	}
+	fns[1] = func(ep transport.Endpoint) error {
+		if _, ok := ep.(transport.ReliableSender); !ok {
+			return nil
+		}
+		seen := make(map[int32]bool)
+		for len(seen) < burst+1 {
+			m, err := ep.Recv()
+			if err != nil {
+				return err
+			}
+			if seen[m.Tag] {
+				return fmt.Errorf("message tag %d delivered twice", m.Tag)
+			}
+			seen[m.Tag] = true
+			var want []byte
+			switch {
+			case m.Tag == burst:
+				want = pattern(10, 99)
+			case m.Tag%3 == 0:
+				want = pattern(50+int(m.Tag), byte(m.Tag))
+			case m.Tag%3 == 1:
+				want = nil
+			default:
+				want = pattern(4000+int(m.Tag), byte(m.Tag))
+			}
+			if !bytes.Equal(m.Payload, want) {
+				return fmt.Errorf("message %d corrupted (%d bytes, want %d)", m.Tag, len(m.Payload), len(want))
+			}
+		}
+		return nil
+	}
+	for i := 2; i < h.Size(); i++ {
+		fns[i] = func(transport.Endpoint) error { return nil }
 	}
 	h.Run(t, fns)
 }

@@ -9,14 +9,22 @@ import (
 // rank (each on its own goroutine, all traffic through the kernel), and
 // tears the world down. The first rank error is returned.
 func Run(cfg Config, algs mpi.Algorithms, fn func(c *mpi.Comm) error) error {
+	_, err := RunNet(cfg, algs, fn)
+	return err
+}
+
+// RunNet is Run returning the (closed) world as well, so callers can
+// read per-endpoint statistics — loss and stream-repair counters —
+// after the ranks finish.
+func RunNet(cfg Config, algs mpi.Algorithms, fn func(c *mpi.Comm) error) (*Net, error) {
 	nw, err := New(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer nw.Close()
 	eps := make([]transport.Endpoint, nw.Size())
 	for i := range eps {
 		eps[i] = nw.Endpoint(i)
 	}
-	return mpi.RunEndpoints(eps, algs, fn)
+	return nw, mpi.RunEndpoints(eps, algs, fn)
 }

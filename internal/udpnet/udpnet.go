@@ -21,10 +21,12 @@ package udpnet
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
 
+	"repro/internal/reliab"
 	"repro/internal/transport"
 )
 
@@ -44,6 +46,16 @@ type Config struct {
 	GroupNet string
 	// ReadBuffer sizes each socket's kernel receive buffer (default 1 MiB).
 	ReadBuffer int
+	// Stream tunes the reliable point-to-point stream layer (package
+	// reliab); zero fields take the reliab defaults.
+	Stream reliab.Options
+	// P2PLossRate injects independent receiver-side loss of bypass
+	// point-to-point fragments (Reliable=false, including the stream's
+	// own acks and probes), for exercising the stream's retransmission
+	// over real sockets; loopback UDP rarely loses anything by itself.
+	P2PLossRate float64
+	// LossSeed seeds the loss injection (0: a fixed default).
+	LossSeed int64
 }
 
 // DefaultConfig returns a working localhost configuration.
@@ -70,6 +82,7 @@ func (c *Config) fill() {
 	if c.ReadBuffer == 0 {
 		c.ReadBuffer = 1 << 20
 	}
+	c.Stream = c.Stream.Fill()
 }
 
 // groupIP maps a communicator context to a class-D address inside the
@@ -108,13 +121,22 @@ func New(cfg Config) (*Net, error) {
 		}
 		_ = conn.SetReadBuffer(cfg.ReadBuffer)
 		ep := &Endpoint{
-			net:    nw,
-			rank:   i,
-			uc:     conn,
-			inbox:  make(chan transport.Message, 4096),
-			groups: make(map[uint32]*net.UDPConn),
-			done:   make(chan struct{}),
+			net:      nw,
+			rank:     i,
+			uc:       conn,
+			inbox:    make(chan transport.Message, 4096),
+			groups:   make(map[uint32]*net.UDPConn),
+			sstreams: make(map[int]*uSendPeer),
+			rstreams: make(map[int]*uRecvPeer),
+			done:     make(chan struct{}),
 		}
+		ep.sendCond = sync.NewCond(&ep.mu)
+		seed := cfg.LossSeed
+		if seed == 0 {
+			seed = 0x5EED
+		}
+		// De-correlate the endpoints' loss draws by rank.
+		ep.lossRng = rand.New(rand.NewSource(seed + int64(i)*7919))
 		port := conn.LocalAddr().(*net.UDPAddr).Port
 		peers[i] = &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: port}
 		nw.eps = append(nw.eps, ep)
@@ -172,6 +194,8 @@ type Stats struct {
 	DatagramsReceived int64
 	BadPackets        int64
 	OwnMulticast      int64 // own multicast heard via loopback, filtered
+	InjectedP2PLosses int64 // receiver-side losses from Config.P2PLossRate
+	Stream            reliab.Stats
 }
 
 // Endpoint is one rank's sockets.
@@ -189,9 +213,34 @@ type Endpoint struct {
 	closed    bool
 	stats     Stats
 
+	// Reliable point-to-point stream state (package reliab), all guarded
+	// by mu; sendCond wakes senders blocked on a full window.
+	sstreams  map[int]*uSendPeer
+	rstreams  map[int]*uRecvPeer
+	sendCond  *sync.Cond
+	streamErr error
+	lossRng   *rand.Rand
+
 	inbox chan transport.Message
 	done  chan struct{}
 	wg    sync.WaitGroup
+}
+
+// uSendPeer is one peer's send stream plus its probe timer.
+// lastActivity (endpoint clock) records the most recent send or
+// acknowledgment: probes fire RTO after the LAST activity, so steady
+// traffic never provokes mid-run protocol frames.
+type uSendPeer struct {
+	ss           *reliab.SendStream
+	timer        *time.Timer // nil when no probe is scheduled
+	lastActivity int64
+}
+
+// uRecvPeer is one peer's receive stream plus the volunteer-ack
+// throttle.
+type uRecvPeer struct {
+	rs        *reliab.RecvStream
+	nextAckAt int64
 }
 
 var (
@@ -200,6 +249,7 @@ var (
 	_ transport.DeadlineRecver   = (*Endpoint)(nil)
 	_ transport.FragmentRepairer = (*Endpoint)(nil)
 	_ transport.Pacer            = (*Endpoint)(nil)
+	_ transport.ReliableSender   = (*Endpoint)(nil)
 )
 
 // Rank implements transport.Endpoint.
@@ -226,6 +276,235 @@ func (ep *Endpoint) Send(dst int, m transport.Message) error {
 	}
 	m.Kind = transport.P2P
 	return ep.write(ep.peers[dst], m)
+}
+
+// SendReliable implements transport.ReliableSender: m rides the
+// per-peer sequence-numbered stream to dst with a sliding send window
+// (the call blocks while the window is full) and the stream layer
+// retransmits whatever the receiver proves lost — over real sockets,
+// where the kernel can genuinely drop a datagram under buffer pressure.
+func (ep *Endpoint) SendReliable(dst int, m transport.Message) error {
+	if dst < 0 || dst >= len(ep.peers) {
+		return fmt.Errorf("udpnet: send to rank %d outside world of %d", dst, len(ep.peers))
+	}
+	m.Kind = transport.P2P
+	m.Src = ep.rank
+
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return transport.ErrClosed
+	}
+	sp := ep.sendPeerLocked(dst)
+	if sp.ss.Full() {
+		ep.stats.Stream.WindowStalls++
+	}
+	for sp.ss.Full() && ep.streamErr == nil && !ep.closed {
+		ep.sendCond.Wait()
+	}
+	if err := ep.streamErr; err != nil {
+		ep.mu.Unlock()
+		return err
+	}
+	if ep.closed {
+		ep.mu.Unlock()
+		return transport.ErrClosed
+	}
+	// Retransmission may happen long after this call returns, so the
+	// recorded fragments must not alias a caller buffer the application
+	// is free to reuse (plain Send semantics): copy once at admission.
+	m.Payload = append([]byte(nil), m.Payload...)
+	ep.msgID++
+	id := ep.msgID
+	frags := transport.Split(m, id, ep.net.cfg.FragSize)
+	seq := sp.ss.Begin(id, frags)
+	for i := range frags {
+		frags[i].Stream = seq
+	}
+	ep.stats.Stream.MsgsStreamed++
+	ep.mu.Unlock()
+
+	err := ep.writeFrags(ep.peers[dst], frags)
+
+	ep.mu.Lock()
+	sp.ss.MarkSent(seq)
+	sp.lastActivity = ep.Now()
+	ep.armProbeLocked(dst, sp)
+	ep.mu.Unlock()
+	return err
+}
+
+func (ep *Endpoint) sendPeerLocked(dst int) *uSendPeer {
+	sp := ep.sstreams[dst]
+	if sp == nil {
+		sp = &uSendPeer{ss: reliab.NewSendStream(ep.net.cfg.Stream)}
+		ep.sstreams[dst] = sp
+	}
+	return sp
+}
+
+func (ep *Endpoint) recvPeerLocked(src int) *uRecvPeer {
+	rp := ep.rstreams[src]
+	if rp == nil {
+		rp = &uRecvPeer{rs: reliab.NewRecvStream()}
+		ep.rstreams[src] = rp
+	}
+	return rp
+}
+
+// armProbeLocked schedules the ack-soliciting probe timer for dst if
+// none is pending. Caller holds mu.
+func (ep *Endpoint) armProbeLocked(dst int, sp *uSendPeer) {
+	if sp.timer != nil || ep.closed {
+		return
+	}
+	sp.timer = time.AfterFunc(time.Duration(sp.ss.RTO()), func() { ep.probeFire(dst, sp) })
+}
+
+// probeFire runs on the timer goroutine when dst's stream has been
+// silent for RTO: solicit the receiver's state, back off, and fail the
+// stream after MaxProbes consecutive silent probes.
+func (ep *Endpoint) probeFire(dst int, sp *uSendPeer) {
+	ep.mu.Lock()
+	sp.timer = nil
+	if ep.closed || !sp.ss.NeedProbe() {
+		ep.mu.Unlock()
+		return
+	}
+	// Active since the timer was armed: the silence period restarts at
+	// the last activity — re-arm without probing.
+	if wait := sp.lastActivity + sp.ss.RTO() - ep.Now(); wait > 0 {
+		sp.timer = time.AfterFunc(time.Duration(wait), func() { ep.probeFire(dst, sp) })
+		ep.mu.Unlock()
+		return
+	}
+	nonce, ok := sp.ss.OnProbe()
+	if !ok {
+		ep.failStreamLocked(fmt.Errorf("udpnet: reliable stream %d->%d failed: %d unacknowledged messages after %d probes",
+			ep.rank, dst, sp.ss.InFlight(), ep.net.cfg.Stream.MaxProbes))
+		ep.mu.Unlock()
+		return
+	}
+	ep.stats.Stream.ProbesSent++
+	body := reliab.EncodeProbe(nonce)
+	ep.armProbeLocked(dst, sp)
+	frag := ep.ctlFragLocked(body)
+	ep.mu.Unlock()
+	_, _ = ep.uc.WriteToUDP(transport.EncodeFragment(frag), ep.peers[dst])
+}
+
+// failStreamLocked declares the endpoint's streams broken; blocked
+// senders and receivers observe the error instead of hanging. Caller
+// holds mu.
+func (ep *Endpoint) failStreamLocked(err error) {
+	if ep.streamErr != nil {
+		return
+	}
+	ep.streamErr = err
+	ep.stats.Stream.StreamFailures++
+	ep.sendCond.Broadcast()
+	ep.closeDoneLocked()
+}
+
+// closeDoneLocked closes the done channel exactly once. Caller holds mu.
+func (ep *Endpoint) closeDoneLocked() {
+	select {
+	case <-ep.done:
+	default:
+		close(ep.done)
+	}
+}
+
+// closeErr is the error surfaced on operations after the endpoint shut
+// down: the stream failure that broke it, or plain closure.
+func (ep *Endpoint) closeErr() error {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.streamErr != nil {
+		return ep.streamErr
+	}
+	return transport.ErrClosed
+}
+
+// ctlFragLocked builds a stream control frame. Caller holds mu.
+func (ep *Endpoint) ctlFragLocked(body []byte) transport.Fragment {
+	ep.msgID++
+	return transport.Fragment{
+		Msg: transport.Message{
+			Kind:    transport.P2P,
+			Src:     ep.rank,
+			Class:   transport.ClassStream,
+			Payload: body,
+		},
+		MsgID:    ep.msgID,
+		Count:    1,
+		TotalLen: uint32(len(body)),
+		Ctl:      true,
+	}
+}
+
+// sendStreamAckLocked emits the receiver-side state report for src;
+// volunteer acks (nonce 0) are throttled to one per quarter-RTO per
+// peer. Caller holds mu; the datagram write happens after unlock via the
+// returned thunk (nil when throttled).
+func (ep *Endpoint) sendStreamAckLocked(src int, rp *uRecvPeer, nonce uint32) func() {
+	now := ep.Now()
+	if nonce == 0 && now < rp.nextAckAt {
+		return nil
+	}
+	rp.nextAckAt = now + ep.net.cfg.Stream.RTO/4
+	ack := rp.rs.AckState(func(msgID uint64) []int {
+		return ep.reasm.Missing(src, msgID)
+	}, nonce)
+	ep.stats.Stream.AcksSent++
+	frag := ep.ctlFragLocked(reliab.EncodeAck(ack, ep.net.cfg.FragSize))
+	buf := transport.EncodeFragment(frag)
+	dst := ep.peers[src]
+	return func() { _, _ = ep.uc.WriteToUDP(buf, dst) }
+}
+
+// handleStreamCtl consumes a stream control frame on the read loop.
+func (ep *Endpoint) handleStreamCtl(f transport.Fragment) {
+	src := f.Msg.Src
+	if src < 0 || src >= len(ep.peers) {
+		return
+	}
+	ack, probe, err := reliab.DecodeCtl(f.Msg.Payload)
+	if err != nil {
+		return
+	}
+	if probe {
+		ep.mu.Lock()
+		send := ep.sendStreamAckLocked(src, ep.recvPeerLocked(src), ack.Nonce)
+		ep.mu.Unlock()
+		if send != nil {
+			send()
+		}
+		return
+	}
+	ep.mu.Lock()
+	sp := ep.sendPeerLocked(src)
+	ep.stats.Stream.AcksReceived++
+	resend, freed := sp.ss.HandleAck(ack)
+	sp.lastActivity = ep.Now()
+	var bufs [][]byte
+	for _, r := range resend {
+		ep.stats.Stream.Retransmits += int64(len(r.Frags))
+		for _, fr := range r.Frags {
+			bufs = append(bufs, transport.EncodeFragment(fr))
+		}
+	}
+	if len(resend) > 0 {
+		ep.armProbeLocked(src, sp)
+	}
+	if freed {
+		ep.sendCond.Broadcast()
+	}
+	dst := ep.peers[src]
+	ep.mu.Unlock()
+	for _, b := range bufs {
+		_, _ = ep.uc.WriteToUDP(b, dst)
+	}
 }
 
 // Multicast implements transport.Multicaster: fragments m and writes each
@@ -309,6 +588,9 @@ func (ep *Endpoint) PendingFrom(src int) (msgID uint64, missing []int, ok bool) 
 	return ep.reasm.PendingFrom(src)
 }
 
+// MaxFragPayload implements transport.Fragmenter.
+func (ep *Endpoint) MaxFragPayload() int { return ep.net.cfg.FragSize }
+
 // Pace implements transport.Pacer as a wall-clock sleep.
 func (ep *Endpoint) Pace(d int64) {
 	if d > 0 {
@@ -353,6 +635,9 @@ func (ep *Endpoint) Leave(group uint32) error {
 }
 
 // readLoop decodes datagrams from one socket into the shared inbox.
+// Stream frames (reliable p2p data and control) are handled below the
+// inbox: duplicates are suppressed by sequence number, control frames
+// are consumed, and delivery/acknowledgment state is updated.
 func (ep *Endpoint) readLoop(conn *net.UDPConn) {
 	defer ep.wg.Done()
 	buf := make([]byte, 65536)
@@ -375,12 +660,52 @@ func (ep *Endpoint) readLoop(conn *net.UDPConn) {
 			ep.mu.Unlock()
 			continue
 		}
+		if f.Msg.Kind == transport.P2P && !f.Msg.Reliable && ep.net.cfg.P2PLossRate > 0 &&
+			ep.lossRng.Float64() < ep.net.cfg.P2PLossRate {
+			// Injected receiver-side loss: any bypass frame kind may
+			// vanish, stream acks and probes included.
+			ep.stats.InjectedP2PLosses++
+			ep.mu.Unlock()
+			continue
+		}
+		if f.Ctl {
+			ep.mu.Unlock()
+			ep.handleStreamCtl(f)
+			continue
+		}
+		var rp *uRecvPeer
+		var ackSend func()
+		if f.Stream != 0 && f.Msg.Kind == transport.P2P && f.Msg.Src >= 0 && f.Msg.Src < len(ep.peers) {
+			rp = ep.recvPeerLocked(f.Msg.Src)
+			if !rp.rs.Fresh(f.Stream, f.MsgID) {
+				// Duplicate of a delivered message (a retransmission
+				// raced the ack): suppress it and re-advertise our state.
+				ep.stats.Stream.DupFragments++
+				ackSend = ep.sendStreamAckLocked(f.Msg.Src, rp, 0)
+				ep.mu.Unlock()
+				if ackSend != nil {
+					ackSend()
+				}
+				continue
+			}
+		}
 		m, done, err := ep.reasm.Add(f)
 		if err == nil && done {
 			ep.stats.DatagramsReceived++
+			if rp != nil {
+				rp.rs.Deliver(f.Stream)
+			}
+		}
+		if rp != nil && rp.rs.Gapped() {
+			// Provable loss (a newer message overtook the gap):
+			// volunteer our state instead of waiting for a probe.
+			ackSend = ep.sendStreamAckLocked(f.Msg.Src, rp, 0)
 		}
 		closed := ep.closed
 		ep.mu.Unlock()
+		if ackSend != nil {
+			ackSend()
+		}
 		if err != nil || !done || closed {
 			continue
 		}
@@ -403,7 +728,7 @@ func (ep *Endpoint) Recv() (transport.Message, error) {
 		case m := <-ep.inbox:
 			return m, nil
 		default:
-			return transport.Message{}, transport.ErrClosed
+			return transport.Message{}, ep.closeErr()
 		}
 	}
 }
@@ -418,7 +743,7 @@ func (ep *Endpoint) RecvTimeout(timeout int64) (transport.Message, bool, error) 
 	case <-t.C:
 		return transport.Message{}, false, nil
 	case <-ep.done:
-		return transport.Message{}, false, transport.ErrClosed
+		return transport.Message{}, false, ep.closeErr()
 	}
 }
 
@@ -430,7 +755,14 @@ func (ep *Endpoint) Close() error {
 		return nil
 	}
 	ep.closed = true
-	close(ep.done)
+	ep.closeDoneLocked()
+	ep.sendCond.Broadcast()
+	for _, sp := range ep.sstreams {
+		if sp.timer != nil {
+			sp.timer.Stop()
+			sp.timer = nil
+		}
+	}
 	conns := []*net.UDPConn{ep.uc}
 	for _, c := range ep.groups {
 		conns = append(conns, c)

@@ -89,14 +89,16 @@ func TestUnknownOpFailsLoudly(t *testing.T) {
 // grid and checks they render and export.
 func TestExtensionFigureRenders(t *testing.T) {
 	want := map[string][]string{
-		"14": {"mcast-binary", "mpich"},
-		"15": {"mcast-binary", "mpich"},
-		"16": {"mcast-binary", "mcast-pipelined", "mcast-whole", "mpich"},
-		"17": {"mcast-binary", "mcast-pipelined"},
-		"18": {"mcast-whole", "sliced"},
-		"19": {"mcast-binary", "mcast-chunked", "mpich"},
+		"14":  {"mcast-binary", "mpich"},
+		"14n": {"mcast-binary (32 proc)", "mpich (32 proc)"},
+		"15":  {"mcast-binary", "mpich"},
+		"15n": {"mcast-binary (32 proc)", "mpich (32 proc)"},
+		"16":  {"mcast-binary", "mcast-pipelined", "mcast-whole", "mpich"},
+		"17":  {"mcast-binary", "mcast-pipelined"},
+		"18":  {"mcast-whole", "sliced"},
+		"19":  {"mcast-binary", "mcast-chunked", "mpich"},
 	}
-	for _, id := range []string{"14", "15", "16", "17", "18", "19"} {
+	for _, id := range []string{"14", "14n", "15", "15n", "16", "17", "18", "19"} {
 		d, ok := bench.Lookup(id)
 		if !ok {
 			t.Fatalf("figure %s not registered", id)
@@ -133,5 +135,28 @@ func TestFrameTableSelfChecks(t *testing.T) {
 	out := r.Render()
 	if strings.Contains(out, "MISMATCH") {
 		t.Fatalf("frame table has mismatched rows:\n%s", out)
+	}
+}
+
+// TestQueueTableSelfChecks builds the A5 shared-uplink queue-occupancy
+// table (the second artifact the CI bench-smoke job uploads) and asserts
+// the silent-drop check column is clean: a frame tail-dropped anywhere
+// in the N-sweep — instead of being absorbed by flow-control
+// backpressure — turns a row into SILENT-DROP and fails this test.
+func TestQueueTableSelfChecks(t *testing.T) {
+	d, ok := bench.Lookup("a5")
+	if !ok {
+		t.Fatal("experiment a5 not registered")
+	}
+	r, err := d.Build(bench.Options{Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	if strings.Contains(out, "SILENT-DROP") {
+		t.Fatalf("queue table reports silent egress drops:\n%s", out)
+	}
+	if !strings.Contains(out, "gather") || !strings.Contains(out, "32") {
+		t.Fatalf("queue table misses the N-sweep rows:\n%s", out)
 	}
 }
