@@ -283,6 +283,32 @@ func BenchmarkExtNSweepSharedSwitch(b *testing.B) {
 	}
 }
 
+// BenchmarkExtTwoLevelSharedSwitch covers the fig 14h/15h acceptance
+// points: the two-level (segment-leader) collectives against the
+// strongest flat variants on the shared-uplink switch at N ∈ {16, 32}.
+func BenchmarkExtTwoLevelSharedSwitch(b *testing.B) {
+	for _, procs := range []int{16, 32} {
+		for _, cs := range []struct {
+			op   bench.Op
+			algs []bench.Algorithm
+		}{
+			{bench.OpAllgather, []bench.Algorithm{bench.McastPipelined, bench.McastTwoLevel}},
+			{bench.OpAllreduce, []bench.Algorithm{bench.McastBinary, bench.McastTwoLevel}},
+		} {
+			for _, alg := range cs.algs {
+				b.Run(fmt.Sprintf("%s/%s/n=%d", cs.op, alg, procs), func(b *testing.B) {
+					prof := simnet.DefaultProfile()
+					prof.UplinkFanout = 4
+					sc := bcastScenario(procs, simnet.SwitchShared, alg, 5000)
+					sc.Op = cs.op
+					sc.Profile = &prof
+					simBench(b, sc)
+				})
+			}
+		}
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Wall-clock benchmarks: real transports and hot paths.
 

@@ -1,14 +1,17 @@
 // Command mcastbench regenerates the paper's evaluation: every figure
-// (7–19, including the collective-suite extensions and the shared-uplink
-// switch N-sweeps 14n/15n) and the ablation experiments (a1–a5),
-// measured on the simulated Fast Ethernet testbed.
+// (7–19, including the collective-suite extensions, the shared-uplink
+// switch N-sweeps 14n/15n and the two-level topology sweeps 14h/15h)
+// and the ablation experiments (a1–a6), measured on the simulated Fast
+// Ethernet testbed.
 //
 // Usage:
 //
 //	mcastbench                  # run everything at paper methodology
 //	mcastbench -figure 8        # one experiment
 //	mcastbench -figure 14n      # allgather N-sweep, N in {4,8,16,32}
+//	mcastbench -figure 14h      # two-level vs flat allgather on the same sweep
 //	mcastbench -figure a5       # shared-uplink queue occupancy + drop check
+//	mcastbench -figure a6       # two-level scout economy vs the N+S²+S gate
 //	mcastbench -quick           # coarse grid for a fast look
 //	mcastbench -reps 30 -step 100
 //	mcastbench -csv results/    # also write one CSV per experiment
@@ -26,7 +29,7 @@ import (
 
 func main() {
 	var (
-		figure = flag.String("figure", "all", "experiment id (7..19, 14n, 15n, a1..a5) or 'all'")
+		figure = flag.String("figure", "all", "experiment id (7..19, 14n, 15n, 14h, 15h, a1..a6) or 'all'")
 		reps   = flag.Int("reps", 20, "repetitions per point (paper used 20-30)")
 		step   = flag.Int("step", 250, "message size step in bytes")
 		max    = flag.Int("max", 5000, "maximum message size in bytes")

@@ -15,6 +15,10 @@
 //	mpirun -n 6 -workload pi
 //	mpirun -n 8 -workload allreduce -p2ploss 0.05   # drop 5% of p2p frames;
 //	                   # the reliable stream layer repairs them (stats printed)
+//	mpirun -n 8 -workload allgather -algorithm mcast-2level -topo 4
+//	                   # declare 4 ranks per fabric segment: the two-level
+//	                   # collectives combine inside each segment and cross
+//	                   # the segment boundary once per segment
 //	mpirun -probe      # check whether IP multicast works here
 //
 // The workload and algorithm lists come from the registries in
@@ -65,6 +69,7 @@ func main() {
 		port    = flag.Int("mcast-port", 45999, "multicast UDP port")
 		probe   = flag.Bool("probe", false, "probe multicast support and exit")
 		p2ploss = flag.Float64("p2ploss", 0, "inject receiver-side point-to-point loss probability (exercises the reliable stream layer; stats printed after the run)")
+		topof   = flag.Int("topo", 0, "declare the fabric topology as ranks-per-segment (0: none); the topology-aware algorithms (mcast-2level) cluster communication by it")
 	)
 	flag.Parse()
 
@@ -92,6 +97,7 @@ func main() {
 	cfg := udpnet.DefaultConfig(*n)
 	cfg.McastPort = *port
 	cfg.P2PLossRate = *p2ploss
+	cfg.SegmentFanout = *topof
 	if *p2ploss > 0 {
 		// Repair promptly when the operator is deliberately dropping
 		// frames; the default RTO is tuned for quiet wires.

@@ -54,6 +54,26 @@
 // observed inter-fragment arrival gap, so the graded loss sweeps extend
 // to 15% loss on 81-fragment messages at O(1) repair frames per loss.
 //
+// The fabric became topology-aware in PR 5: internal/topo maps ranks
+// onto the shared-medium segments of the fabric (discovered from the
+// SwitchShared wiring; declared via udpnet.Config.Segments or mpirun
+// -topo for real sockets), with deterministic per-segment leaders and
+// segment-scoped multicast groups (transport.SegmentGroup) whose frames
+// never cross an uplink. The two-level collective suite
+// (core.TwoLevelAlgorithms, bench mcast-2level) combines inside each
+// segment, crosses the uplink fabric once per segment through the
+// leaders, and multicasts results back down — cutting the allgather's
+// scout term from N(N-1) to (N-S)+S(S-1) frames (CI-gated at N+S²+S by
+// the a6 table) and its N=32 shared-uplink latency by 3.1x over the
+// flat pipelined rounds (figures 14h/15h); degenerate topologies
+// delegate to the flat algorithms frame-for-frame. Two model
+// refinements ride along: stream admissions are capped at a shrunk
+// paused window while a NIC is 802.3x-PAUSEd (backpressure reaches host
+// memory, not just the wire), and the modeled-TCP baseline traffic now
+// rides the reliab stream with eager per-segment-pair acks (TCPPenalty
+// charged per ack), retiring the last by-fiat loss exemption — loss
+// sweeps cover the MPICH baselines on both transports.
+//
 // See README.md for the tour, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 // The top-level bench_test.go exposes one benchmark per paper figure,

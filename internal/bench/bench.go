@@ -56,6 +56,16 @@ const (
 	// full N·M buffer that every receiver absorbs entirely. Kept as the
 	// measured "before" of the slice-filtering comparison (fig 18).
 	McastWhole Algorithm = "mcast-whole"
+	// McastTwoLevel is the topology-aware two-level suite: ranks
+	// scout-combine to their segment leader, leaders exchange one
+	// aggregate per segment across the shared uplinks, and results
+	// multicast back down — cutting the allgather scout term from
+	// N(N-1) to ~N + S². Falls back to the flat algorithms when the
+	// device reports no topology (or a degenerate one).
+	McastTwoLevel Algorithm = "mcast-2level"
+	// McastTwoLevelResilient is McastTwoLevel with every multicast
+	// (leader rounds, fan-outs, segment releases) under NACK repair.
+	McastTwoLevelResilient Algorithm = "mcast-2level-resilient"
 	// Unsafe is multicast with no synchronization at all; it loses
 	// messages to slow receivers and exists for the A2 ablation.
 	Unsafe Algorithm = "unsafe"
@@ -67,6 +77,7 @@ func Algorithms() []Algorithm {
 	return []Algorithm{
 		MPICH, McastBinary, McastLinear, McastPipelined,
 		McastResilient, McastChunked, McastWhole,
+		McastTwoLevel, McastTwoLevelResilient,
 		McastAck, McastNack, Sequencer, Unsafe,
 	}
 }
@@ -102,6 +113,10 @@ func Set(a Algorithm) (mpi.Algorithms, error) {
 		algs.Scatter = core.ScatterMcastWhole
 		algs.Alltoall = core.AlltoallMcastWhole
 		return algs.Merge(baseline.Algorithms()), nil
+	case McastTwoLevel:
+		return core.TwoLevelAlgorithms().Merge(baseline.Algorithms()), nil
+	case McastTwoLevelResilient:
+		return core.TwoLevelResilientAlgorithms(core.DefaultNackOptions()).Merge(baseline.Algorithms()), nil
 	case Sequencer:
 		return core.SequencerAlgorithms().Merge(baseline.Algorithms()), nil
 	case Unsafe:

@@ -114,12 +114,15 @@ func Algorithms(mode Mode) mpi.Algorithms {
 
 // scout phases within a collective operation.
 const (
-	phaseScout   = 0 // readiness scouts
-	phaseAck     = 1 // acknowledgments (ACK/NACK protocols)
-	phaseForward = 2 // root-to-sequencer forwarding
-	phaseNack    = 3 // repair requests (NACK protocol)
-	phaseChunk   = 4 // per-rank data chunks (gather/reduce suite)
-	phaseSlice   = 8 // base phase of the per-slice binomial reductions
+	phaseScout       = 0 // readiness scouts
+	phaseAck         = 1 // acknowledgments (ACK/NACK protocols)
+	phaseForward     = 2 // root-to-sequencer forwarding
+	phaseNack        = 3 // repair requests (NACK protocol)
+	phaseChunk       = 4 // per-rank data chunks (gather/reduce suite)
+	phaseLeaderScout = 5 // segment leaders' aggregate scouts (two-level)
+	phaseRelease     = 6 // root-to-leaders release (two-level gather)
+	phaseBlock       = 7 // per-segment aggregate blocks (two-level)
+	phaseSlice       = 8 // base phase of the per-slice binomial reductions
 	//               (phaseSlice+s carries slice s's walk, s < Size)
 )
 

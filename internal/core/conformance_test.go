@@ -38,6 +38,11 @@ var conformanceSets = []struct {
 	{"mcast-resilient", core.ResilientAlgorithms(core.DefaultNackOptions())},
 	{"mcast-chunked", chunkedAlgorithms()},
 	{"mcast-whole", wholeAlgorithms()},
+	// On these flat surfaces (mem, plain switch) the two-level sets must
+	// be indistinguishable from the flat suites they delegate to; their
+	// native shared-uplink conformance lives in twolevel_test.go.
+	{"mcast-2level", core.TwoLevelAlgorithms()},
+	{"mcast-2level-resilient", core.TwoLevelResilientAlgorithms(core.DefaultNackOptions())},
 }
 
 // chunkedAlgorithms is the binary suite with the Rabenseifner-style
@@ -225,6 +230,35 @@ func TestConformanceP2PLoss(t *testing.T) {
 				t.Logf("recovered from %d mcast + %d p2p losses (%d stream retransmits, %d nacks)",
 					st.InjectedLosses, st.InjectedP2PLosses, st.StreamRetransmits, st.NackFrames)
 			})
+		})
+	}
+}
+
+// TestConformanceP2PLossBaseline covers the MPICH baselines in the loss
+// sweep — previously impossible: the modeled-TCP path was exempt from
+// the loss model by fiat (and its kernelAck frames were fake,
+// undroppable messages). Now every Reliable=true message rides the same
+// per-peer stream as the bypass traffic, acknowledged eagerly like the
+// kernel's TCP, and any of its frames — data, the eager acks, probes —
+// may be dropped and must be repaired.
+func TestConformanceP2PLossBaseline(t *testing.T) {
+	cases := coretest.Grid([]int{2, 5, 8}, []int{0, 1, 1500, 4 * 1500})
+	for _, rate := range []float64{0.01, 0.05, 0.15} {
+		rate := rate
+		t.Run(fmt.Sprintf("p2p=%g", rate), func(t *testing.T) {
+			prof := simnet.DefaultProfile()
+			prof.P2PLossRate = rate
+			prof.Seed = 31
+			prof.Stream.RTO = int64(3 * sim.Millisecond)
+			st := coretest.Check(t, coretest.SimRunner(simnet.Switch, prof, 0), baseline.Algorithms(), cases)
+			if st.InjectedP2PLosses == 0 {
+				t.Fatal("p2p loss injection never fired on the baseline; the claim is vacuous")
+			}
+			if st.StreamRetransmits == 0 {
+				t.Fatal("losses were injected but nothing was retransmitted")
+			}
+			t.Logf("baseline recovered from %d injected p2p losses with %d retransmitted fragments",
+				st.InjectedP2PLosses, st.StreamRetransmits)
 		})
 	}
 }

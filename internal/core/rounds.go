@@ -97,6 +97,14 @@ type roundOptions struct {
 	// the pipelined schedule — so tree gathers can seat it where its
 	// scout releases no intermediate forwarding (-1: none).
 	gather func(cc mpi.CollCtx, root, hot int) error
+	// gatherSub, when set, replaces the linear gather the pipelined
+	// schedule substitutes for sub-frame rounds (see pipelinedGather).
+	// Gathers that already have the forwarding-free property the
+	// substitution exists for — a single direct send per participant,
+	// like the two-level leader gather — set it to themselves so the
+	// schedule never falls back to the all-ranks linear gather, which
+	// would break a protocol where only a subset of ranks scouts.
+	gatherSub func(cc mpi.CollCtx, root, hot int) error
 	// pipeline overlaps round r+1's scout gather with round r's data
 	// multicast instead of serializing the rounds.
 	pipeline bool
@@ -182,7 +190,7 @@ func runRounds(c *mpi.Comm, rounds []roundPlan, opt roundOptions) error {
 			// this send is what overlaps the next gather with the
 			// current multicast.
 			next = c.BeginColl()
-			if err := pipelinedGather(next, opt.gather, &rounds[i+1], rounds[i].sender); err != nil {
+			if err := pipelinedGather(next, &opt, &rounds[i+1], rounds[i].sender); err != nil {
 				return err
 			}
 		}
@@ -207,11 +215,14 @@ func runRounds(c *mpi.Comm, rounds []roundPlan, opt roundOptions) error {
 // critical path is kept (the multi-fragment transmission dwarfs any
 // window; the hot-rank seating covers the late scout of the previous
 // sender).
-func pipelinedGather(cc mpi.CollCtx, gather func(mpi.CollCtx, int, int) error, rd *roundPlan, hot int) error {
+func pipelinedGather(cc mpi.CollCtx, opt *roundOptions, rd *roundPlan, hot int) error {
 	if rd.bytes < subFramePayload {
+		if opt.gatherSub != nil {
+			return opt.gatherSub(cc, rd.sender, hot)
+		}
 		return linearRoundGather(cc, rd.sender, hot)
 	}
-	return gather(cc, rd.sender, hot)
+	return opt.gather(cc, rd.sender, hot)
 }
 
 // awaitRepairedMulticast blocks for this operation's multicast — the
@@ -251,6 +262,20 @@ func pipelinedGather(cc mpi.CollCtx, gather func(mpi.CollCtx, int, int) error, r
 // messages, which keep the tight budget. opts must be normalized
 // (positive Probe).
 func awaitRepairedMulticast(cc mpi.CollCtx, sender, slice, bytes int, opts NackOptions) (transport.Message, error) {
+	recv := cc.RecvMulticastTimeout
+	if slice >= 0 {
+		recv = func(timeout int64) (transport.Message, bool, error) {
+			return cc.RecvMulticastSliceTimeout(slice, timeout)
+		}
+	}
+	return awaitRepairedMulticastScoped(cc, sender, bytes, recv, opts)
+}
+
+// awaitRepairedMulticastScoped is awaitRepairedMulticast with the
+// multicast scope abstracted into the recv closure, so protocols over
+// other group addressings (the two-level collectives' segment-scoped
+// releases) share the probe/NACK machinery.
+func awaitRepairedMulticastScoped(cc mpi.CollCtx, sender, bytes int, recv func(timeout int64) (transport.Message, bool, error), opts NackOptions) (transport.Message, error) {
 	probe := opts.Probe
 	maxProbe := opts.Probe << 10
 	// The device reports its fragment payload; a conservative fallback
@@ -280,16 +305,7 @@ func awaitRepairedMulticast(cc mpi.CollCtx, sender, slice, bytes int, opts NackO
 	silent := 0 // probe expiries that stayed silent (progress / no evidence)
 	requests := 0
 	for {
-		var (
-			m   transport.Message
-			ok  bool
-			err error
-		)
-		if slice >= 0 {
-			m, ok, err = cc.RecvMulticastSliceTimeout(slice, probe)
-		} else {
-			m, ok, err = cc.RecvMulticastTimeout(probe)
-		}
+		m, ok, err := recv(probe)
 		if err != nil {
 			return transport.Message{}, err
 		}

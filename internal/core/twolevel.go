@@ -1,0 +1,697 @@
+package core
+
+// Two-level (segment-leader) collectives for the shared-uplink fabric.
+//
+// The flat suite treats every pair of ranks as equidistant, which the
+// figure 14n/15n N-sweeps show is exactly wrong on a fabric where
+// stations share switch ports through half-duplex segments
+// (simnet.SwitchShared): the allgather's N(N-1) scout frames all
+// serialize on the shared uplinks, and at N=32 the scout term dominates
+// the whole sub-frame region. The decomposition here is the classic
+// two-level scheme of Karonis et al. (MagPIe / MPICH-G2) and the
+// multi-core collectives of Zhou et al., applied to the paper's scout
+// machinery:
+//
+//   - ranks scout-combine to their segment's leader over segment-local
+//     traffic (a member's scout, chunk or reduction operand crosses its
+//     own segment only — intra-segment unicast is not forwarded off the
+//     port, and segment-scoped multicasts address a group only segment
+//     members join, so the switch has no other port to forward to);
+//
+//   - leaders exchange one aggregate frame (or aggregate block) per
+//     segment across the uplink fabric;
+//
+//   - results fan back down by multicast, which the fabric already
+//     delivers segment-by-segment (one egress transmission per port
+//     serves every station on the segment).
+//
+// The scout economics per operation, with N ranks on S segments:
+//
+//	AllgatherTwoLevel: (N-S) member scouts + S(S-1) leader-round scouts
+//	                   + S segment releases, versus the flat N(N-1)
+//	                   scouts — the ~N + S² bound the a6 table gates on.
+//	                   Data: each segment's aggregate block is multicast
+//	                   once per leader round, so the wire carries the
+//	                   same N·M data bytes in S messages instead of N
+//	                   (fewer per-message overheads, no scout storm).
+//	BcastTwoLevel:     N-1 scouts as before, but only S-1 cross the
+//	                   uplinks (members scout their local leader).
+//	GatherTwoLevel:    (N-S) member scouts + (S-1) aggregate scouts;
+//	                   chunks converge on the local leader first, and
+//	                   only S-1 aggregate blocks cross the uplinks —
+//	                   release-gated at both levels, so neither a leader
+//	                   nor the root can be overrun.
+//	AllreduceTwoLevel: zero scout frames — the reduction data itself
+//	                   gates every hop (members combine at their leader,
+//	                   leaders combine up a binomial tree over the
+//	                   leader set, and the final multicast follows the
+//	                   data it proves everyone contributed to).
+//
+// A communicator without a usable topology — no device map, a single
+// segment (nothing to localize), or one rank per segment (the
+// decomposition IS the flat algorithm) — delegates to the flat suite,
+// so the two-level set is safe to select unconditionally.
+//
+// Strict posted-receive safety follows the same arguments as the flat
+// engine: every whole-communicator multicast is gated on evidence that
+// every rank has entered (scouts, or the reduction data itself), and
+// each rank's window between proving readiness and posting its receive
+// contains no simulated work. Segment-scoped releases are gated on the
+// member scouts they release. Under the resilient variants every
+// multicast — releases included — runs under the fragment-granular NACK
+// repair protocol of rounds.go, and all point-to-point traffic already
+// rides the reliable stream, so the set survives combined multicast +
+// p2p loss like the flat resilient suite.
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/topo"
+	"repro/internal/transport"
+)
+
+// TwoLevelAlgorithms returns the topology-aware collective set
+// (registered in bench as mcast-2level): hierarchical bcast, barrier,
+// allgather, allreduce and gather over the device topology, with the
+// remaining collectives filled from the flat pipelined suite.
+func TwoLevelAlgorithms() mpi.Algorithms {
+	return twoLevelSet(nil)
+}
+
+// TwoLevelResilientAlgorithms is TwoLevelAlgorithms with every
+// multicast — leader rounds, fan-outs and segment releases — protected
+// by the NACK repair protocol, and the rest of the suite filled from
+// the flat resilient set.
+func TwoLevelResilientAlgorithms(opts NackOptions) mpi.Algorithms {
+	if opts.Probe <= 0 {
+		opts = DefaultNackOptions()
+	}
+	return twoLevelSet(&opts)
+}
+
+func twoLevelSet(rep *NackOptions) mpi.Algorithms {
+	a := mpi.Algorithms{
+		Bcast: func(c *mpi.Comm, buf []byte, root int) error {
+			return bcastTwoLevelWith(c, buf, root, rep)
+		},
+		Barrier: func(c *mpi.Comm) error {
+			return barrierTwoLevelWith(c, rep)
+		},
+		Allgather: func(c *mpi.Comm, send, recv []byte) error {
+			return allgatherTwoLevelWith(c, send, recv, rep)
+		},
+		Allreduce: func(c *mpi.Comm, send, recv []byte, dt mpi.Datatype, op mpi.Op) error {
+			return allreduceTwoLevelWith(c, send, recv, dt, op, rep)
+		},
+		Gather: func(c *mpi.Comm, send, recv []byte, root int) error {
+			return gatherTwoLevelWith(c, send, recv, root, rep)
+		},
+	}
+	if rep != nil {
+		return a.Merge(ResilientAlgorithms(*rep))
+	}
+	return a.Merge(Algorithms(BinaryPipelined))
+}
+
+// BcastTwoLevel is the hierarchical broadcast (single-operation entry
+// points exist for tests and ablations; the set above is the normal
+// surface).
+func BcastTwoLevel(c *mpi.Comm, buf []byte, root int) error {
+	return bcastTwoLevelWith(c, buf, root, nil)
+}
+
+// BarrierTwoLevel is the hierarchical barrier.
+func BarrierTwoLevel(c *mpi.Comm) error { return barrierTwoLevelWith(c, nil) }
+
+// AllgatherTwoLevel is the hierarchical allgather.
+func AllgatherTwoLevel(c *mpi.Comm, send, recv []byte) error {
+	return allgatherTwoLevelWith(c, send, recv, nil)
+}
+
+// AllreduceTwoLevel is the hierarchical allreduce.
+func AllreduceTwoLevel(c *mpi.Comm, send, recv []byte, dt mpi.Datatype, op mpi.Op) error {
+	return allreduceTwoLevelWith(c, send, recv, dt, op, nil)
+}
+
+// GatherTwoLevel is the hierarchical gather.
+func GatherTwoLevel(c *mpi.Comm, send, recv []byte, root int) error {
+	return gatherTwoLevelWith(c, send, recv, root, nil)
+}
+
+// usableTopo returns the communicator's topology when the two-level
+// decomposition can profit from it: more than one segment (otherwise
+// there is no uplink to economize) and fewer segments than ranks
+// (otherwise every rank is its own leader and the decomposition IS the
+// flat algorithm). nil means: run the flat suite.
+func usableTopo(c *mpi.Comm) *topo.Map {
+	t := c.Topo()
+	if t == nil || t.Segments() <= 1 || t.Segments() >= c.Size() {
+		return nil
+	}
+	return t
+}
+
+// opLeader returns the leader of seg for an operation rooted at root:
+// the deterministic segment leader, except that root leads its own
+// segment so its data never pays an extra local hop. A pure function of
+// (seg, root), so every rank derives the same leaders.
+func opLeader(t *topo.Map, seg, root int) int {
+	if t.SegmentOf(root) == seg {
+		return root
+	}
+	return t.Leader(seg)
+}
+
+// twoLevelRoundGather is the hierarchical scout gather toward the round
+// sender: members scout to their segment's op-leader, op-leaders scout
+// to the sender once their whole segment has checked in. The sender
+// learns "everyone is ready" from (its own segment's members + S-1
+// leaders) scouts, of which only S-1 crossed an uplink. Forwarding-free
+// at every hop — each rank sends at most one direct scout — so it is
+// its own safe sub-frame substitute in the pipelined schedule.
+func twoLevelRoundGather(t *topo.Map) func(cc mpi.CollCtx, root, hot int) error {
+	return func(cc mpi.CollCtx, root, _ int) error {
+		me := cc.Comm().Rank()
+		lead := opLeader(t, t.SegmentOf(me), root)
+		if me != lead {
+			return cc.Send(lead, phaseScout, nil, transport.ClassScout, false)
+		}
+		expect := len(t.Members(t.SegmentOf(me))) - 1
+		if me == root {
+			expect += t.Segments() - 1
+		}
+		for i := 0; i < expect; i++ {
+			if _, err := cc.Recv(mpi.AnySource, phaseScout); err != nil {
+				return err
+			}
+		}
+		if me != root {
+			return cc.Send(root, phaseScout, nil, transport.ClassScout, false)
+		}
+		return nil
+	}
+}
+
+// leaderRoundGather is the leaders-only scout gather of the aggregate
+// rounds: every segment leader but the sender scouts directly to the
+// sender; non-leaders take no part (their readiness was proven into
+// their leader's aggregate during the local phase). Forwarding-free, so
+// it is its own sub-frame substitute.
+func leaderRoundGather(t *topo.Map) func(cc mpi.CollCtx, root, hot int) error {
+	return func(cc mpi.CollCtx, root, _ int) error {
+		me := cc.Comm().Rank()
+		if t.Leader(t.SegmentOf(me)) != me {
+			return nil
+		}
+		if me != root {
+			return cc.Send(root, phaseScout, nil, transport.ClassScout, false)
+		}
+		for i := 0; i < t.Segments()-1; i++ {
+			if _, err := cc.Recv(mpi.AnySource, phaseScout); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// dataGatedGather is the no-op gather of rounds whose readiness proof
+// is the payload itself: the allreduce's final fan-out follows a
+// reduction that cannot complete until every rank's contribution has
+// been sent, and a rank posts its receive immediately after that send.
+func dataGatedGather(mpi.CollCtx, int, int) error { return nil }
+
+// bcastTwoLevelWith is the hierarchical broadcast: the two-level scout
+// gather toward root, then one whole-communicator multicast (which the
+// fabric already delivers once per segment).
+func bcastTwoLevelWith(c *mpi.Comm, buf []byte, root int, rep *NackOptions) error {
+	if c.Size() == 1 {
+		return nil
+	}
+	t := usableTopo(c)
+	if t == nil {
+		if rep != nil {
+			return bcastResilient(c, buf, root, rep)
+		}
+		return BcastBinary(c, buf, root)
+	}
+	round := roundPlan{
+		sender:  root,
+		class:   transport.ClassData,
+		bytes:   len(buf),
+		payload: func() []byte { return buf },
+		consume: func(p []byte) error {
+			if len(p) != len(buf) {
+				return fmt.Errorf("core: bcast buffer %d bytes, message %d", len(buf), len(p))
+			}
+			copy(buf, p)
+			return nil
+		},
+	}
+	return runRounds(c, []roundPlan{round}, roundOptions{gather: twoLevelRoundGather(t), repair: rep})
+}
+
+// barrierTwoLevelWith is the hierarchical barrier: the two-level scout
+// gather toward rank 0, then one empty release multicast.
+func barrierTwoLevelWith(c *mpi.Comm, rep *NackOptions) error {
+	if c.Size() == 1 {
+		return nil
+	}
+	t := usableTopo(c)
+	if t == nil {
+		if rep != nil {
+			return barrierResilient(c, rep)
+		}
+		return Barrier(c)
+	}
+	round := roundPlan{
+		sender:  0,
+		class:   transport.ClassControl,
+		payload: func() []byte { return nil },
+		consume: func([]byte) error { return nil },
+	}
+	return runRounds(c, []roundPlan{round}, roundOptions{gather: twoLevelRoundGather(t), repair: rep})
+}
+
+// segRecv adapts a segment-scoped receive to the repair machinery.
+func segRecv(cc mpi.CollCtx, seg int) func(timeout int64) (transport.Message, bool, error) {
+	return func(timeout int64) (transport.Message, bool, error) {
+		return cc.RecvMulticastSegTimeout(seg, timeout)
+	}
+}
+
+// awaitSegmentRelease blocks for the leader's segment-local release
+// multicast, under NACK repair when rep is non-nil.
+func awaitSegmentRelease(cc mpi.CollCtx, leader, seg int, rep *NackOptions) error {
+	if rep == nil {
+		_, err := cc.RecvMulticastSeg(seg)
+		return err
+	}
+	_, err := awaitRepairedMulticastScoped(cc, leader, 0, segRecv(cc, seg), *rep)
+	return err
+}
+
+// collectSegmentChunks runs the leader's side of the release-gated
+// segment-local combine: multicast the (empty) release to the segment
+// group — proving to the members that the leader's receives are posted,
+// so their chunk sends cannot overrun it — then collect one n-byte
+// chunk from every other member into place. In repair mode the release
+// runs under the NACK protocol and the member's chunk doubles as its
+// confirmation (the gatherResilient pattern), so no separate
+// acknowledgment frames exist. Unrelated concurrent traffic (e.g. an
+// early aggregate scout reaching the root while it still collects its
+// own segment) stays queued for its own receive.
+func collectSegmentChunks(cc mpi.CollCtx, seg int, members []int, n int, rep *NackOptions, place func(r int, p []byte) error) error {
+	if err := cc.MulticastSeg(seg, nil, transport.ClassControl); err != nil {
+		return err
+	}
+	remaining := len(members) - 1
+	if rep == nil {
+		for i := 0; i < remaining; i++ {
+			m, err := cc.Recv(mpi.AnySource, phaseChunk)
+			if err != nil {
+				return err
+			}
+			r := cc.SrcRank(m)
+			if len(m.Payload) != n {
+				return fmt.Errorf("core: segment chunk from %d is %d bytes, want %d", r, len(m.Payload), n)
+			}
+			if err := place(r, m.Payload); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	relID := cc.LastMulticastID()
+	got := make(map[int]bool, len(members))
+	for remaining > 0 {
+		m, err := cc.RecvPhases(phaseNack, phaseChunk)
+		if err != nil {
+			return err
+		}
+		switch m.Class {
+		case transport.ClassNack:
+			r := cc.SrcRank(m)
+			if got[r] {
+				continue // raced its own repair; chunk already here
+			}
+			reqID, frags, derr := transport.DecodeRepairReq(m.Payload)
+			if derr != nil || reqID != relID || len(frags) == 0 {
+				frags = nil
+			}
+			if err := cc.MulticastSegRepair(seg, nil, transport.ClassControl, relID, frags); err != nil {
+				return err
+			}
+		case transport.ClassData:
+			r := cc.SrcRank(m)
+			if got[r] {
+				continue
+			}
+			if len(m.Payload) != n {
+				return fmt.Errorf("core: segment chunk from %d is %d bytes, want %d", r, len(m.Payload), n)
+			}
+			if err := place(r, m.Payload); err != nil {
+				return err
+			}
+			got[r] = true
+			remaining--
+		}
+	}
+	return nil
+}
+
+// allgatherTwoLevelWith gathers every rank's chunk to every rank in two
+// levels: a release-gated segment-local combine to each leader, then S
+// leader rounds each multicasting one segment's aggregate block to the
+// whole communicator (pipelined, like the flat engine, unless under
+// repair).
+func allgatherTwoLevelWith(c *mpi.Comm, send, recv []byte, rep *NackOptions) error {
+	size := c.Size()
+	n := len(send)
+	if len(recv) != n*size {
+		return fmt.Errorf("core: allgather recv buffer %d bytes, want %d", len(recv), n*size)
+	}
+	me := c.Rank()
+	copy(recv[me*n:], send)
+	if size == 1 {
+		return nil
+	}
+	t := usableTopo(c)
+	if t == nil {
+		opt := roundOptions{gather: binaryRoundGather, pipeline: true, pace: DefaultPipelinePace}
+		if rep != nil {
+			opt = roundOptions{gather: binaryRoundGather, repair: rep}
+		}
+		return allgatherWith(c, send, recv, opt)
+	}
+	mySeg := t.SegmentOf(me)
+	members := t.Members(mySeg)
+	leader := t.Leader(mySeg)
+
+	// Segment-local combine. Every rank opens the collective context
+	// (the context sequence must advance identically everywhere), but
+	// singleton segments have nothing to exchange.
+	var block []byte // leader-only: this segment's aggregate, member order
+	if me == leader {
+		block = make([]byte, n*len(members))
+		for i, r := range members {
+			if r == me {
+				copy(block[i*n:], send)
+			}
+		}
+	}
+	cc := c.BeginColl()
+	if !cc.CanMulticast() {
+		return mpi.ErrNoMulticast
+	}
+	if len(members) > 1 {
+		if me != leader {
+			if err := cc.Send(leader, phaseScout, nil, transport.ClassScout, false); err != nil {
+				return err
+			}
+			if err := awaitSegmentRelease(cc, leader, mySeg, rep); err != nil {
+				return err
+			}
+			if err := cc.Send(leader, phaseChunk, send, transport.ClassData, false); err != nil {
+				return err
+			}
+		} else {
+			for i := 0; i < len(members)-1; i++ {
+				if _, err := cc.Recv(mpi.AnySource, phaseScout); err != nil {
+					return err
+				}
+			}
+			pos := make(map[int]int, len(members))
+			for i, r := range members {
+				pos[r] = i
+			}
+			err := collectSegmentChunks(cc, mySeg, members, n, rep, func(r int, p []byte) error {
+				copy(block[pos[r]*n:], p)
+				copy(recv[r*n:], p)
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+
+	// Leader rounds: round s multicasts segment s's aggregate block to
+	// the whole communicator; every rank scatters it into recv. Only the
+	// leaders scout — the member scouts already proved their segments in.
+	rounds := make([]roundPlan, t.Segments())
+	for s := range rounds {
+		ms := t.Members(s)
+		bytes := n * len(ms)
+		blk := []byte(nil)
+		if t.Leader(s) == me {
+			blk = block
+		}
+		rounds[s] = roundPlan{
+			sender:  t.Leader(s),
+			class:   transport.ClassData,
+			bytes:   bytes,
+			payload: func() []byte { return blk },
+			consume: func(p []byte) error {
+				if len(p) != bytes {
+					return fmt.Errorf("core: allgather aggregate block is %d bytes, want %d", len(p), bytes)
+				}
+				for i, r := range ms {
+					copy(recv[r*n:(r+1)*n], p[i*n:(i+1)*n])
+				}
+				return nil
+			},
+		}
+	}
+	return runRounds(c, rounds, roundOptions{
+		gather:    leaderRoundGather(t),
+		gatherSub: leaderRoundGather(t),
+		pipeline:  rep == nil,
+		pace:      DefaultPipelinePace,
+		repair:    rep,
+	})
+}
+
+// allreduceTwoLevelWith reduces in two levels — members combine at
+// their segment leader, leaders combine up a binomial tree over the
+// leader set (one aggregate frame per segment across the uplinks) —
+// then the root leader multicasts the result once. No scout frames at
+// all: the reduction data itself gates every hop, and a rank posts its
+// receive the instant its contribution is sent.
+func allreduceTwoLevelWith(c *mpi.Comm, send, recv []byte, dt mpi.Datatype, op mpi.Op, rep *NackOptions) error {
+	if len(recv) != len(send) {
+		return fmt.Errorf("core: allreduce recv buffer %d bytes, want %d", len(recv), len(send))
+	}
+	t := usableTopo(c)
+	if t == nil {
+		if rep != nil {
+			if err := reduceToRoot(c, send, recv, dt, op, 0); err != nil {
+				return err
+			}
+			return bcastResilient(c, recv, 0, rep)
+		}
+		return allreduceBinary(c, send, recv, dt, op)
+	}
+	me := c.Rank()
+	mySeg := t.SegmentOf(me)
+	members := t.Members(mySeg)
+	leader := t.Leader(mySeg)
+
+	cc := c.BeginColl()
+	if !cc.CanMulticast() {
+		return mpi.ErrNoMulticast
+	}
+	acc := append([]byte(nil), send...)
+	if me != leader {
+		if err := cc.Send(leader, phaseChunk, acc, transport.ClassData, false); err != nil {
+			return err
+		}
+	} else {
+		// Combine the segment's contributions in member-rank order (the
+		// same determinism discipline as the naive reference reduce).
+		pending := make(map[int][]byte, len(members)-1)
+		for i := 0; i < len(members)-1; i++ {
+			m, err := cc.Recv(mpi.AnySource, phaseChunk)
+			if err != nil {
+				return err
+			}
+			pending[cc.SrcRank(m)] = m.Payload
+		}
+		for _, r := range members {
+			if r == me {
+				continue
+			}
+			p := pending[r]
+			if len(p) != len(acc) {
+				return fmt.Errorf("core: allreduce contribution from %d is %d bytes, want %d", r, len(p), len(acc))
+			}
+			if err := mpi.ReduceBytes(op, dt, acc, p); err != nil {
+				return err
+			}
+		}
+		// Leader tree: low-bit-first binomial over the segment index
+		// space toward segment 0's leader (my index IS my segment).
+		leaders := t.Leaders()
+		for mask := 1; mask < t.Segments(); mask <<= 1 {
+			if mySeg&mask != 0 {
+				if err := cc.Send(leaders[mySeg-mask], phaseBlock, acc, transport.ClassData, false); err != nil {
+					return err
+				}
+				break
+			}
+			if peer := mySeg + mask; peer < t.Segments() {
+				m, err := cc.Recv(leaders[peer], phaseBlock)
+				if err != nil {
+					return err
+				}
+				if len(m.Payload) != len(acc) {
+					return fmt.Errorf("core: allreduce aggregate from %d is %d bytes, want %d", leaders[peer], len(m.Payload), len(acc))
+				}
+				if err := mpi.ReduceBytes(op, dt, acc, m.Payload); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	root := t.Leader(0)
+	if me == root {
+		copy(recv, acc)
+	}
+	round := roundPlan{
+		sender:  root,
+		class:   transport.ClassData,
+		bytes:   len(send),
+		payload: func() []byte { return acc },
+		consume: func(p []byte) error {
+			if len(p) != len(recv) {
+				return fmt.Errorf("core: allreduce result is %d bytes, want %d", len(p), len(recv))
+			}
+			copy(recv, p)
+			return nil
+		},
+	}
+	return runRounds(c, []roundPlan{round}, roundOptions{gather: dataGatedGather, repair: rep})
+}
+
+// gatherTwoLevelWith collects chunks in two levels: members combine at
+// their segment leader (release-gated locally), leaders scout their
+// aggregate to the root, and the root releases each leader individually
+// (point-to-point control over the reliable stream) before its block
+// send — so neither a leader nor the root's port can be overrun, and
+// only S-1 aggregate blocks cross the uplink fabric.
+func gatherTwoLevelWith(c *mpi.Comm, send, recv []byte, root int, rep *NackOptions) error {
+	size := c.Size()
+	n := len(send)
+	if c.Rank() == root && len(recv) != n*size {
+		return fmt.Errorf("core: gather recv buffer %d bytes, want %d", len(recv), n*size)
+	}
+	if size == 1 {
+		copy(recv, send)
+		return nil
+	}
+	t := usableTopo(c)
+	if t == nil {
+		if rep != nil {
+			return gatherResilient(c, send, recv, root, rep)
+		}
+		return GatherMcast(c, send, recv, root)
+	}
+	me := c.Rank()
+	mySeg := t.SegmentOf(me)
+	lead := opLeader(t, mySeg, root)
+
+	cc := c.BeginColl()
+	if !cc.CanMulticast() {
+		return mpi.ErrNoMulticast
+	}
+	if me != lead {
+		// Member: scout local readiness, await the leader's release,
+		// contribute the chunk — all without crossing an uplink.
+		if err := cc.Send(lead, phaseScout, nil, transport.ClassScout, false); err != nil {
+			return err
+		}
+		if err := awaitSegmentRelease(cc, lead, mySeg, rep); err != nil {
+			return err
+		}
+		return cc.Send(lead, phaseChunk, send, transport.ClassData, false)
+	}
+
+	// Leader side (root leads its own segment). Collect the local
+	// chunks first — into recv directly at the root, into an aggregate
+	// block elsewhere.
+	members := t.Members(mySeg)
+	var block []byte
+	place := func(r int, p []byte) error {
+		copy(recv[r*n:], p)
+		return nil
+	}
+	if me != root {
+		block = make([]byte, n*len(members))
+		pos := make(map[int]int, len(members))
+		for i, r := range members {
+			pos[r] = i
+			if r == me {
+				copy(block[i*n:], send)
+			}
+		}
+		place = func(r int, p []byte) error {
+			copy(block[pos[r]*n:], p)
+			return nil
+		}
+	} else {
+		copy(recv[me*n:], send)
+	}
+	if len(members) > 1 {
+		for i := 0; i < len(members)-1; i++ {
+			if _, err := cc.Recv(mpi.AnySource, phaseScout); err != nil {
+				return err
+			}
+		}
+		if err := collectSegmentChunks(cc, mySeg, members, n, rep, place); err != nil {
+			return err
+		}
+	}
+	if me != root {
+		// Aggregate level: prove the segment in, wait for the root's
+		// individual release (point-to-point — the reliable stream makes
+		// it loss-proof without any multicast machinery), send the block.
+		if err := cc.Send(root, phaseLeaderScout, nil, transport.ClassScout, false); err != nil {
+			return err
+		}
+		if _, err := cc.Recv(root, phaseRelease); err != nil {
+			return err
+		}
+		return cc.Send(root, phaseBlock, block, transport.ClassData, false)
+	}
+
+	// Root: gate the aggregate sends, then place each segment's block.
+	for i := 0; i < t.Segments()-1; i++ {
+		if _, err := cc.Recv(mpi.AnySource, phaseLeaderScout); err != nil {
+			return err
+		}
+	}
+	for s := 0; s < t.Segments(); s++ {
+		if l := opLeader(t, s, root); l != root {
+			if err := cc.Send(l, phaseRelease, nil, transport.ClassControl, false); err != nil {
+				return err
+			}
+		}
+	}
+	for i := 0; i < t.Segments()-1; i++ {
+		m, err := cc.Recv(mpi.AnySource, phaseBlock)
+		if err != nil {
+			return err
+		}
+		l := cc.SrcRank(m)
+		ms := t.Members(t.SegmentOf(l))
+		if len(m.Payload) != n*len(ms) {
+			return fmt.Errorf("core: gather block from %d is %d bytes, want %d", l, len(m.Payload), n*len(ms))
+		}
+		for i2, r := range ms {
+			copy(recv[r*n:], m.Payload[i2*n:(i2+1)*n])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+package core_test
+
+// Conformance and edge cases for the two-level (segment-leader)
+// collective suite: correctness on the shared-uplink fabric the
+// decomposition targets (even and uneven segment sizes, both roots),
+// strict posted-receive gating with a lagging rank, loss injection —
+// including loss aimed specifically at a segment leader — the
+// single-segment degenerate topology (must reduce to the flat
+// algorithm, frame for frame), and the scout economy the subsystem
+// exists for (≤ N + S² + S scout frames per allgather, versus the flat
+// N(N-1)).
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/core/coretest"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/topo"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// sharedProf is the shared-uplink profile the two-level suite targets.
+func sharedProf(fanout int) simnet.Profile {
+	prof := simnet.DefaultProfile()
+	prof.UplinkFanout = fanout
+	return prof
+}
+
+// twoLevelGrid spans even segments (8 = 2×4, 16 = 4×4), uneven ones
+// (6 = 4+2, 7 = 4+3) and the tiny world, with sub-frame, one-frame and
+// multi-frame chunks, rooted at 0 and N-1 (coretest.Grid adds the
+// second root), so leader override, member order and aggregate-block
+// slicing are all exercised.
+var twoLevelGrid = coretest.Grid([]int{2, 6, 7, 8, 16}, []int{0, 1, 1500, 4000})
+
+func TestTwoLevelConformanceSharedUplink(t *testing.T) {
+	for _, set := range []struct {
+		name string
+		algs mpi.Algorithms
+	}{
+		{"mcast-2level", core.TwoLevelAlgorithms()},
+		{"mcast-2level-resilient", core.TwoLevelResilientAlgorithms(core.DefaultNackOptions())},
+	} {
+		set := set
+		t.Run(set.name, func(t *testing.T) {
+			st := coretest.Check(t, coretest.SimRunner(simnet.SwitchShared, sharedProf(4), 0), set.algs, twoLevelGrid)
+			if st.McastDropsNotPosted != 0 || st.InjectedLosses != 0 || st.QueueDrops != 0 {
+				t.Fatalf("lossless shared-uplink run reported losses: %+v", st)
+			}
+		})
+	}
+}
+
+// TestTwoLevelConformanceMem: without a device topology (the in-process
+// channel transport) the two-level set must silently be the flat suite
+// — same conformance surface, real goroutine concurrency for -race.
+func TestTwoLevelConformanceMem(t *testing.T) {
+	cases := coretest.Grid([]int{1, 2, 5, 8}, []int{0, 1, 1000})
+	coretest.Check(t, coretest.MemRunner(), core.TwoLevelAlgorithms(), cases)
+}
+
+// TestTwoLevelStrictLaggingRank: the hierarchical gating must be as
+// loss-proof as the flat scouts — a rank entering 2 ms late (a member
+// in some runs, a segment leader in others, as N/2 moves around) costs
+// not a single multicast fragment under VIA-style strict semantics.
+func TestTwoLevelStrictLaggingRank(t *testing.T) {
+	prof := sharedProf(4)
+	prof.StrictPosted = true
+	sets := []struct {
+		name string
+		algs mpi.Algorithms
+	}{
+		{"mcast-2level", core.TwoLevelAlgorithms()},
+		{"mcast-2level-resilient", core.TwoLevelResilientAlgorithms(core.NackOptions{Probe: int64(20 * sim.Millisecond), MaxRepairs: 8})},
+	}
+	for _, set := range sets {
+		set := set
+		t.Run(set.name, func(t *testing.T) {
+			st := coretest.Check(t, coretest.SimRunner(simnet.SwitchShared, prof, 2*sim.Millisecond), set.algs, twoLevelGrid)
+			if st.McastDropsNotPosted != 0 {
+				t.Fatalf("two-level gating lost %d multicast fragments", st.McastDropsNotPosted)
+			}
+		})
+	}
+}
+
+// TestTwoLevelInjectedLoss: random multicast fragment loss (leader
+// rounds, fan-outs and segment releases are all multicast) plus p2p
+// loss (member chunks, aggregate blocks, releases and the repair
+// protocol itself), recovered by the resilient two-level set.
+func TestTwoLevelInjectedLoss(t *testing.T) {
+	algs := core.TwoLevelResilientAlgorithms(core.NackOptions{Probe: int64(10 * sim.Millisecond), MaxRepairs: 64})
+	t.Run("mcast", func(t *testing.T) {
+		prof := sharedProf(4)
+		prof.LossRate = 0.05
+		prof.Seed = 17
+		st := coretest.Check(t, coretest.SimRunner(simnet.SwitchShared, prof, 0), algs, twoLevelGrid)
+		if st.InjectedLosses == 0 {
+			t.Fatal("loss injection never fired; the resilience claim is vacuous")
+		}
+		t.Logf("recovered from %d injected multicast losses (%d nacks)", st.InjectedLosses, st.NackFrames)
+	})
+	t.Run("mcast+p2p", func(t *testing.T) {
+		prof := sharedProf(4)
+		prof.LossRate = 0.03
+		prof.P2PLossRate = 0.03
+		prof.Seed = 19
+		prof.Stream.RTO = int64(3 * sim.Millisecond)
+		st := coretest.Check(t, coretest.SimRunner(simnet.SwitchShared, prof, 0), algs, twoLevelGrid)
+		if st.InjectedLosses == 0 || st.InjectedP2PLosses == 0 {
+			t.Fatalf("loss injection never fired (mcast=%d p2p=%d)", st.InjectedLosses, st.InjectedP2PLosses)
+		}
+		t.Logf("recovered from %d mcast + %d p2p losses (%d stream retransmits, %d nacks)",
+			st.InjectedLosses, st.InjectedP2PLosses, st.StreamRetransmits, st.NackFrames)
+	})
+}
+
+// TestTwoLevelLeaderLoss aims deterministic loss at a segment leader —
+// the rank every two-level protocol funnels through: every multicast
+// fragment arriving at the leader of the last segment is dropped on
+// first delivery (repairs get through), and the resilient set must
+// still conform.
+func TestTwoLevelLeaderLoss(t *testing.T) {
+	const n, fanout = 8, 4
+	leader := topo.Uniform(n, fanout).Leader(1) // rank 4
+	for _, chunk := range []int{1, 1500} {
+		chunk := chunk
+		t.Run(fmt.Sprintf("chunk=%d", chunk), func(t *testing.T) {
+			prof := sharedProf(fanout)
+			seen := make(map[uint64]bool)
+			prof.DropFrag = func(dst int, f transport.Fragment) bool {
+				if dst != leader {
+					return false
+				}
+				key := f.MsgID<<16 | uint64(f.Index)
+				if seen[key] {
+					return false // the repair retransmission gets through
+				}
+				seen[key] = true
+				return true
+			}
+			algs := core.TwoLevelResilientAlgorithms(core.NackOptions{Probe: int64(5 * sim.Millisecond), MaxRepairs: 64})
+			nw, err := cluster.RunSim(n, simnet.SwitchShared, prof, algs, func(c *mpi.Comm) error {
+				return coretest.Conformance(c, chunk, 0)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nw.Stats.InjectedLosses == 0 {
+				t.Fatal("leader-targeted loss never fired")
+			}
+			t.Logf("leader %d lost %d first-delivery fragments, all repaired", leader, nw.Stats.InjectedLosses)
+		})
+	}
+}
+
+// TestTwoLevelSingleSegmentDelegates: on a degenerate topology — every
+// rank on ONE shared segment, so there is no uplink to economize — the
+// two-level collectives must BE the flat algorithms, frame for frame:
+// identical wire counters, class by class, against the explicit flat
+// suite under the same seed.
+func TestTwoLevelSingleSegmentDelegates(t *testing.T) {
+	const n, chunk = 5, 1500
+	run := func(algs mpi.Algorithms) *simnet.Network {
+		prof := sharedProf(n) // fanout >= n: a single segment
+		nw, err := cluster.RunSim(n, simnet.SwitchShared, prof, algs, func(c *mpi.Comm) error {
+			if tm := c.Topo(); tm == nil || tm.Segments() != 1 {
+				return fmt.Errorf("expected a single-segment topology, got %v", tm)
+			}
+			return coretest.Conformance(c, chunk, 0)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nw
+	}
+	twoLevel := run(core.TwoLevelAlgorithms())
+	flat := run(mpi.Algorithms{}.Merge(core.Algorithms(core.BinaryPipelined)))
+	for _, class := range []transport.Class{transport.ClassScout, transport.ClassData, transport.ClassControl, transport.ClassNack} {
+		if got, want := twoLevel.Wire.Frames(class), flat.Wire.Frames(class); got != want {
+			t.Errorf("single-segment two-level sent %d %v frames, flat sent %d", got, class, want)
+		}
+	}
+}
+
+// TestTwoLevelScoutEconomy is the point of the subsystem, measured: a
+// two-level allgather on the shared-uplink fabric sends at most
+// N + S² + S scout frames (members to leaders once, leaders to each
+// round sender), versus the flat algorithm's N(N-1) — and actually
+// fewer, (N-S) + S(S-1).
+func TestTwoLevelScoutEconomy(t *testing.T) {
+	for _, cs := range []struct{ n, fanout int }{{8, 4}, {16, 4}, {12, 3}, {7, 3}} {
+		cs := cs
+		t.Run(fmt.Sprintf("n=%d fanout=%d", cs.n, cs.fanout), func(t *testing.T) {
+			prof := sharedProf(cs.fanout)
+			s := topo.Uniform(cs.n, cs.fanout).Segments()
+			measure := func(algs mpi.Algorithms) int64 {
+				nw, err := cluster.RunSim(cs.n, simnet.SwitchShared, prof, algs, func(c *mpi.Comm) error {
+					return workload.Make(c, workload.OpAllgather, 1500, 0)()
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return nw.Wire.Frames(transport.ClassScout)
+			}
+			two := measure(core.TwoLevelAlgorithms())
+			flat := measure(mpi.Algorithms{}.Merge(core.Algorithms(core.Binary)))
+			bound := int64(cs.n + s*s + s)
+			want := int64((cs.n - s) + s*(s-1))
+			if two != want {
+				t.Errorf("two-level allgather sent %d scouts, want exactly %d", two, want)
+			}
+			if two > bound {
+				t.Errorf("two-level allgather sent %d scouts, above the N+S²+S bound %d", two, bound)
+			}
+			if flat != int64(cs.n*(cs.n-1)) {
+				t.Errorf("flat allgather sent %d scouts, want N(N-1)=%d", flat, cs.n*(cs.n-1))
+			}
+			if two >= flat {
+				t.Errorf("two-level (%d scouts) did not beat flat (%d)", two, flat)
+			}
+		})
+	}
+}
+
+// TestTwoLevelUnevenSegments pins the uneven-placement bookkeeping
+// directly: 7 ranks at fanout 3 give segments of 3, 3 and 1 — a
+// singleton segment whose leader has no local phase at all — and the
+// full conformance pass must hold for roots in every kind of segment.
+func TestTwoLevelUnevenSegments(t *testing.T) {
+	prof := sharedProf(3)
+	for _, root := range []int{0, 4, 6} { // leader, member, singleton leader
+		root := root
+		t.Run(fmt.Sprintf("root=%d", root), func(t *testing.T) {
+			nw, err := cluster.RunSim(7, simnet.SwitchShared, prof, core.TwoLevelAlgorithms(), func(c *mpi.Comm) error {
+				if tm := c.Topo(); tm == nil || tm.Segments() != 3 || len(tm.Members(2)) != 1 {
+					return fmt.Errorf("expected segments 3/3/1, got %v", tm)
+				}
+				return coretest.Conformance(c, 1000, root)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if drops := nw.SwitchStats().QueueDrops; drops != 0 {
+				t.Fatalf("%d silent egress drops", drops)
+			}
+		})
+	}
+}

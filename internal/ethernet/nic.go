@@ -14,6 +14,8 @@ type NICStats struct {
 	Collisions     int64 // transmit attempts that ended in a collision
 	Drops          int64 // frames dropped after exceeding the attempt limit
 	BytesSent      int64 // wire bytes of successful transmissions
+	MaxQueued      int   // transmit-queue high watermark, in frames — the
+	//                      host memory a PAUSEd station's backlog occupies
 }
 
 // NIC is a simulated network interface. It owns an unbounded transmit
@@ -30,7 +32,9 @@ type NIC struct {
 	txq      []Frame
 	txActive bool
 	attempts int
-	paused   bool // 802.3x PAUSE asserted by the switch (flow control)
+	paused   bool       // 802.3x PAUSE asserted by the switch (flow control)
+	onPause  func(bool) // pause-state listener (transport backpressure hook)
+	onDrain  func(int)  // queue-drain listener, called with the depth after each transmit
 
 	groups map[MAC]int // multicast membership refcounts
 	recv   func(Frame) // upcall to the network layer
@@ -74,6 +78,9 @@ func (n *NIC) Send(f Frame) {
 	}
 	f.Src = n.mac
 	n.txq = append(n.txq, f)
+	if len(n.txq) > n.Stats.MaxQueued {
+		n.Stats.MaxQueued = len(n.txq)
+	}
 	n.pump()
 }
 
@@ -122,13 +129,30 @@ func (n *NIC) pump() {
 
 // setPaused asserts or releases switch flow control. A paused station
 // finishes the frame in flight but starts no new transmission; its queue
-// backs up in host memory instead of overflowing the switch.
+// backs up in host memory instead of overflowing the switch. The
+// listener (if any) is told of every state change, so a transport can
+// propagate the backpressure further up — shrinking its reliable-stream
+// send window while the pause holds.
 func (n *NIC) setPaused(paused bool) {
+	changed := n.paused != paused
 	n.paused = paused
 	if !paused {
 		n.pump()
 	}
+	if changed && n.onPause != nil {
+		n.onPause(paused)
+	}
 }
+
+// SetPauseListener installs fn to be called (from event context) on
+// every pause-state change. One listener at most; nil removes it.
+func (n *NIC) SetPauseListener(fn func(paused bool)) { n.onPause = fn }
+
+// SetDrainListener installs fn to be called (from event context) with
+// the remaining queue depth after every completed transmission, so a
+// transport throttled on the backlog can notice it clearing. One
+// listener at most; nil removes it.
+func (n *NIC) SetDrainListener(fn func(depth int)) { n.onDrain = fn }
 
 // Paused reports whether flow control is currently asserted.
 func (n *NIC) Paused() bool { return n.paused }
@@ -142,6 +166,9 @@ func (n *NIC) txDone() {
 	n.txq[0] = Frame{}
 	n.txq = n.txq[1:]
 	n.txActive = false
+	if n.onDrain != nil {
+		n.onDrain(len(n.txq))
+	}
 	n.pump()
 }
 

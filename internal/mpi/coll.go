@@ -112,6 +112,15 @@ func mcastSliceTag(slice int) int32 {
 	return int32(slice) + 1
 }
 
+// mcastSegTag returns the transport tag of a segment-scoped multicast.
+// Segment tags live in the negative space (unused by other multicast
+// roles: whole-communicator is 0, slices are positive), so a segment
+// multicast can never match a whole-communicator or slice receive even
+// if the derived group ids were to collide on a real network.
+func mcastSegTag(seg int) int32 {
+	return -(int32(seg) + 1)
+}
+
 // Multicast sends payload to every member of the communicator's group in
 // a single device operation. The sender does not receive its own message.
 func (cc CollCtx) Multicast(payload []byte, class transport.Class) error {
@@ -148,6 +157,27 @@ func (cc CollCtx) MulticastSlice(slice int, payload []byte, class transport.Clas
 	})
 }
 
+// MulticastSeg sends payload to the segment group of topology segment
+// seg: only the endpoints placed on that segment subscribe, so the
+// frames never cross the shared uplink — the two-level collectives'
+// segment-local protocol traffic (release gates, local fan-out). The
+// communicator must have a topology (Comm.Topo != nil).
+func (cc CollCtx) MulticastSeg(seg int, payload []byte, class transport.Class) error {
+	if cc.c.rt.mc == nil {
+		return ErrNoMulticast
+	}
+	if cc.c.topoMap == nil || seg < 0 || seg >= cc.c.topoMap.Segments() {
+		return fmt.Errorf("%w: multicast to segment %d", ErrInvalidRank, seg)
+	}
+	return cc.c.rt.mc.Multicast(transport.SegmentGroup(cc.c.ctx, seg), transport.Message{
+		Comm:    cc.c.ctx,
+		Tag:     mcastSegTag(seg),
+		Seq:     cc.seq,
+		Class:   class,
+		Payload: payload,
+	})
+}
+
 // RecvMulticast blocks for this operation's whole-communicator multicast
 // message (sliced multicasts never match it).
 func (cc CollCtx) RecvMulticast() (transport.Message, error) {
@@ -170,6 +200,30 @@ func (cc CollCtx) RecvMulticastSlice(slice int) (transport.Message, error) {
 	return cc.c.rt.recvMatch(func(m *transport.Message) bool {
 		return m.Kind == transport.Mcast && m.Comm == cc.c.ctx && m.Seq == cc.seq && m.Tag == want
 	})
+}
+
+// RecvMulticastSeg blocks for this operation's multicast addressed to
+// the segment group of topology segment seg (normally the caller's own
+// segment — the only segment group it subscribes to).
+func (cc CollCtx) RecvMulticastSeg(seg int) (transport.Message, error) {
+	if cc.c.rt.mc == nil {
+		return transport.Message{}, ErrNoMulticast
+	}
+	want := mcastSegTag(seg)
+	return cc.c.rt.recvMatch(func(m *transport.Message) bool {
+		return m.Kind == transport.Mcast && m.Comm == cc.c.ctx && m.Seq == cc.seq && m.Tag == want
+	})
+}
+
+// RecvMulticastSegTimeout is RecvMulticastSeg with a timeout.
+func (cc CollCtx) RecvMulticastSegTimeout(seg int, timeout int64) (transport.Message, bool, error) {
+	if cc.c.rt.mc == nil {
+		return transport.Message{}, false, ErrNoMulticast
+	}
+	want := mcastSegTag(seg)
+	return cc.c.rt.recvMatchTimeout(func(m *transport.Message) bool {
+		return m.Kind == transport.Mcast && m.Comm == cc.c.ctx && m.Seq == cc.seq && m.Tag == want
+	}, timeout)
 }
 
 // RecvMulticastTimeout is RecvMulticast with a timeout in nanoseconds on
@@ -235,6 +289,15 @@ func (cc CollCtx) MulticastSliceRepair(slice int, payload []byte, class transpor
 	return cc.repair(transport.SliceGroup(cc.c.ctx, slice), mcastSliceTag(slice), payload, class, msgID, frags)
 }
 
+// MulticastSegRepair is MulticastRepair for an earlier segment-scoped
+// multicast to topology segment seg's group.
+func (cc CollCtx) MulticastSegRepair(seg int, payload []byte, class transport.Class, msgID uint64, frags []int) error {
+	if cc.c.topoMap == nil || seg < 0 || seg >= cc.c.topoMap.Segments() {
+		return fmt.Errorf("%w: repair to segment %d", ErrInvalidRank, seg)
+	}
+	return cc.repair(transport.SegmentGroup(cc.c.ctx, seg), mcastSegTag(seg), payload, class, msgID, frags)
+}
+
 func (cc CollCtx) repair(group uint32, tag int32, payload []byte, class transport.Class, msgID uint64, frags []int) error {
 	if cc.c.rt.mc == nil {
 		return ErrNoMulticast
@@ -281,6 +344,23 @@ func (cc CollCtx) Pace(d int64) {
 func (cc CollCtx) RecvControl() (transport.Message, error) {
 	return cc.c.rt.recvMatch(func(m *transport.Message) bool {
 		return m.Kind == transport.P2P && m.Comm == cc.c.ctx && m.Seq == cc.seq && m.Tag <= collTagBase
+	})
+}
+
+// RecvPhases blocks for a point-to-point protocol message of this
+// operation in any of the given phases; the caller dispatches on Class.
+// Server loops whose operation carries concurrent traffic in other
+// phases use it instead of RecvControl, so an unrelated message (e.g. an
+// early aggregate scout arriving while a leader still collects its
+// segment's chunks) stays queued for its own receive instead of being
+// consumed and dropped.
+func (cc CollCtx) RecvPhases(phases ...int) (transport.Message, error) {
+	want := make(map[int32]bool, len(phases))
+	for _, p := range phases {
+		want[collTagBase-int32(p)] = true
+	}
+	return cc.c.rt.recvMatch(func(m *transport.Message) bool {
+		return m.Kind == transport.P2P && m.Comm == cc.c.ctx && m.Seq == cc.seq && want[m.Tag]
 	})
 }
 

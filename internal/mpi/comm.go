@@ -18,6 +18,7 @@ import (
 	"hash/fnv"
 	"sort"
 
+	"repro/internal/topo"
 	"repro/internal/transport"
 )
 
@@ -81,15 +82,18 @@ func NewRuntime(ep transport.Endpoint) *Runtime {
 	return rt
 }
 
-// sendP2P routes a point-to-point message to world rank dstWorld.
-// Bypass traffic (Reliable=false — the paper's UDP path: scouts, reduce
-// halves, gather chunks, repair requests) rides the device's reliable
-// stream when it offers one, so a lost frame of any kind is retransmitted
-// instead of deadlocking the collective. Reliable=true messages model the
-// MPICH baseline's kernel TCP and keep the plain path (that protocol is
-// reliable by fiat, with its own modeled acknowledgment traffic).
+// sendP2P routes a point-to-point message to world rank dstWorld. All
+// point-to-point traffic rides the device's reliable stream when it
+// offers one, so a lost frame of any kind is retransmitted instead of
+// deadlocking the collective: the bypass messages (Reliable=false — the
+// paper's UDP path: scouts, reduce halves, gather chunks, repair
+// requests) with the silent-until-probed happy path, and the
+// modeled-TCP baseline messages (Reliable=true), whose deliveries the
+// stream acknowledges eagerly like the kernel's TCP did — no traffic
+// class is reliable by fiat, so loss sweeps cover the MPICH baselines
+// as well.
 func (rt *Runtime) sendP2P(dstWorld int, m transport.Message) error {
-	if rt.rs != nil && !m.Reliable {
+	if rt.rs != nil {
 		return rt.rs.SendReliable(dstWorld, m)
 	}
 	return rt.ep.Send(dstWorld, m)
@@ -225,6 +229,12 @@ type Comm struct {
 	derived uint32      // counter for deterministic child context ids
 	algs    Algorithms
 	joined  bool
+	// topoMap is the communicator-local projection of the device's
+	// topology (nil when the device reports none): comm ranks placed on
+	// the fabric segments the group spans. Topology-aware collectives in
+	// package core read it; everything else ignores it.
+	topoMap *topo.Map
+	segJoin bool // this rank joined its segment's multicast group
 }
 
 // Algorithms selects the implementation of each collective operation.
@@ -309,13 +319,29 @@ func newComm(rt *Runtime, ctx uint32, group []int, algs Algorithms) (*Comm, erro
 		rank:    me,
 		algs:    algs,
 	}
+	// The device's topology, when it reports one, projects onto the
+	// communicator group: comm ranks placed on the fabric segments the
+	// group spans. The discovery is an interface assertion, exactly like
+	// the multicast capability below.
+	if tp, ok := rt.ep.(topo.Provider); ok {
+		if wm := tp.TopoMap(); wm != nil {
+			pm, err := wm.Project(group)
+			if err != nil {
+				return nil, fmt.Errorf("mpi: projecting topology onto communicator: %w", err)
+			}
+			c.topoMap = pm
+		}
+	}
 	// Receivers must belong to the communicator's multicast group before
 	// any collective runs — the receiver-directed half of IP multicast.
 	// Each rank additionally joins its own slice group, the per-slice
 	// address the slice-granular collectives (sliced scatter, sliced
 	// alltoall rounds) multicast fragments to: subscribing only to the
 	// slice it owns is what lets the NIC drop every foreign-slice
-	// fragment instead of delivering the whole N·M buffer.
+	// fragment instead of delivering the whole N·M buffer. On a fabric
+	// with a known topology each rank also joins its segment's group,
+	// the address the two-level collectives use for segment-local
+	// protocol multicasts that must never cross the shared uplink.
 	if rt.mc != nil {
 		if err := rt.mc.Join(ctx); err != nil {
 			return nil, fmt.Errorf("mpi: joining multicast group %d: %w", ctx, err)
@@ -324,6 +350,12 @@ func newComm(rt *Runtime, ctx uint32, group []int, algs Algorithms) (*Comm, erro
 			return nil, fmt.Errorf("mpi: joining slice group of rank %d: %w", me, err)
 		}
 		c.joined = true
+		if c.topoMap != nil {
+			if err := rt.mc.Join(transport.SegmentGroup(ctx, c.topoMap.SegmentOf(me))); err != nil {
+				return nil, fmt.Errorf("mpi: joining segment group of rank %d: %w", me, err)
+			}
+			c.segJoin = true
+		}
 	}
 	return c, nil
 }
@@ -347,16 +379,30 @@ func (c *Comm) WorldRank(commRank int) int { return c.group[commRank] }
 // under the simulator); use it to time operations.
 func (c *Comm) Now() int64 { return c.rt.ep.Now() }
 
+// Topo returns the communicator's projection of the device topology —
+// comm ranks placed on fabric segments — or nil when the device reports
+// none. The two-level collectives in package core consult it and fall
+// back to the flat algorithms on nil (or degenerate) maps.
+func (c *Comm) Topo() *topo.Map { return c.topoMap }
+
 // Free leaves the communicator's multicast group. The communicator must
 // not be used afterwards. Freeing the world communicator does not close
 // the runtime; use Runtime.Close for that.
 func (c *Comm) Free() error {
 	if c.joined && c.rt.mc != nil {
 		c.joined = false
-		// Attempt both leaves even if one fails, so an error on the
-		// slice group cannot leak the communicator-group membership.
+		// Attempt every leave even if one fails, so an error on one
+		// group cannot leak the remaining memberships.
+		var segErr error
+		if c.segJoin {
+			c.segJoin = false
+			segErr = c.rt.mc.Leave(transport.SegmentGroup(c.ctx, c.topoMap.SegmentOf(c.rank)))
+		}
 		sliceErr := c.rt.mc.Leave(transport.SliceGroup(c.ctx, c.rank))
 		ctxErr := c.rt.mc.Leave(c.ctx)
+		if segErr != nil {
+			return segErr
+		}
 		if sliceErr != nil {
 			return sliceErr
 		}

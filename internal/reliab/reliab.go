@@ -67,10 +67,19 @@ type Options struct {
 	// MaxProbes bounds consecutive probes without progress before the
 	// stream is declared broken.
 	MaxProbes int
+	// PausedWindow is the shrunk per-peer window a transport applies
+	// while its NIC is flow-control PAUSEd (802.3x): admissions beyond
+	// it block until the pause lifts or acknowledgments arrive, so the
+	// switch's backpressure propagates into the sending host and the
+	// NIC's transmit queue stays bounded instead of absorbing the whole
+	// window per peer in host memory. Transports without a pause signal
+	// (real sockets) ignore it.
+	PausedWindow int
 }
 
 // Fill replaces zero fields with defaults: window 32, RTO 25 ms, 20
-// probes. The default RTO sits above a collective's duration on the
+// probes, paused window 2. The default RTO sits above a collective's
+// duration on the
 // calibrated testbed on purpose: on the happy path the whole protocol
 // then costs one probe/ack pair per peer after the traffic quiesces, so
 // the measured window of a lossless run carries no protocol frames at
@@ -88,6 +97,9 @@ func (o Options) Fill() Options {
 	if o.MaxProbes <= 0 {
 		o.MaxProbes = 20
 	}
+	if o.PausedWindow <= 0 {
+		o.PausedWindow = 2
+	}
 	return o
 }
 
@@ -100,6 +112,7 @@ type Stats struct {
 	AcksReceived   int64 // acknowledgment frames consumed (sender side)
 	DupFragments   int64 // duplicate stream fragments suppressed
 	WindowStalls   int64 // sends that had to wait for window space
+	PauseStalls    int64 // sends blocked by the shrunk paused-NIC window
 	StreamFailures int64 // streams that exhausted MaxProbes
 }
 

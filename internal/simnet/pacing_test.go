@@ -1,0 +1,116 @@
+package simnet_test
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+// TestPausedWindowBoundsHostQueue is the stream-aware pacing claim
+// (ROADMAP): switch flow control stops a converging burst from
+// overflowing the egress queue by PAUSEing the senders, but without a
+// transport hook the paused NIC's transmit queue absorbs the stream's
+// whole send window in host memory. Shrinking the reliable-stream
+// admission window to Stream.PausedWindow while the NIC is paused
+// propagates the backpressure one layer further up: the sender blocks
+// in SendReliable instead of queueing, and the NIC's queue-depth high
+// watermark stays near the paused window for however long the pause
+// holds.
+//
+// The scenario sustains the pause the way the A4/A5 funnels do: four
+// background blasters saturate the receiver's egress port (plain
+// sends — no admission control, exactly the uncontrolled traffic that
+// keeps a port full), so the measured sender's NIC is paused
+// quasi-continuously while it pushes its windowed reliable burst. The
+// negative control runs the identical burst with the shrunk window
+// disabled (PausedWindow = Window) and must show the
+// window-sized backlog the hook removes.
+func TestPausedWindowBoundsHostQueue(t *testing.T) {
+	const (
+		blasters = 4
+		blast    = 200 // background frames per blaster
+		burst    = 64  // measured sender's reliable messages
+		msg      = 1400
+	)
+	run := func(pausedWindow int) (maxQueued int, pauseStalls int64, pauses int64) {
+		prof := simnet.DefaultProfile()
+		prof.Ethernet.SwitchQueueCap = 8 // small egress: the funnel pauses early
+		prof.RecvRing = 2048             // hold the whole burst: ring-overflow resends would blur the queue metric
+		prof.Stream.Window = burst       // the whole burst fits the unpaced window
+		prof.Stream.PausedWindow = pausedWindow
+		n := blasters + 2 // rank 0: receiver, rank 1: measured, 2..: blasters
+		nw := simnet.New(n, simnet.Switch, prof)
+		fns := make([]func(ep *simnet.Endpoint) error, n)
+		fns[0] = func(ep *simnet.Endpoint) error {
+			ep.Proc().Sleep(100 * sim.Millisecond)
+			for {
+				_, ok, err := ep.RecvTimeout(int64(60 * sim.Millisecond))
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+			}
+		}
+		fns[1] = func(ep *simnet.Endpoint) error {
+			// Let the blasters saturate the port first, so the pause is
+			// already holding when the reliable burst starts.
+			ep.Proc().Sleep(2 * sim.Millisecond)
+			for k := 0; k < burst; k++ {
+				err := ep.SendReliable(0, transport.Message{
+					Class:   transport.ClassData,
+					Payload: make([]byte, msg),
+				})
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for r := 2; r < n; r++ {
+			fns[r] = func(ep *simnet.Endpoint) error {
+				for k := 0; k < blast; k++ {
+					err := ep.Send(0, transport.Message{
+						Class:   transport.ClassData,
+						Payload: make([]byte, msg),
+					})
+					if err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+		}
+		if err := nw.Run(fns); err != nil {
+			t.Fatal(err)
+		}
+		if drops := nw.SwitchStats().QueueDrops; drops != 0 {
+			t.Fatalf("flow control let %d frames tail-drop", drops)
+		}
+		return nw.Endpoint(1).NIC().Stats.MaxQueued, nw.Stats.Stream.PauseStalls, nw.SwitchStats().PauseEvents
+	}
+
+	paced, stalls, pauses := run(0) // 0: Fill applies the default (2)
+	if pauses == 0 {
+		t.Fatal("the burst never triggered flow control; the scenario is vacuous")
+	}
+	if stalls == 0 {
+		t.Fatal("the shrunk window never blocked a sender; the hook is vacuous")
+	}
+	unpaced, _, _ := run(burst) // PausedWindow = Window: hook disabled
+
+	// The paced sender's host backlog must stay near the paused window
+	// (plus the handful of frames admitted before the first pause and
+	// the stream's own probe frames); the unpaced one queues most of
+	// the window.
+	if paced > 10 {
+		t.Errorf("paused-window pacing still queued %d frames at the NIC (want <= 10)", paced)
+	}
+	if unpaced < 4*paced {
+		t.Errorf("negative control queued only %d frames vs %d paced — the hook changed nothing", unpaced, paced)
+	}
+	t.Logf("NIC queue high watermark: %d frames paced (%d pause stalls) vs %d unpaced", paced, stalls, unpaced)
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/ipnet"
 	"repro/internal/reliab"
 	"repro/internal/sim"
+	"repro/internal/topo"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -111,12 +112,13 @@ type Profile struct {
 	// rank 3" — where LossRate only offers seeded randomness.
 	DropFrag func(dst int, f transport.Fragment) bool
 	// P2PLossRate injects independent random loss of point-to-point
-	// fragments on the UDP bypass (messages with Reliable=false: scouts,
-	// reduce halves, gather chunks, NACKs, and the stream layer's own
-	// acknowledgments and probes). The modeled-TCP baseline traffic
-	// (Reliable=true) is exempt — the kernel's TCP is reliable by fiat in
-	// the paper's model — so this knob exercises exactly the reliable
-	// stream layer (package reliab) that makes the bypass survivable.
+	// fragments: the UDP bypass (scouts, reduce halves, gather chunks,
+	// NACKs), the modeled-TCP baseline traffic (Reliable=true), and the
+	// stream layer's own acknowledgments and probes alike. Every
+	// point-to-point path rides the reliable stream (package reliab), so
+	// this knob exercises exactly the retransmission machinery that
+	// makes them all survivable — loss sweeps cover the MPICH baselines
+	// too, with no by-fiat exemptions left.
 	P2PLossRate float64
 	// DropP2P is the deterministic, surgical analogue of P2PLossRate:
 	// consulted for every bypass point-to-point fragment arriving at an
@@ -162,21 +164,9 @@ type Stats struct {
 	McastDropsNotPosted int64 // strict-mode losses (receiver not ready)
 	RingOverflows       int64 // receive-ring overflow losses
 	InjectedLosses      int64 // random multicast losses (LossRate/DropFrag)
-	InjectedP2PLosses   int64 // injected bypass p2p losses (P2PLossRate/DropP2P)
-	KernelAcks          int64 // TCP-style acknowledgment frames absorbed
+	InjectedP2PLosses   int64 // injected p2p losses (P2PLossRate/DropP2P)
 	Stream              reliab.Stats
 }
-
-// kernelAck marks transport-invisible acknowledgment frames that model
-// the reverse TCP ack traffic reliable point-to-point messages generate.
-// The paper's MPICH baseline ran over TCP, so every data transfer loads
-// the network with acknowledgments too — on a shared hub they contend
-// with data frames for the one collision domain, which is a large part
-// of why "the MPICH implementation puts more messages into the network"
-// hurts the hub at large message sizes (Fig. 11). The acks never reach
-// the application and are not counted in the Wire counters (the paper's
-// frame formulas do not count TCP acks either).
-const kernelAck transport.Kind = 99
 
 // Network is one simulated cluster: an engine, a hub or switch, and one
 // endpoint per rank.
@@ -226,10 +216,12 @@ func New(n int, topo Topology, prof Profile) *Network {
 		}
 	case SwitchShared:
 		nw.sw = ethernet.NewSwitch(eng, prof.Ethernet)
-		fanout := prof.UplinkFanout
-		if fanout <= 0 {
-			fanout = 4
+		// Normalize the fanout in the stored profile so the wiring here
+		// and the discovered TopoMap read the same value by construction.
+		if nw.prof.UplinkFanout <= 0 {
+			nw.prof.UplinkFanout = 4
 		}
+		fanout := nw.prof.UplinkFanout
 		for lo := 0; lo < n; lo += fanout {
 			hi := lo + fanout
 			if hi > n {
@@ -245,11 +237,26 @@ func New(n int, topo Topology, prof Profile) *Network {
 		ep := &Endpoint{
 			nw:      nw,
 			rank:    i,
+			nic:     nics[i],
 			node:    node,
 			inbox:   sim.NewQueue[arrived](eng),
 			lossRng: lossRngs[i],
 		}
 		node.SetHandler(ep.handleDatagram)
+		// Propagate 802.3x backpressure into the stream layer: a sender
+		// blocked on the shrunk paused-NIC window re-checks its
+		// admission condition when the pause lifts or the backlog the
+		// pause created drains.
+		nics[i].SetPauseListener(func(paused bool) {
+			if !paused && ep.proc != nil {
+				ep.proc.Nudge()
+			}
+		})
+		nics[i].SetDrainListener(func(depth int) {
+			if ep.congested && depth <= ep.nw.prof.Stream.PausedWindow && ep.proc != nil {
+				ep.proc.Nudge()
+			}
+		})
 		nw.eps = append(nw.eps, ep)
 	}
 	return nw
@@ -260,6 +267,27 @@ func (nw *Network) Engine() *sim.Engine { return nw.eng }
 
 // Topology returns the network's topology.
 func (nw *Network) Topology() Topology { return nw.topo }
+
+// TopoMap describes the cluster's rank placement for the topology
+// subsystem, discovered from the actual wiring New built: under
+// SwitchShared, Profile.UplinkFanout stations per shared segment
+// (exactly the AttachSegment grouping); a hub is one shared segment; a
+// switch gives every station its own. The degenerate maps make the
+// topology-aware collectives fall back to the flat algorithms, which is
+// the honest answer on fabrics without a shared uplink to economize.
+func (nw *Network) TopoMap() *topo.Map {
+	n := len(nw.eps)
+	switch nw.topo {
+	case Hub:
+		return topo.Uniform(n, n)
+	case SwitchShared:
+		// UplinkFanout was normalized by New before the segments were
+		// attached, so this map matches the physical wiring exactly.
+		return topo.Uniform(n, nw.prof.UplinkFanout)
+	default:
+		return topo.Uniform(n, 1)
+	}
+}
 
 // Endpoint returns rank i's endpoint.
 func (nw *Network) Endpoint(i int) *Endpoint { return nw.eps[i] }
@@ -349,6 +377,7 @@ type Endpoint struct {
 	nw        *Network
 	rank      int
 	proc      *sim.Proc
+	nic       *ethernet.NIC
 	node      *ipnet.Node
 	inbox     *sim.Queue[arrived]
 	reasm     transport.Reassembler
@@ -365,6 +394,12 @@ type Endpoint struct {
 	sstreams  map[int]*sendPeer
 	rstreams  map[int]*recvPeer
 	streamErr error
+	// congested records that the NIC was flow-control PAUSEd and its
+	// transmit backlog has not yet drained back below the paused window:
+	// stream admissions stay throttled for the whole episode, not just
+	// the paused instants (the pause oscillates one frame at a time as
+	// the egress queue drains).
+	congested bool
 }
 
 // sendPeer is the sender half of one peer's reliable stream plus its
@@ -398,6 +433,7 @@ var (
 	_ transport.Pacer            = (*Endpoint)(nil)
 	_ transport.ReliableSender   = (*Endpoint)(nil)
 	_ transport.DeadlineRecver   = (*Endpoint)(nil)
+	_ topo.Provider              = (*Endpoint)(nil)
 )
 
 // Rank implements transport.Endpoint.
@@ -414,6 +450,13 @@ func (ep *Endpoint) Proc() *sim.Proc { return ep.proc }
 
 // Node exposes the network-layer stack (for statistics in tests).
 func (ep *Endpoint) Node() *ipnet.Node { return ep.node }
+
+// TopoMap implements topo.Provider from the network's wiring.
+func (ep *Endpoint) TopoMap() *topo.Map { return ep.nw.TopoMap() }
+
+// NIC exposes the station's data-link interface (for queue-depth and
+// pause statistics in tests).
+func (ep *Endpoint) NIC() *ethernet.NIC { return ep.nic }
 
 func classToFrameKind(c transport.Class) ethernet.FrameKind {
 	switch c {
@@ -469,11 +512,34 @@ func (ep *Endpoint) SendReliable(dst int, m transport.Message) error {
 	if p == nil {
 		panic("simnet: endpoint used outside Network.Run")
 	}
+	// The admission window shrinks to Stream.PausedWindow for the whole
+	// of a flow-control episode: from the moment the NIC is PAUSEd
+	// until its transmit backlog has drained back below the paused
+	// window. The switch's backpressure thereby propagates into the
+	// host — a paused station's queue growth is bounded by the paused
+	// window instead of absorbing the full window per peer — and the
+	// pause/drain listeners nudge the blocked process as the episode
+	// resolves.
 	sp := ep.sendPeer(dst)
-	if sp.ss.Full() {
+	windowFull := func() bool {
+		if sp.ss.Full() {
+			return true
+		}
+		pw := ep.nw.prof.Stream.PausedWindow
+		if ep.nic.Paused() {
+			ep.congested = true
+		} else if ep.congested && ep.nic.QueuedFrames() <= pw {
+			ep.congested = false
+		}
+		return ep.congested && sp.ss.InFlight() >= pw
+	}
+	if windowFull() {
 		ep.nw.Stats.Stream.WindowStalls++
+		if ep.congested && !sp.ss.Full() {
+			ep.nw.Stats.Stream.PauseStalls++
+		}
 		_ = p.WaitFor(func() bool {
-			return !sp.ss.Full() || ep.streamErr != nil || ep.closed
+			return !windowFull() || ep.streamErr != nil || ep.closed
 		}, 0)
 		if ep.streamErr != nil {
 			return ep.streamErr
@@ -725,10 +791,13 @@ func (ep *Endpoint) transmitFrags(dst ipnet.Addr, m transport.Message, frags []t
 	}
 	prof := &ep.nw.prof
 	// Host-side cost: per-message overhead, per-fragment cost, and the
-	// reliable-protocol penalty for TCP-like traffic.
+	// reliable-protocol penalty for TCP-like traffic — charged per
+	// acknowledgment the transfer will provoke (TCP's delayed ack: one
+	// per two segments), so a multi-segment reliable message pays the
+	// kernel's ack processing as well as its own.
 	cost := prof.OSend + sim.Duration(len(frags))*prof.OFrag + sim.Duration(bytes)*prof.OByte
 	if m.Reliable {
-		cost += prof.TCPPenalty
+		cost += prof.TCPPenalty * sim.Duration((len(frags)+1)/2)
 	}
 	p.Sleep(cost)
 	ep.nw.Wire.CountSend(m.Class, len(frags), bytes)
@@ -822,14 +891,11 @@ func (ep *Endpoint) handleDatagram(d ipnet.Datagram) {
 		ep.nw.Stats.McastDropsNotPosted++
 		return
 	}
-	if f.Msg.Kind == kernelAck {
-		ep.nw.Stats.KernelAcks++
-		return
-	}
-	if f.Msg.Kind == transport.P2P && !f.Msg.Reliable {
-		// Bypass point-to-point loss: unlike the paper's model, ANY frame
-		// kind may vanish — data, scout, stream ack, probe, NACK. The
-		// stream layer (and only it) makes this survivable.
+	if f.Msg.Kind == transport.P2P {
+		// Point-to-point loss: unlike the paper's model, ANY frame kind
+		// may vanish — data, scout, modeled-TCP baseline traffic, stream
+		// ack, probe, NACK. The stream layer (and only it) makes this
+		// survivable; no traffic class is reliable by fiat.
 		if prof.DropP2P != nil && prof.DropP2P(ep.rank, f) {
 			ep.nw.Stats.InjectedP2PLosses++
 			return
@@ -878,9 +944,6 @@ func (ep *Endpoint) handleDatagram(d ipnet.Datagram) {
 	}
 	nfrags := ep.fragCnt[id]
 	delete(ep.fragCnt, id)
-	if m.Reliable && m.Kind == transport.P2P {
-		ep.sendKernelAcks(m.Src, (nfrags+1)/2)
-	}
 	if ep.inbox.Len() >= prof.RecvRing {
 		// For a streamed message the overflow is not a loss: the message
 		// stays unacknowledged (its reassembly state is gone, so the ack
@@ -891,6 +954,16 @@ func (ep *Endpoint) handleDatagram(d ipnet.Datagram) {
 	}
 	if rp != nil {
 		rp.rs.Deliver(f.Stream)
+		if m.Reliable {
+			// Modeled TCP acks eagerly — delayed ack, one per two
+			// segments — instead of staying receiver-silent: the acks
+			// are real, droppable stream frames that load the wire (and
+			// contend for a hub) exactly as the kernel's TCP acks did,
+			// and the sender charges TCPPenalty per ack it provokes.
+			for i := 0; i < (nfrags+1)/2; i++ {
+				ep.sendStreamAckEager(m.Src, rp)
+			}
+		}
 	}
 	ep.delivered.Messages++
 	ep.delivered.Frames += int64(nfrags)
@@ -904,25 +977,16 @@ func (ep *Endpoint) handleDatagram(d ipnet.Datagram) {
 	}
 }
 
-// sendKernelAcks emits n minimum-size acknowledgment frames back to the
-// sender, modeling TCP's delayed ack (one ack per two segments). They
-// ride the same wire as everything else — and contend for it on a hub —
-// but cost the hosts nothing at the transport layer.
-func (ep *Endpoint) sendKernelAcks(dst, n int) {
-	for i := 0; i < n; i++ {
-		ep.msgID++
-		frag := transport.Fragment{
-			Msg:   transport.Message{Kind: kernelAck, Src: ep.rank},
-			MsgID: ep.msgID,
-			Count: 1,
-		}
-		_ = ep.node.SendUDP(ipnet.Datagram{
-			Dst:     ipnet.RankAddr(dst),
-			DstPort: 5001,
-			Kind:    ethernet.KindAck,
-			Payload: transport.EncodeFragment(frag),
-		})
-	}
+// sendStreamAckEager emits one unthrottled stream acknowledgment to
+// src — the modeled-TCP ack path, which acks per delivered segment pair
+// instead of the stream's silent-until-probed default. The frames are
+// ordinary (droppable, repairable) stream control traffic.
+func (ep *Endpoint) sendStreamAckEager(src int, rp *recvPeer) {
+	ack := rp.rs.AckState(func(msgID uint64) []int {
+		return ep.reasm.Missing(src, msgID)
+	}, 0)
+	ep.nw.Stats.Stream.AcksSent++
+	ep.sendCtl(src, reliab.EncodeAck(ack, MaxFragPayload))
 }
 
 // Recv implements transport.Endpoint. Being inside a Recv call is what

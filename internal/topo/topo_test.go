@@ -1,0 +1,111 @@
+package topo_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/topo"
+)
+
+func TestUniformPlacement(t *testing.T) {
+	cases := []struct {
+		n, fanout int
+		segs      [][]int
+	}{
+		{8, 4, [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}}},
+		{7, 3, [][]int{{0, 1, 2}, {3, 4, 5}, {6}}},
+		{4, 8, [][]int{{0, 1, 2, 3}}},
+		{3, 1, [][]int{{0}, {1}, {2}}},
+		{5, 0, [][]int{{0}, {1}, {2}, {3}, {4}}}, // fanout <= 0 means 1
+	}
+	for _, cs := range cases {
+		m := topo.Uniform(cs.n, cs.fanout)
+		if m.Ranks() != cs.n || m.Segments() != len(cs.segs) {
+			t.Fatalf("Uniform(%d,%d): %d ranks %d segments, want %d/%d",
+				cs.n, cs.fanout, m.Ranks(), m.Segments(), cs.n, len(cs.segs))
+		}
+		for s, want := range cs.segs {
+			if got := m.Members(s); !reflect.DeepEqual(got, want) {
+				t.Fatalf("Uniform(%d,%d) segment %d = %v, want %v", cs.n, cs.fanout, s, got, want)
+			}
+			if m.Leader(s) != want[0] {
+				t.Fatalf("Uniform(%d,%d) leader %d = %d, want lowest member %d",
+					cs.n, cs.fanout, s, m.Leader(s), want[0])
+			}
+			for _, r := range want {
+				if m.SegmentOf(r) != s {
+					t.Fatalf("Uniform(%d,%d): rank %d in segment %d, want %d",
+						cs.n, cs.fanout, r, m.SegmentOf(r), s)
+				}
+			}
+		}
+	}
+}
+
+// TestNewCanonicalizes: sparse and unordered segment ids collapse to the
+// same dense map as the equivalent ordered assignment.
+func TestNewCanonicalizes(t *testing.T) {
+	a, err := topo.New([]int{7, 7, 3, 3, 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := topo.New([]int{0, 0, 1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("canonical forms differ: %v vs %v", a, b)
+	}
+	if a.Segments() != 3 || a.Leader(0) != 0 || a.Leader(1) != 2 || a.Leader(2) != 4 {
+		t.Fatalf("unexpected canonical map: %v", a)
+	}
+}
+
+func TestNewRejectsBadAssignments(t *testing.T) {
+	if _, err := topo.New(nil); err == nil {
+		t.Fatal("empty assignment accepted")
+	}
+	if _, err := topo.New([]int{0, -1}); err == nil {
+		t.Fatal("negative segment id accepted")
+	}
+}
+
+// TestProject: a sub-communicator's view keeps co-located ranks
+// together, renumbers ranks into comm space, and drops segments the
+// group does not span. Interleaved groups (as Split can produce) still
+// project deterministically.
+func TestProject(t *testing.T) {
+	world := topo.Uniform(8, 4) // [0..3] [4..7]
+	sub, err := world.Project([]int{6, 1, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Comm ranks: 0->world 6 (seg 1), 1->world 1 (seg 0), 2->world 3
+	// (seg 0), 3->world 4 (seg 1). Dense relabel by lowest comm rank:
+	// segment 0 = {0, 3} (world 6, 4), segment 1 = {1, 2} (world 1, 3).
+	if sub.Segments() != 2 {
+		t.Fatalf("projection spans %d segments, want 2: %v", sub.Segments(), sub)
+	}
+	if got := sub.Members(0); !reflect.DeepEqual(got, []int{0, 3}) {
+		t.Fatalf("segment 0 members %v, want [0 3]", got)
+	}
+	if got := sub.Members(1); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("segment 1 members %v, want [1 2]", got)
+	}
+	if !reflect.DeepEqual(sub.Leaders(), []int{0, 1}) {
+		t.Fatalf("leaders %v, want [0 1]", sub.Leaders())
+	}
+
+	if _, err := world.Project([]int{0, 8}); err == nil {
+		t.Fatal("projection of out-of-range world rank accepted")
+	}
+
+	// A single-segment group degenerates to one segment.
+	flat, err := world.Project([]int{5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Segments() != 1 || flat.Leader(0) != 0 {
+		t.Fatalf("single-segment projection wrong: %v", flat)
+	}
+}

@@ -198,6 +198,32 @@ func SliceGroup(ctx uint32, slice int) uint32 {
 	return id
 }
 
+// SegmentGroup derives the multicast group id of one topology segment of
+// a communicator: the group the two-level collectives address
+// segment-local protocol multicasts (release gates, result fan-out) to,
+// so that only the endpoints placed on that segment subscribe and the
+// frames never cross the shared uplink — the switch has no member port
+// to forward them to, and segment neighbours hear the sender's own
+// transmission directly. Like SliceGroup, the derivation is a pure
+// function of (ctx, seg) with its own domain separator, so every member
+// computes the same id without communication and a segment group can
+// never equal a raw context or a slice group by construction of the
+// input, only by hash collision (which the per-message tag space
+// disambiguates).
+func SegmentGroup(ctx uint32, seg int) uint32 {
+	h := fnv.New32a()
+	var b [9]byte
+	b[0] = 0x5E // domain separator: segment groups
+	binary.BigEndian.PutUint32(b[1:5], ctx)
+	binary.BigEndian.PutUint32(b[5:9], uint32(seg))
+	h.Write(b[:])
+	id := h.Sum32()
+	if id <= 1 { // keep clear of the world context
+		id += 2
+	}
+	return id
+}
+
 // Selective-repair request payload: a NACK that names the fragments the
 // receiver is missing, so the sender retransmits O(missing) frames under
 // the same message id instead of re-multicasting the whole message.

@@ -272,6 +272,37 @@ func TestSliceGroupDistinctAndStable(t *testing.T) {
 	}
 }
 
+// TestSegmentGroupDistinctFromSliceGroups: the two derivations share the
+// (ctx, index) input shape but carry distinct domain separators, so a
+// segment's group can never systematically shadow a slice's (or a raw
+// context), and the derivation is deterministic across ranks.
+func TestSegmentGroupDistinctFromSliceGroups(t *testing.T) {
+	seen := map[uint32]string{}
+	for _, ctx := range []uint32{1, 2, 0xDEADBEEF} {
+		for i := 0; i < 16; i++ {
+			sg := SegmentGroup(ctx, i)
+			if sg != SegmentGroup(ctx, i) {
+				t.Fatal("segment derivation not deterministic")
+			}
+			if sg <= 1 {
+				t.Fatalf("segment group %d collides with the world context space", sg)
+			}
+			for _, entry := range []struct {
+				id  uint32
+				key string
+			}{
+				{sg, fmt.Sprintf("seg ctx=%d i=%d", ctx, i)},
+				{SliceGroup(ctx, i), fmt.Sprintf("slice ctx=%d i=%d", ctx, i)},
+			} {
+				if prev, dup := seen[entry.id]; dup {
+					t.Fatalf("group collision: %s and %s both map to %d", prev, entry.key, entry.id)
+				}
+				seen[entry.id] = entry.key
+			}
+		}
+	}
+}
+
 // TestReassemblerRepairOfCompletedMessage: a selective repair multicast
 // under the original message id must not resurrect partial state at a
 // receiver that already completed the message, while a receiver that

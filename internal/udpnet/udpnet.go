@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/reliab"
+	"repro/internal/topo"
 	"repro/internal/transport"
 )
 
@@ -49,13 +50,24 @@ type Config struct {
 	// Stream tunes the reliable point-to-point stream layer (package
 	// reliab); zero fields take the reliab defaults.
 	Stream reliab.Options
-	// P2PLossRate injects independent receiver-side loss of bypass
-	// point-to-point fragments (Reliable=false, including the stream's
-	// own acks and probes), for exercising the stream's retransmission
-	// over real sockets; loopback UDP rarely loses anything by itself.
+	// P2PLossRate injects independent receiver-side loss of
+	// point-to-point fragments (any frame the stream layer can repair:
+	// data, modeled-TCP traffic, the stream's own acks and probes), for
+	// exercising the stream's retransmission over real sockets; loopback
+	// UDP rarely loses anything by itself.
 	P2PLossRate float64
 	// LossSeed seeds the loss injection (0: a fixed default).
 	LossSeed int64
+	// Segments declares the fabric topology (rank -> segment id) for
+	// the topology subsystem — real sockets cannot discover the wiring,
+	// so deployments that know it state it here and the topology-aware
+	// collectives cluster by it. Empty means: derive from SegmentFanout,
+	// or report no topology at all.
+	Segments []int
+	// SegmentFanout is the uniform-placement shorthand for Segments
+	// (stations per segment, the udpnet analogue of the simulator's
+	// Profile.UplinkFanout). 0 means no declared topology.
+	SegmentFanout int
 }
 
 // DefaultConfig returns a working localhost configuration.
@@ -94,10 +106,11 @@ func (c *Config) groupIP(group uint32) net.IP {
 
 // Net is one in-host world of endpoints.
 type Net struct {
-	cfg   Config
-	iface *net.Interface // interface used for joins (nil = kernel default)
-	eps   []*Endpoint
-	start time.Time
+	cfg     Config
+	iface   *net.Interface // interface used for joins (nil = kernel default)
+	eps     []*Endpoint
+	start   time.Time
+	topoMap *topo.Map // declared placement (nil: none)
 }
 
 // New builds the world: one unicast socket per rank on an ephemeral
@@ -108,6 +121,19 @@ func New(cfg Config) (*Net, error) {
 		return nil, errors.New("udpnet: world size must be positive")
 	}
 	nw := &Net{cfg: cfg, iface: multicastInterface(), start: time.Now()}
+	switch {
+	case len(cfg.Segments) > 0:
+		if len(cfg.Segments) != cfg.N {
+			return nil, fmt.Errorf("udpnet: %d segment assignments for %d ranks", len(cfg.Segments), cfg.N)
+		}
+		m, err := topo.New(cfg.Segments)
+		if err != nil {
+			return nil, fmt.Errorf("udpnet: declared topology: %w", err)
+		}
+		nw.topoMap = m
+	case cfg.SegmentFanout > 0:
+		nw.topoMap = topo.Uniform(cfg.N, cfg.SegmentFanout)
+	}
 	peers := make([]*net.UDPAddr, cfg.N)
 	for i := 0; i < cfg.N; i++ {
 		// Bind INADDR_ANY: a socket bound to 127.0.0.1 cannot originate
@@ -250,10 +276,16 @@ var (
 	_ transport.FragmentRepairer = (*Endpoint)(nil)
 	_ transport.Pacer            = (*Endpoint)(nil)
 	_ transport.ReliableSender   = (*Endpoint)(nil)
+	_ topo.Provider              = (*Endpoint)(nil)
 )
 
 // Rank implements transport.Endpoint.
 func (ep *Endpoint) Rank() int { return ep.rank }
+
+// TopoMap implements topo.Provider with the declared placement
+// (Config.Segments / Config.SegmentFanout), or nil when none was
+// declared.
+func (ep *Endpoint) TopoMap() *topo.Map { return ep.net.topoMap }
 
 // Size implements transport.Endpoint.
 func (ep *Endpoint) Size() int { return len(ep.peers) }
@@ -444,12 +476,14 @@ func (ep *Endpoint) ctlFragLocked(body []byte) transport.Fragment {
 }
 
 // sendStreamAckLocked emits the receiver-side state report for src;
-// volunteer acks (nonce 0) are throttled to one per quarter-RTO per
-// peer. Caller holds mu; the datagram write happens after unlock via the
-// returned thunk (nil when throttled).
-func (ep *Endpoint) sendStreamAckLocked(src int, rp *uRecvPeer, nonce uint32) func() {
+// volunteer acks (nonce 0, force false) are throttled to one per
+// quarter-RTO per peer. force bypasses the throttle — the modeled-TCP
+// eager ack per delivered reliable message. Caller holds mu; the
+// datagram write happens after unlock via the returned thunk (nil when
+// throttled).
+func (ep *Endpoint) sendStreamAckLocked(src int, rp *uRecvPeer, nonce uint32, force bool) func() {
 	now := ep.Now()
-	if nonce == 0 && now < rp.nextAckAt {
+	if nonce == 0 && !force && now < rp.nextAckAt {
 		return nil
 	}
 	rp.nextAckAt = now + ep.net.cfg.Stream.RTO/4
@@ -475,7 +509,7 @@ func (ep *Endpoint) handleStreamCtl(f transport.Fragment) {
 	}
 	if probe {
 		ep.mu.Lock()
-		send := ep.sendStreamAckLocked(src, ep.recvPeerLocked(src), ack.Nonce)
+		send := ep.sendStreamAckLocked(src, ep.recvPeerLocked(src), ack.Nonce, false)
 		ep.mu.Unlock()
 		if send != nil {
 			send()
@@ -660,10 +694,11 @@ func (ep *Endpoint) readLoop(conn *net.UDPConn) {
 			ep.mu.Unlock()
 			continue
 		}
-		if f.Msg.Kind == transport.P2P && !f.Msg.Reliable && ep.net.cfg.P2PLossRate > 0 &&
+		if f.Msg.Kind == transport.P2P && ep.net.cfg.P2PLossRate > 0 &&
 			ep.lossRng.Float64() < ep.net.cfg.P2PLossRate {
-			// Injected receiver-side loss: any bypass frame kind may
-			// vanish, stream acks and probes included.
+			// Injected receiver-side loss: any point-to-point frame kind
+			// may vanish — modeled-TCP baseline traffic, stream acks and
+			// probes included.
 			ep.stats.InjectedP2PLosses++
 			ep.mu.Unlock()
 			continue
@@ -681,7 +716,7 @@ func (ep *Endpoint) readLoop(conn *net.UDPConn) {
 				// Duplicate of a delivered message (a retransmission
 				// raced the ack): suppress it and re-advertise our state.
 				ep.stats.Stream.DupFragments++
-				ackSend = ep.sendStreamAckLocked(f.Msg.Src, rp, 0)
+				ackSend = ep.sendStreamAckLocked(f.Msg.Src, rp, 0, false)
 				ep.mu.Unlock()
 				if ackSend != nil {
 					ackSend()
@@ -694,12 +729,19 @@ func (ep *Endpoint) readLoop(conn *net.UDPConn) {
 			ep.stats.DatagramsReceived++
 			if rp != nil {
 				rp.rs.Deliver(f.Stream)
+				if m.Reliable {
+					// Modeled TCP acknowledges deliveries eagerly (the
+					// kernel's TCP did), instead of the stream's
+					// silent-until-probed default — and the ack itself is
+					// a droppable, repairable stream frame.
+					ackSend = ep.sendStreamAckLocked(f.Msg.Src, rp, 0, true)
+				}
 			}
 		}
-		if rp != nil && rp.rs.Gapped() {
+		if rp != nil && ackSend == nil && rp.rs.Gapped() {
 			// Provable loss (a newer message overtook the gap):
 			// volunteer our state instead of waiting for a probe.
-			ackSend = ep.sendStreamAckLocked(f.Msg.Src, rp, 0)
+			ackSend = ep.sendStreamAckLocked(f.Msg.Src, rp, 0, false)
 		}
 		closed := ep.closed
 		ep.mu.Unlock()

@@ -91,14 +91,16 @@ func TestExtensionFigureRenders(t *testing.T) {
 	want := map[string][]string{
 		"14":  {"mcast-binary", "mpich"},
 		"14n": {"mcast-binary (32 proc)", "mpich (32 proc)"},
+		"14h": {"mcast-2level (32 proc)", "mcast-pipelined (32 proc)"},
 		"15":  {"mcast-binary", "mpich"},
 		"15n": {"mcast-binary (32 proc)", "mpich (32 proc)"},
+		"15h": {"mcast-2level (32 proc)", "mcast-binary (32 proc)"},
 		"16":  {"mcast-binary", "mcast-pipelined", "mcast-whole", "mpich"},
 		"17":  {"mcast-binary", "mcast-pipelined"},
 		"18":  {"mcast-whole", "sliced"},
 		"19":  {"mcast-binary", "mcast-chunked", "mpich"},
 	}
-	for _, id := range []string{"14", "14n", "15", "15n", "16", "17", "18", "19"} {
+	for _, id := range []string{"14", "14n", "14h", "15", "15n", "15h", "16", "17", "18", "19"} {
 		d, ok := bench.Lookup(id)
 		if !ok {
 			t.Fatalf("figure %s not registered", id)
@@ -159,4 +161,60 @@ func TestQueueTableSelfChecks(t *testing.T) {
 	if !strings.Contains(out, "gather") || !strings.Contains(out, "32") {
 		t.Fatalf("queue table misses the N-sweep rows:\n%s", out)
 	}
+}
+
+// TestScoutEconomyTableSelfChecks builds the A6 two-level scout-economy
+// table (the third artifact the CI bench-smoke job uploads) and asserts
+// both check markers are clean: a two-level allgather exceeding the
+// N + S² + S scout bound renders SCOUT-EXCESS, and a tail-dropped frame
+// renders SILENT-DROP — either fails this test and the CI gate.
+func TestScoutEconomyTableSelfChecks(t *testing.T) {
+	d, ok := bench.Lookup("a6")
+	if !ok {
+		t.Fatal("experiment a6 not registered")
+	}
+	r, err := d.Build(bench.Options{Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	if strings.Contains(out, "SCOUT-EXCESS") {
+		t.Fatalf("scout economy table reports a breached bound:\n%s", out)
+	}
+	if strings.Contains(out, "SILENT-DROP") {
+		t.Fatalf("scout economy table reports silent egress drops:\n%s", out)
+	}
+	if !strings.Contains(out, "32") {
+		t.Fatalf("scout economy table misses the N=32 row:\n%s", out)
+	}
+}
+
+// TestTwoLevelBeatsFlatPipelinedAtN32 is the fig 14h acceptance point,
+// pinned as a test: the two-level allgather must beat the flat
+// pipelined allgather on the shared-uplink switch at N=32 with 5000 B
+// chunks.
+func TestTwoLevelBeatsFlatPipelinedAtN32(t *testing.T) {
+	prof := simnet.DefaultProfile()
+	prof.UplinkFanout = 4
+	measure := func(alg bench.Algorithm) float64 {
+		sc := bench.DefaultScenario()
+		sc.Procs = 32
+		sc.Topology = simnet.SwitchShared
+		sc.Algorithm = alg
+		sc.Op = bench.OpAllgather
+		sc.MsgSize = 5000
+		sc.Reps = 2
+		sc.Profile = &prof
+		r, err := bench.Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Median()
+	}
+	two := measure(bench.McastTwoLevel)
+	flat := measure(bench.McastPipelined)
+	if two >= flat {
+		t.Fatalf("two-level allgather (%.0f µs) did not beat flat pipelined (%.0f µs) at N=32/5000B", two, flat)
+	}
+	t.Logf("N=32 5000B allgather: two-level %.0f µs vs flat pipelined %.0f µs (%.2fx)", two, flat, flat/two)
 }
