@@ -8,13 +8,24 @@
 //
 //	mcastbench                  # run everything at paper methodology
 //	mcastbench -figure 8        # one experiment
-//	mcastbench -figure 14n      # allgather N-sweep, N in {4,8,16,32}
+//	mcastbench -figure 14n      # allgather N-sweep, N in {4..256}
 //	mcastbench -figure 14h      # two-level vs flat allgather on the same sweep
 //	mcastbench -figure a5       # shared-uplink queue occupancy + drop check
 //	mcastbench -figure a6       # two-level scout economy vs the N+S²+S gate
 //	mcastbench -quick           # coarse grid for a fast look
 //	mcastbench -reps 30 -step 100
 //	mcastbench -csv results/    # also write one CSV per experiment
+//
+// Trajectory mode (instead of figures):
+//
+//	mcastbench -trajectory BENCH_sim.json                    # measure + write
+//	mcastbench -trajectory out.json -gate BENCH_sim.json     # and gate vs baseline
+//
+// The trajectory is the N-sweep perf record (sim-µs, event counts and
+// wall-clock events/sec per collective/N/algorithm); with -gate the
+// process exits non-zero on any SCOUT-EXCESS or SILENT-DROP entry, on a
+// normalized events/sec score more than 10% below the baseline's, or on
+// per-entry event counts grown more than 10% over the baseline.
 package main
 
 import (
@@ -34,14 +45,26 @@ func main() {
 		step   = flag.Int("step", 250, "message size step in bytes")
 		max    = flag.Int("max", 5000, "maximum message size in bytes")
 		seed   = flag.Uint64("seed", 1, "base random seed")
-		quick  = flag.Bool("quick", false, "coarse grid (3 reps, 1000-byte steps)")
+		quick  = flag.Bool("quick", false, "coarse grid (3 reps, 1000-byte steps, N capped at 32)")
 		csvDir = flag.String("csv", "", "directory to write per-experiment CSV files")
+		trajec = flag.String("trajectory", "", "write the N-sweep perf trajectory (BENCH_sim.json) to this path and skip the figures")
+		gate   = flag.String("gate", "", "baseline BENCH_sim.json to gate the trajectory against (requires -trajectory)")
 	)
 	flag.Parse()
+
+	if *trajec != "" {
+		runTrajectory(*trajec, *gate, *seed)
+		return
+	}
+	if *gate != "" {
+		fmt.Fprintln(os.Stderr, "mcastbench: -gate requires -trajectory")
+		os.Exit(2)
+	}
 
 	opts := bench.Options{Reps: *reps, SizeStep: *step, MaxSize: *max, Seed: *seed}
 	if *quick {
 		opts.Reps, opts.SizeStep = 3, 1000
+		opts.MaxN = 32
 	}
 
 	defs := bench.Defs()
@@ -81,5 +104,41 @@ func main() {
 			}
 			fmt.Printf("(csv written to %s)\n", path)
 		}
+	}
+}
+
+// runTrajectory measures the perf trajectory, writes it to out, and —
+// when a baseline is given — gates against it, exiting non-zero on any
+// violation. The 10% tolerance matches the CI job's contract.
+func runTrajectory(out, baseline string, seed uint64) {
+	tr, err := bench.RunTrajectory(seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcastbench: trajectory: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(tr.Render())
+	if err := tr.WriteFile(out); err != nil {
+		fmt.Fprintf(os.Stderr, "mcastbench: writing %s: %v\n", out, err)
+		os.Exit(1)
+	}
+	fmt.Printf("(trajectory written to %s)\n", out)
+
+	var base *bench.Trajectory
+	if baseline != "" {
+		base, err = bench.LoadTrajectory(baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcastbench: loading baseline: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	violations := bench.GateTrajectory(tr, base, 0.10)
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "mcastbench: GATE: %s\n", v)
+	}
+	if len(violations) > 0 {
+		os.Exit(1)
+	}
+	if base != nil {
+		fmt.Printf("gate passed vs %s (score %.4f vs baseline %.4f)\n", baseline, tr.Score, base.Score)
 	}
 }

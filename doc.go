@@ -74,6 +74,25 @@
 // charged per ack), retiring the last by-fiat loss exemption — loss
 // sweeps cover the MPICH baselines on both transports.
 //
+// PR 6 scaled the simulator stack to N≥256: the event engine runs on a
+// hand-rolled heap with an O(1) FIFO fast path for same-instant events,
+// switch forwarding is snoop-table-driven with incrementally maintained
+// fan-out slices (no O(N) port walk per frame), and the frame-encode
+// hot paths reuse buffers (transport.AppendFragment, pinned alloc-free
+// by test) — all without moving a single simulated timestamp. The
+// shared-uplink sweeps and the a5/a6 gates now run N ∈ {4..256} (1024
+// opt-in via BENCH_LONG), and the measured perf record is machine-
+// readable: `mcastbench -trajectory BENCH_sim.json` writes per
+// collective/N/algorithm sim-µs, deterministic event counts, wall-ns
+// and scout/silent-drop checks, plus aggregate events/sec normalized by
+// a calibration run of the bare engine (so scores compare across
+// machines). The committed BENCH_sim.json at the repo root is the
+// baseline: the CI bench-trajectory job re-measures and fails on any
+// SCOUT-EXCESS/SILENT-DROP entry, a normalized score >10% below the
+// baseline, or per-entry event counts >10% above it (`mcastbench
+// -trajectory out.json -gate BENCH_sim.json`; regenerate the baseline
+// in the same way when a PR legitimately moves the floor).
+//
 // See README.md for the tour, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 // The top-level bench_test.go exposes one benchmark per paper figure,

@@ -9,7 +9,7 @@ import (
 )
 
 func quickOpts() Options {
-	return Options{Reps: 3, SizeStep: 2500, MaxSize: 5000, Seed: 1}
+	return Options{Reps: 3, SizeStep: 2500, MaxSize: 5000, Seed: 1, MaxN: 32}
 }
 
 func TestQuantile(t *testing.T) {

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"os"
 
 	"repro/internal/cluster"
 	"repro/internal/mpi"
@@ -13,12 +14,18 @@ import (
 )
 
 // Options scales the experiment grid. The zero value is filled with the
-// paper's methodology (20 reps, sizes 0–5000 step 250).
+// paper's methodology (20 reps, sizes 0–5000 step 250, the full N
+// grid of the shared-uplink sweeps).
 type Options struct {
 	Reps     int
 	SizeStep int
 	MaxSize  int
 	Seed     uint64
+	// MaxN caps the shared-uplink sweeps' N grid (0 means uncapped):
+	// quick looks and unit tests stop at 32 where the big points would
+	// dominate the runtime; CI and the paper methodology run the full
+	// {4..256} grid.
+	MaxN int
 }
 
 func (o Options) fill() Options {
@@ -104,11 +111,11 @@ func Defs() []Def {
 		{"12", "MPI_Bcast scaling: 3, 6, 9 processes over switch", fig12},
 		{"13", "MPI_Barrier over hub vs number of processes", fig13},
 		{"14", "Extension: MPI_Allgather multicast rounds vs unicast ring", fig14},
-		{"14n", "Extension: MPI_Allgather N-sweep over shared-uplink switch, N in {4,8,16,32}", fig14n},
-		{"14h", "Extension: MPI_Allgather two-level (segment-leader) vs flat over shared-uplink switch, N in {4,8,16,32}", fig14h},
+		{"14n", "Extension: MPI_Allgather N-sweep over shared-uplink switch, N in {4..256}", fig14n},
+		{"14h", "Extension: MPI_Allgather two-level (segment-leader) vs flat over shared-uplink switch, N in {4..256}", fig14h},
 		{"15", "Extension: MPI_Allreduce multicast composition vs MPICH", fig15},
-		{"15n", "Extension: MPI_Allreduce N-sweep over shared-uplink switch, N in {4,8,16,32}", fig15n},
-		{"15h", "Extension: MPI_Allreduce two-level (segment-leader) vs flat over shared-uplink switch, N in {4,8,16,32}", fig15h},
+		{"15n", "Extension: MPI_Allreduce N-sweep over shared-uplink switch, N in {4..256}", fig15n},
+		{"15h", "Extension: MPI_Allreduce two-level (segment-leader) vs flat over shared-uplink switch, N in {4..256}", fig15h},
 		{"16", "Extension: MPI_Alltoall scatter rounds vs pairwise unicast", fig16},
 		{"17", "Extension: pipelined vs sequential allgather rounds over switch", fig17},
 		{"18", "Extension: per-receiver delivered bytes before/after slice filtering", fig18},
@@ -411,7 +418,36 @@ func sharedUplinkProfile() *simnet.Profile {
 	return &prof
 }
 
-// nSweepFigure sweeps one collective across N ∈ {4, 8, 16, 32} on the
+// sweepNs is the N grid of the shared-uplink sweeps (figures 14n/15n/
+// 14h/15h and the a5/a6 ablation tables): the paper-scale points plus
+// the 64- and 256-rank fabrics where the quadratic scout terms and the
+// switch queue model are actually stressed. Setting BENCH_LONG in the
+// environment appends the opt-in 1024-rank point, which is too slow for
+// the default CI budget.
+func sweepNs() []int {
+	ns := []int{4, 8, 16, 32, 64, 256}
+	if os.Getenv("BENCH_LONG") != "" {
+		ns = append(ns, 1024)
+	}
+	return ns
+}
+
+// cappedNs applies Options.MaxN to the sweep grid.
+func (o Options) cappedNs() []int {
+	ns := sweepNs()
+	if o.MaxN <= 0 {
+		return ns
+	}
+	out := ns[:0:0]
+	for _, n := range ns {
+		if n <= o.MaxN {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// nSweepFigure sweeps one collective across N ∈ sweepNs() on the
 // shared-uplink switch for the given algorithm selections — the
 // topology dimension where Karonis-style crossovers actually move: an
 // uplink carries a multicast once per segment but a unicast exchange
@@ -421,7 +457,7 @@ func sharedUplinkProfile() *simnet.Profile {
 func nSweepFigure(id, title string, o Options, op Op, algs []Algorithm, expect string) (Renderable, error) {
 	o = o.fill()
 	var series []Series
-	for _, procs := range []int{4, 8, 16, 32} {
+	for _, procs := range o.cappedNs() {
 		for _, a := range algs {
 			ss, err := sweepSizes(o, procs, simnet.SwitchShared, op, []Algorithm{a}, false, 0, sharedUplinkProfile())
 			if err != nil {
@@ -487,7 +523,7 @@ func figA5(o Options) (Renderable, error) {
 		return nil, err
 	}
 	for _, op := range []Op{OpAllgather, OpAllreduce, OpGather, OpAlltoall} {
-		for _, procs := range []int{4, 8, 16, 32} {
+		for _, procs := range o.cappedNs() {
 			prof := *sharedUplinkProfile()
 			prof.Seed = o.Seed
 			nw, err := cluster.RunSim(procs, simnet.SwitchShared, prof, algs,
@@ -559,7 +595,7 @@ func figA6(o Options) (Renderable, error) {
 		// column can never drift from the wiring the run measured.
 		return nw.Wire.Frames(transport.ClassScout), nw.SwitchStats().QueueDrops, nw.TopoMap().Segments(), nil
 	}
-	for _, procs := range []int{4, 8, 16, 32} {
+	for _, procs := range o.cappedNs() {
 		two, drops, s, err := measure(McastTwoLevel, procs)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,35 @@
+package ethernet
+
+// fifo is a head-indexed queue: pops advance a head index instead of
+// re-slicing, so a drained queue hands its backing array back for reuse
+// rather than leaking capacity one element at a time. Every per-frame
+// queue in the package (NIC transmit queues, switch egress and segment
+// queues) sits on the hot path at large world sizes, where the re-slice
+// idiom turns into a steady allocation stream.
+type fifo[T any] struct {
+	buf  []T
+	head int
+}
+
+func (q *fifo[T]) len() int    { return len(q.buf) - q.head }
+func (q *fifo[T]) empty() bool { return q.head >= len(q.buf) }
+
+func (q *fifo[T]) push(v T) { q.buf = append(q.buf, v) }
+
+// front returns the head element without removing it. Caller must have
+// checked the queue is non-empty.
+func (q *fifo[T]) front() T { return q.buf[q.head] }
+
+// pop removes and returns the head element. Caller must have checked
+// the queue is non-empty.
+func (q *fifo[T]) pop() T {
+	v := q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return v
+}

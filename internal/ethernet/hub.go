@@ -105,15 +105,16 @@ func (h *Hub) finishTx() {
 	h.current = nil
 	h.state = hubIdle
 	h.Stats.FramesRepeated++
-	prop := h.params.PropDelay
-	for _, other := range h.nics {
-		if other == att.nic {
-			continue
+	// One delivery event covers every listener: the loop preserves the
+	// attachment order the per-NIC events used to fire in, without
+	// scheduling O(N) events and closures per frame.
+	h.eng.At(h.params.PropDelay, func() {
+		for _, other := range h.nics {
+			if other != att.nic {
+				other.receiveFrame(att.frame)
+			}
 		}
-		other := other
-		f := att.frame
-		h.eng.At(prop, func() { other.receiveFrame(f) })
-	}
+	})
 	// After the interframe gap every queued station contends for the
 	// medium at once: deferring stations and the finishing sender's next
 	// frame attempt together, so under load frame boundaries produce the

@@ -29,7 +29,7 @@ type NIC struct {
 	rng    *sim.Rand
 	link   Link
 
-	txq      []Frame
+	txq      fifo[Frame]
 	txActive bool
 	attempts int
 	paused   bool       // 802.3x PAUSE asserted by the switch (flow control)
@@ -77,16 +77,16 @@ func (n *NIC) Send(f Frame) {
 		panic("ethernet: Send before Attach")
 	}
 	f.Src = n.mac
-	n.txq = append(n.txq, f)
-	if len(n.txq) > n.Stats.MaxQueued {
-		n.Stats.MaxQueued = len(n.txq)
+	n.txq.push(f)
+	if n.txq.len() > n.Stats.MaxQueued {
+		n.Stats.MaxQueued = n.txq.len()
 	}
 	n.pump()
 }
 
 // QueuedFrames reports the number of frames waiting to be transmitted,
 // including the one currently in flight.
-func (n *NIC) QueuedFrames() int { return len(n.txq) }
+func (n *NIC) QueuedFrames() int { return n.txq.len() }
 
 // Join subscribes the station to multicast group g (refcounted) and
 // notifies the medium so snooping switches learn the membership.
@@ -119,12 +119,12 @@ func (n *NIC) Leave(g MAC) {
 func (n *NIC) Member(g MAC) bool { return n.groups[g] > 0 }
 
 func (n *NIC) pump() {
-	if n.txActive || n.paused || len(n.txq) == 0 {
+	if n.txActive || n.paused || n.txq.empty() {
 		return
 	}
 	n.txActive = true
 	n.attempts = 0
-	n.link.transmit(n, n.txq[0])
+	n.link.transmit(n, n.txq.front())
 }
 
 // setPaused asserts or releases switch flow control. A paused station
@@ -160,14 +160,12 @@ func (n *NIC) Paused() bool { return n.paused }
 // txDone is called by the medium when the head frame has been fully and
 // successfully transmitted.
 func (n *NIC) txDone() {
-	f := n.txq[0]
+	f := n.txq.pop()
 	n.Stats.FramesSent++
 	n.Stats.BytesSent += int64(f.WireBytes())
-	n.txq[0] = Frame{}
-	n.txq = n.txq[1:]
 	n.txActive = false
 	if n.onDrain != nil {
-		n.onDrain(len(n.txq))
+		n.onDrain(n.txq.len())
 	}
 	n.pump()
 }
@@ -180,8 +178,7 @@ func (n *NIC) txCollision() {
 	n.attempts++
 	if n.attempts >= n.params.MaxAttempts {
 		n.Stats.Drops++
-		n.txq[0] = Frame{}
-		n.txq = n.txq[1:]
+		n.txq.pop()
 		n.txActive = false
 		// Give the jam time to clear before trying the next frame.
 		n.eng.At(n.params.JamTime, n.retry)
@@ -201,18 +198,18 @@ func (n *NIC) retry() {
 		n.pump()
 		return
 	}
-	if len(n.txq) == 0 {
+	if n.txq.empty() {
 		n.txActive = false
 		return
 	}
-	n.link.transmit(n, n.txq[0])
+	n.link.transmit(n, n.txq.front())
 }
 
 // mediaIdle is called by a shared medium when the carrier drops, waking a
 // deferring station so it can re-attempt.
 func (n *NIC) mediaIdle() {
-	if n.txActive && len(n.txq) > 0 {
-		n.link.transmit(n, n.txq[0])
+	if n.txActive && !n.txq.empty() {
+		n.link.transmit(n, n.txq.front())
 	}
 }
 

@@ -54,10 +54,20 @@ type Switch struct {
 
 	ports    []*swPort
 	macTable map[MAC]*swPort
-	groups   map[MAC]map[*swPort]int // per-port membership refcounts
-	heldBy   map[*NIC]int            // frames parked per paused source NIC
+	groups   map[MAC]*group // snooped membership per multicast address
+	heldBy   map[*NIC]int   // frames parked per paused source NIC
 
 	Stats SwitchStats
+}
+
+// group is one snooped multicast address: per-port refcounts plus the
+// cached member-port fan-out, kept sorted by attachment order so the
+// forwarding loop walks exactly the member ports — maintained
+// incrementally on join/leave instead of rebuilt from all ports on every
+// frame.
+type group struct {
+	refs  map[*swPort]int
+	ports []*swPort
 }
 
 // heldFrame is a frame parked at ingress because its egress queue was
@@ -78,15 +88,16 @@ type segJob struct {
 type swPort struct {
 	sw   *Switch
 	nics []*NIC
+	idx  int // attachment order, the deterministic fan-out order
 
-	outq    []Frame
+	outq    fifo[Frame]
 	outBusy bool
-	waitq   []heldFrame // frames parked by flow control
+	waitq   fifo[heldFrame] // frames parked by flow control
 
 	// Shared-segment arbitration (len(nics) > 1): the half-duplex medium
 	// serializes ingress and egress transmissions in FIFO order.
 	segBusy bool
-	segQ    []segJob
+	segQ    fifo[segJob]
 
 	stats SwitchPortStats
 }
@@ -97,14 +108,14 @@ func NewSwitch(eng *sim.Engine, params Params) *Switch {
 		eng:      eng,
 		params:   params,
 		macTable: make(map[MAC]*swPort),
-		groups:   make(map[MAC]map[*swPort]int),
+		groups:   make(map[MAC]*group),
 		heldBy:   make(map[*NIC]int),
 	}
 }
 
 // Attach connects a NIC to a fresh dedicated switch port.
 func (s *Switch) Attach(n *NIC) {
-	p := &swPort{sw: s, nics: []*NIC{n}}
+	p := &swPort{sw: s, nics: []*NIC{n}, idx: len(s.ports)}
 	p.stats.Stations = 1
 	s.ports = append(s.ports, p)
 	n.Attach(p)
@@ -120,7 +131,7 @@ func (s *Switch) AttachSegment(nics []*NIC) {
 	if len(nics) == 0 {
 		panic("ethernet: empty segment")
 	}
-	p := &swPort{sw: s, nics: append([]*NIC(nil), nics...)}
+	p := &swPort{sw: s, nics: append([]*NIC(nil), nics...), idx: len(s.ports)}
 	p.stats.Stations = len(nics)
 	s.ports = append(s.ports, p)
 	for _, n := range nics {
@@ -158,7 +169,7 @@ func (p *swPort) transmit(n *NIC, f Frame) {
 // segSubmit queues one transmission on the shared segment and starts the
 // pump if the medium is free.
 func (p *swPort) segSubmit(j segJob) {
-	p.segQ = append(p.segQ, j)
+	p.segQ.push(j)
 	p.segPump()
 }
 
@@ -168,13 +179,11 @@ func (p *swPort) segSubmit(j segJob) {
 // collision physics; here the contention cost is the serialization
 // itself, which is what a shared uplink fundamentally charges).
 func (p *swPort) segPump() {
-	if p.segBusy || len(p.segQ) == 0 {
+	if p.segBusy || p.segQ.empty() {
 		return
 	}
 	p.segBusy = true
-	j := p.segQ[0]
-	p.segQ[0] = segJob{}
-	p.segQ = p.segQ[1:]
+	j := p.segQ.pop()
 	dur := p.sw.params.TxTime(j.f)
 	prop := p.sw.params.PropDelay
 	if j.egress {
@@ -218,19 +227,43 @@ func (p *swPort) notifyJoin(_ *NIC, g MAC, joined bool) {
 	if joined {
 		m := s.groups[g]
 		if m == nil {
-			m = make(map[*swPort]int)
+			m = &group{refs: make(map[*swPort]int)}
 			s.groups[g] = m
 		}
-		m[p]++
+		m.refs[p]++
+		if m.refs[p] == 1 {
+			m.insert(p)
+		}
 		return
 	}
 	if m := s.groups[g]; m != nil {
-		m[p]--
-		if m[p] <= 0 {
-			delete(m, p)
+		m.refs[p]--
+		if m.refs[p] <= 0 {
+			delete(m.refs, p)
+			m.remove(p)
 		}
-		if len(m) == 0 {
+		if len(m.refs) == 0 {
 			delete(s.groups, g)
+		}
+	}
+}
+
+// insert adds p to the cached fan-out, keeping attachment order.
+func (m *group) insert(p *swPort) {
+	i := len(m.ports)
+	for i > 0 && m.ports[i-1].idx > p.idx {
+		i--
+	}
+	m.ports = append(m.ports, nil)
+	copy(m.ports[i+1:], m.ports[i:])
+	m.ports[i] = p
+}
+
+func (m *group) remove(p *swPort) {
+	for i, q := range m.ports {
+		if q == p {
+			m.ports = append(m.ports[:i], m.ports[i+1:]...)
+			return
 		}
 	}
 }
@@ -245,49 +278,44 @@ func (s *Switch) ingress(from *swPort, src *NIC, f Frame) {
 }
 
 func (s *Switch) forward(from *swPort, src *NIC, f Frame) {
-	var eligible []*swPort
 	switch {
 	case f.Dst.IsBroadcast():
-		eligible = s.allExcept(from)
+		s.flood(from, src, f)
 	case f.Dst.IsMulticast():
-		members := s.groups[f.Dst]
-		if len(members) == 0 {
+		m := s.groups[f.Dst]
+		if m == nil {
 			if s.params.FloodUnknownMulticast {
-				eligible = s.allExcept(from)
+				s.flood(from, src, f)
 			} else {
 				s.Stats.MulticastDrops++
-				return
 			}
-		} else {
-			for _, p := range s.ports { // deterministic port order
-				if p != from && members[p] > 0 {
-					eligible = append(eligible, p)
-				}
+			return
+		}
+		// The cached fan-out is in attachment order, the same
+		// deterministic order the all-ports walk used to produce.
+		for _, p := range m.ports {
+			if p != from {
+				p.enqueue(f, src)
 			}
 		}
 	default:
 		if p, ok := s.macTable[f.Dst]; ok {
 			if p != from {
-				eligible = []*swPort{p}
+				p.enqueue(f, src)
 			}
 		} else {
 			s.Stats.FramesFlooded++
-			eligible = s.allExcept(from)
+			s.flood(from, src, f)
 		}
-	}
-	for _, p := range eligible {
-		p.enqueue(f, src)
 	}
 }
 
-func (s *Switch) allExcept(from *swPort) []*swPort {
-	out := make([]*swPort, 0, len(s.ports)-1)
+func (s *Switch) flood(from *swPort, src *NIC, f Frame) {
 	for _, p := range s.ports {
 		if p != from {
-			out = append(out, p)
+			p.enqueue(f, src)
 		}
 	}
-	return out
 }
 
 // enqueue places a forwarded frame on this egress port. A full queue
@@ -295,21 +323,21 @@ func (s *Switch) allExcept(from *swPort) []*swPort {
 // funnel deadlocks on) or parks the frame and PAUSEs the source station
 // until the queue drains.
 func (p *swPort) enqueue(f Frame, src *NIC) {
-	if len(p.outq) >= p.sw.params.SwitchQueueCap {
+	if p.outq.len() >= p.sw.params.SwitchQueueCap {
 		if !p.sw.params.SwitchFlowControl {
 			p.sw.Stats.QueueDrops++
 			p.stats.Drops++
 			return
 		}
 		p.stats.Held++
-		p.waitq = append(p.waitq, heldFrame{f: f, src: src})
+		p.waitq.push(heldFrame{f: f, src: src})
 		p.sw.pause(src)
 		return
 	}
 	p.sw.Stats.FramesForwarded++
 	p.stats.Forwarded++
-	p.outq = append(p.outq, f)
-	if d := len(p.outq); d > p.stats.HighWatermark {
+	p.outq.push(f)
+	if d := p.outq.len(); d > p.stats.HighWatermark {
 		p.stats.HighWatermark = d
 		if d > p.sw.Stats.MaxQueueDepth {
 			p.sw.Stats.MaxQueueDepth = d
@@ -346,25 +374,21 @@ func (s *Switch) unpause(n *NIC) {
 // drainWait moves parked frames into freed queue space, resuming their
 // sources.
 func (p *swPort) drainWait() {
-	for len(p.waitq) > 0 && len(p.outq) < p.sw.params.SwitchQueueCap {
-		h := p.waitq[0]
-		p.waitq[0] = heldFrame{}
-		p.waitq = p.waitq[1:]
+	for !p.waitq.empty() && p.outq.len() < p.sw.params.SwitchQueueCap {
+		h := p.waitq.pop()
 		p.sw.Stats.FramesForwarded++
 		p.stats.Forwarded++
-		p.outq = append(p.outq, h.f)
+		p.outq.push(h.f)
 		p.sw.unpause(h.src)
 	}
 }
 
 func (p *swPort) pumpOut() {
-	if p.outBusy || len(p.outq) == 0 {
+	if p.outBusy || p.outq.empty() {
 		return
 	}
 	p.outBusy = true
-	f := p.outq[0]
-	p.outq[0] = Frame{}
-	p.outq = p.outq[1:]
+	f := p.outq.pop()
 	p.drainWait()
 	if p.shared() {
 		// Egress must win the shared segment like any transmission; the

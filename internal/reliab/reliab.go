@@ -308,15 +308,26 @@ func (s *SendStream) HandleAck(a Ack) (resend []Resend, freed bool) {
 // (MPI matching tolerates reordering); the sequence numbers exist for
 // exactly-once delivery and for naming losses, not for resequencing.
 type RecvStream struct {
-	cum     uint32            // every sequence <= cum has been delivered
-	above   map[uint32]bool   // delivered sequences > cum
+	cum uint32 // every sequence <= cum has been delivered
+	// above holds delivered sequences > cum in ascending order. A sorted
+	// slice instead of a set: the window bounds it to a few dozen
+	// entries, insertions are rare (only out-of-order completions), and
+	// every ack can then copy it into Sacks verbatim instead of sorting
+	// per ack on the lossy-sweep hot path.
+	above   []uint32
 	partial map[uint32]uint64 // seen but incomplete: seq -> device msgID
 	horizon uint32            // highest sequence number seen at all
 }
 
 // NewRecvStream returns an empty receive stream.
 func NewRecvStream() *RecvStream {
-	return &RecvStream{above: make(map[uint32]bool), partial: make(map[uint32]uint64)}
+	return &RecvStream{partial: make(map[uint32]uint64)}
+}
+
+// delivered reports whether seq sits in the above list.
+func (r *RecvStream) delivered(seq uint32) (idx int, ok bool) {
+	i := sort.Search(len(r.above), func(i int) bool { return r.above[i] >= seq })
+	return i, i < len(r.above) && r.above[i] == seq
 }
 
 // Fresh reports whether a fragment with the given sequence number is new
@@ -325,7 +336,10 @@ func NewRecvStream() *RecvStream {
 // partial state. It also records the stream horizon and the partial
 // message id for loss naming.
 func (r *RecvStream) Fresh(seq uint32, msgID uint64) bool {
-	if seq <= r.cum || r.above[seq] {
+	if seq <= r.cum {
+		return false
+	}
+	if _, ok := r.delivered(seq); ok {
 		return false
 	}
 	if seq > r.horizon {
@@ -339,13 +353,25 @@ func (r *RecvStream) Fresh(seq uint32, msgID uint64) bool {
 // advancing the cumulative horizon over any contiguous prefix.
 func (r *RecvStream) Deliver(seq uint32) {
 	delete(r.partial, seq)
-	if seq <= r.cum || r.above[seq] {
+	if seq <= r.cum {
 		return
 	}
-	r.above[seq] = true
-	for r.above[r.cum+1] {
-		r.cum++
-		delete(r.above, r.cum)
+	i, ok := r.delivered(seq)
+	if ok {
+		return
+	}
+	r.above = append(r.above, 0)
+	copy(r.above[i+1:], r.above[i:])
+	r.above[i] = seq
+	// Advance the cumulative horizon over the contiguous prefix.
+	n := 0
+	for n < len(r.above) && r.above[n] == r.cum+uint32(n)+1 {
+		n++
+	}
+	if n > 0 {
+		r.cum += uint32(n)
+		rest := copy(r.above, r.above[n:])
+		r.above = r.above[:rest]
 	}
 }
 
@@ -355,8 +381,12 @@ func (r *RecvStream) Deliver(seq uint32) {
 // partial has a newer completed successor. Such evidence triggers a
 // volunteer acknowledgment.
 func (r *RecvStream) Gapped() bool {
+	i := 0
 	for seq := r.cum + 1; seq <= r.horizon; seq++ {
-		if r.above[seq] {
+		for i < len(r.above) && r.above[i] < seq {
+			i++
+		}
+		if i < len(r.above) && r.above[i] == seq {
 			continue
 		}
 		if _, held := r.partial[seq]; !held {
@@ -383,10 +413,10 @@ func (r *RecvStream) Gapped() bool {
 // the ack omits (up to the probe's horizon).
 func (r *RecvStream) AckState(missing func(msgID uint64) []int, nonce uint32) Ack {
 	a := Ack{Cum: r.cum, Nonce: nonce}
-	for seq := range r.above {
-		a.Sacks = append(a.Sacks, seq)
+	if len(r.above) > 0 {
+		// above is maintained in ascending order; no per-ack sort.
+		a.Sacks = append([]uint32(nil), r.above...)
 	}
-	sort.Slice(a.Sacks, func(i, j int) bool { return a.Sacks[i] < a.Sacks[j] })
 	seqs := make([]int, 0, len(r.partial))
 	for seq := range r.partial {
 		seqs = append(seqs, int(seq))

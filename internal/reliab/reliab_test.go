@@ -234,3 +234,47 @@ func TestAckCodecRoundTrip(t *testing.T) {
 		t.Fatal("unknown op should fail to decode")
 	}
 }
+
+// Sacks must come out ascending however delivery order interleaves —
+// the sender's resend logic and the wire encoder both rely on it, and
+// the receive path maintains the order on insert rather than sorting
+// per ack.
+func TestSacksSortedWithoutPerAckSort(t *testing.T) {
+	r := NewRecvStream()
+	none := func(uint64) []int { return nil }
+	for _, seq := range []uint32{9, 3, 7, 5, 11, 4} {
+		if !r.Fresh(seq, uint64(seq)) {
+			t.Fatalf("seq %d not fresh", seq)
+		}
+		r.Deliver(seq)
+	}
+	a := r.AckState(none, 0)
+	if a.Cum != 0 {
+		t.Fatalf("cum = %d, want 0 (seq 1 missing)", a.Cum)
+	}
+	want := []uint32{3, 4, 5, 7, 9, 11}
+	if len(a.Sacks) != len(want) {
+		t.Fatalf("sacks = %v, want %v", a.Sacks, want)
+	}
+	for i := range want {
+		if a.Sacks[i] != want[i] {
+			t.Fatalf("sacks = %v, want %v", a.Sacks, want)
+		}
+	}
+	// Filling the gap retires the whole prefix into cum.
+	for _, seq := range []uint32{1, 2} {
+		r.Fresh(seq, uint64(seq))
+		r.Deliver(seq)
+	}
+	a = r.AckState(none, 0)
+	if a.Cum != 5 {
+		t.Fatalf("cum = %d, want 5", a.Cum)
+	}
+	if len(a.Sacks) != 3 || a.Sacks[0] != 7 || a.Sacks[1] != 9 || a.Sacks[2] != 11 {
+		t.Fatalf("sacks after prefix retire = %v, want [7 9 11]", a.Sacks)
+	}
+	// Duplicates must still be suppressed through the sorted path.
+	if r.Fresh(7, 7) || r.Fresh(5, 5) {
+		t.Fatal("delivered sequence reported fresh")
+	}
+}

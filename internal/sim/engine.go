@@ -12,10 +12,22 @@
 // they were scheduled (a monotone sequence number breaks ties), and all
 // randomness flows through explicitly seeded sources, so a simulation with
 // the same inputs always produces the same timeline.
+//
+// The queue is split in two to keep scheduling cheap at high event rates:
+// timed events live in a hand-rolled binary heap ordered by (at, seq),
+// while zero-delay events — wake-ups, nudges, same-instant continuations,
+// by far the majority at large world sizes — go to a plain FIFO that is
+// O(1) to push and pop and allocates nothing. The split preserves the
+// documented order exactly: a heap event due at the current instant was
+// necessarily scheduled before the clock reached it (its delay was
+// positive at scheduling time), so it carries a smaller sequence number
+// than any zero-delay event scheduled at that instant and must run first;
+// and while the FIFO drains, new events either join the FIFO (delay <= 0)
+// or land strictly later on the heap (delay > 0), so the clock never has
+// to advance with the FIFO non-empty.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -46,26 +58,6 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return ev
-}
-
 // Engine is a discrete-event simulator. The zero value is not usable;
 // create one with New.
 //
@@ -75,10 +67,22 @@ func (h *eventHeap) Pop() any {
 // single-threaded even though Procs are goroutines, because exactly one
 // of {engine loop, some Proc} executes at any instant.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	procs  []*Proc
+	now Time
+	seq uint64
+
+	// heap holds events with a future timestamp, a binary min-heap on
+	// (at, seq). Hand-rolled rather than container/heap so pushes and
+	// pops move concrete values instead of boxing through interfaces.
+	heap []event
+
+	// nowq holds events due at the current instant, in scheduling order.
+	// Popped from nowqHead instead of re-slicing so the backing array is
+	// reused; the slice resets to empty whenever the queue drains.
+	nowq     []func()
+	nowqHead int
+
+	processed uint64
+	procs     []*Proc
 	// cur is the Proc currently holding the execution token, or nil when
 	// the engine loop itself is running (e.g. inside event callbacks).
 	cur *Proc
@@ -95,14 +99,102 @@ func New() *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+// Processed reports the total number of events fired since creation —
+// the denominator for wall-clock events/sec measurements.
+func (e *Engine) Processed() uint64 { return e.processed }
+
 // At schedules fn to run after delay elapses. A negative delay is treated
 // as zero. Events scheduled for the same instant run in scheduling order.
 func (e *Engine) At(delay Duration, fn func()) {
-	if delay < 0 {
-		delay = 0
+	if delay <= 0 {
+		e.nowq = append(e.nowq, fn)
+		return
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: e.now + Time(delay), seq: e.seq, fn: fn})
+	e.heapPush(event{at: e.now + Time(delay), seq: e.seq, fn: fn})
+}
+
+func evLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) heapPush(ev event) {
+	h := append(e.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !evLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.heap = h
+}
+
+func (e *Engine) heapPop() event {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{}
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && evLess(h[r], h[l]) {
+			m = r
+		}
+		if !evLess(h[m], h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	e.heap = h
+	return top
+}
+
+// popNow removes and returns the next zero-delay event. Caller must have
+// checked the queue is non-empty.
+func (e *Engine) popNow() func() {
+	fn := e.nowq[e.nowqHead]
+	e.nowq[e.nowqHead] = nil
+	e.nowqHead++
+	if e.nowqHead == len(e.nowq) {
+		e.nowq = e.nowq[:0]
+		e.nowqHead = 0
+	}
+	return fn
+}
+
+// next returns the next event callback in timeline order, advancing the
+// clock when nothing remains at the current instant. ok is false when
+// both queues are empty.
+func (e *Engine) next() (fn func(), ok bool) {
+	// Heap events due now were scheduled before the clock reached this
+	// instant, so they precede everything in nowq (see package comment).
+	if len(e.heap) > 0 && e.heap[0].at == e.now {
+		return e.heapPop().fn, true
+	}
+	if e.nowqHead < len(e.nowq) {
+		return e.popNow(), true
+	}
+	if len(e.heap) > 0 {
+		if e.heap[0].at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = e.heap[0].at
+		return e.heapPop().fn, true
+	}
+	return nil, false
 }
 
 // DeadlockError is returned by Run when the event queue drains while one
@@ -121,13 +213,13 @@ func (d *DeadlockError) Error() string {
 // function, an error wrapping a Proc panic, or a *DeadlockError if some
 // Proc remains blocked with no pending events.
 func (e *Engine) Run() error {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(event)
-		if ev.at < e.now {
-			panic("sim: time went backwards")
+	for {
+		fn, ok := e.next()
+		if !ok {
+			break
 		}
-		e.now = ev.at
-		ev.fn()
+		e.processed++
+		fn()
 		if e.failure != nil {
 			return e.failure
 		}
@@ -153,19 +245,29 @@ func (e *Engine) Run() error {
 // RunUntil processes events with timestamps not after deadline. It is
 // mainly useful in tests that examine intermediate simulation state.
 func (e *Engine) RunUntil(deadline Time) error {
-	for len(e.events) > 0 && e.events[0].at <= deadline {
-		ev := heap.Pop(&e.events).(event)
-		e.now = ev.at
-		ev.fn()
+	for {
+		var fn func()
+		switch {
+		case len(e.heap) > 0 && e.heap[0].at == e.now:
+			fn = e.heapPop().fn
+		case e.nowqHead < len(e.nowq):
+			fn = e.popNow()
+		case len(e.heap) > 0 && e.heap[0].at <= deadline:
+			e.now = e.heap[0].at
+			fn = e.heapPop().fn
+		default:
+			if e.now < deadline {
+				e.now = deadline
+			}
+			return nil
+		}
+		e.processed++
+		fn()
 		if e.failure != nil {
 			return e.failure
 		}
 	}
-	if e.now < deadline {
-		e.now = deadline
-	}
-	return nil
 }
 
 // Pending reports the number of scheduled events not yet fired.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.heap) + len(e.nowq) - e.nowqHead }

@@ -29,6 +29,11 @@ type Proc struct {
 
 	resume chan struct{}
 	yield  chan struct{}
+
+	// wake is the reusable wake-if-parked callback shared by Nudge,
+	// Sleep, WaitFor and queue deadlines, created once at Spawn so the
+	// hot wake paths schedule without allocating a fresh closure.
+	wake func()
 }
 
 // Spawn creates a Proc named name running fn and schedules it to start at
@@ -41,6 +46,11 @@ func (e *Engine) Spawn(name string, fn func(p *Proc) error) *Proc {
 		state:  procReady,
 		resume: make(chan struct{}),
 		yield:  make(chan struct{}),
+	}
+	p.wake = func() {
+		if p.state == procParked {
+			e.dispatch(p)
+		}
 	}
 	e.procs = append(e.procs, p)
 	go func() {
@@ -96,11 +106,7 @@ func (p *Proc) park() {
 // only way event-driven code may interact with a Proc and is safe to call
 // from event callbacks and from other Procs.
 func (p *Proc) Nudge() {
-	p.eng.At(0, func() {
-		if p.state == procParked {
-			p.eng.dispatch(p)
-		}
-	})
+	p.eng.At(0, p.wake)
 }
 
 // Name returns the name given at Spawn time.
@@ -120,11 +126,7 @@ func (p *Proc) Sleep(d Duration) {
 		return
 	}
 	deadline := p.eng.now + Time(d)
-	p.eng.At(d, func() {
-		if p.state == procParked {
-			p.eng.dispatch(p)
-		}
-	})
+	p.eng.At(d, p.wake)
 	for p.eng.now < deadline {
 		p.park()
 	}
@@ -149,11 +151,7 @@ func (p *Proc) WaitFor(cond func() bool, deadline Time) error {
 		return nil
 	}
 	if deadline > 0 {
-		p.eng.At(Duration(deadline-p.eng.now), func() {
-			if p.state == procParked {
-				p.eng.dispatch(p)
-			}
-		})
+		p.eng.At(Duration(deadline-p.eng.now), p.wake)
 	}
 	for {
 		if cond() {

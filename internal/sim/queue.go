@@ -5,8 +5,11 @@ package sim
 // frame) or other Procs; consumers are Procs. The zero value is not
 // usable; create queues with NewQueue.
 type Queue[T any] struct {
-	eng     *Engine
+	eng *Engine
+	// items is popped from head instead of re-sliced so the backing
+	// array is reused; it resets to empty whenever the queue drains.
 	items   []T
+	head    int
 	waiters map[*Proc]struct{}
 	closed  bool
 }
@@ -17,7 +20,7 @@ func NewQueue[T any](eng *Engine) *Queue[T] {
 }
 
 // Len reports the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }
 
 // Push appends v and wakes every blocked consumer so it can re-check.
 func (q *Queue[T]) Push(v T) {
@@ -49,16 +52,20 @@ func (q *Queue[T]) Recv(p *Proc) (v T, ok bool) {
 // must distinguish timeout from close can check Closed).
 func (q *Queue[T]) RecvDeadline(p *Proc, deadline Time) (v T, ok bool) {
 	if deadline > 0 {
-		p.eng.At(Duration(deadline-p.eng.now), func() { p.Nudge() })
+		p.eng.At(Duration(deadline-p.eng.now), p.wake)
 	}
 	q.waiters[p] = struct{}{}
 	defer delete(q.waiters, p)
 	for {
-		if len(q.items) > 0 {
-			v = q.items[0]
+		if q.head < len(q.items) {
+			v = q.items[q.head]
 			var zero T
-			q.items[0] = zero
-			q.items = q.items[1:]
+			q.items[q.head] = zero
+			q.head++
+			if q.head == len(q.items) {
+				q.items = q.items[:0]
+				q.head = 0
+			}
 			return v, true
 		}
 		if q.closed {
@@ -76,8 +83,8 @@ func (q *Queue[T]) Closed() bool { return q.closed }
 
 // Peek returns the head item without removing it.
 func (q *Queue[T]) Peek() (v T, ok bool) {
-	if len(q.items) == 0 {
+	if q.head >= len(q.items) {
 		return v, false
 	}
-	return q.items[0], true
+	return q.items[q.head], true
 }

@@ -265,6 +265,10 @@ func New(n int, topo Topology, prof Profile) *Network {
 // Engine exposes the simulation engine (for tests and custom scenarios).
 func (nw *Network) Engine() *sim.Engine { return nw.eng }
 
+// Events reports the number of simulation events processed so far — the
+// denominator of the wall-clock events/sec trajectory metric.
+func (nw *Network) Events() uint64 { return nw.eng.Processed() }
+
 // Topology returns the network's topology.
 func (nw *Network) Topology() Topology { return nw.topo }
 
@@ -382,6 +386,7 @@ type Endpoint struct {
 	inbox     *sim.Queue[arrived]
 	reasm     transport.Reassembler
 	fragCnt   map[reasmID]int
+	encBuf    []byte // scratch for wire encoding; dead once SendUDP copies
 	msgID     uint64
 	lastMcast uint64
 	posted    int
@@ -390,9 +395,11 @@ type Endpoint struct {
 	delivered DeliveredStats
 
 	// Reliable point-to-point stream state (package reliab): the sender
-	// halves keyed by destination rank, the receiver halves by source.
-	sstreams  map[int]*sendPeer
-	rstreams  map[int]*recvPeer
+	// halves indexed by destination rank, the receiver halves by source
+	// (slices sized to the world, allocated on first use — a rank lookup
+	// per stream fragment is too hot for a map).
+	sstreams  []*sendPeer
+	rstreams  []*recvPeer
 	streamErr error
 	// congested records that the NIC was flow-control PAUSEd and its
 	// transmit backlog has not yet drained back below the paused window:
@@ -575,7 +582,7 @@ func (ep *Endpoint) SendReliable(dst int, m transport.Message) error {
 
 func (ep *Endpoint) sendPeer(dst int) *sendPeer {
 	if ep.sstreams == nil {
-		ep.sstreams = make(map[int]*sendPeer)
+		ep.sstreams = make([]*sendPeer, len(ep.nw.eps))
 	}
 	sp := ep.sstreams[dst]
 	if sp == nil {
@@ -587,7 +594,7 @@ func (ep *Endpoint) sendPeer(dst int) *sendPeer {
 
 func (ep *Endpoint) recvPeer(src int) *recvPeer {
 	if ep.rstreams == nil {
-		ep.rstreams = make(map[int]*recvPeer)
+		ep.rstreams = make([]*recvPeer, len(ep.nw.eps))
 	}
 	rp := ep.rstreams[src]
 	if rp == nil {
@@ -674,8 +681,16 @@ func (ep *Endpoint) sendCtl(dst int, body []byte) {
 		Dst:     ipnet.RankAddr(dst),
 		DstPort: 5000,
 		Kind:    ethernet.KindAck,
-		Payload: transport.EncodeFragment(f),
+		Payload: ep.encode(f),
 	})
+}
+
+// encode serializes f into the endpoint's scratch buffer; the result is
+// valid only until the next encode. SendUDP copies the bytes into the
+// frame it builds, so the hot send paths never allocate per fragment.
+func (ep *Endpoint) encode(f transport.Fragment) []byte {
+	ep.encBuf = transport.AppendFragment(ep.encBuf[:0], f)
+	return ep.encBuf
 }
 
 // resendFrags retransmits recorded stream fragments to dst from event
@@ -696,7 +711,7 @@ func (ep *Endpoint) resendFrags(dst int, frags []transport.Fragment) {
 			Dst:     ipnet.RankAddr(dst),
 			DstPort: 5000,
 			Kind:    classToFrameKind(f.Msg.Class),
-			Payload: transport.EncodeFragment(f),
+			Payload: ep.encode(f),
 		})
 	}
 }
@@ -806,7 +821,7 @@ func (ep *Endpoint) transmitFrags(dst ipnet.Addr, m transport.Message, frags []t
 			Dst:     dst,
 			DstPort: 5000,
 			Kind:    classToFrameKind(m.Class),
-			Payload: transport.EncodeFragment(f),
+			Payload: ep.encode(f),
 		})
 		if err != nil {
 			return err
@@ -924,14 +939,21 @@ func (ep *Endpoint) handleDatagram(d ipnet.Datagram) {
 			return
 		}
 	}
-	id := reasmID{src: f.Msg.Src, msgID: f.MsgID}
-	if ep.fragCnt == nil {
-		ep.fragCnt = make(map[reasmID]int)
+	// Single-fragment messages — the bulk of collective traffic — never
+	// touch the fragment-count map: they complete immediately with a
+	// count of one.
+	nfrags := 1
+	if f.Count > 1 {
+		if ep.fragCnt == nil {
+			ep.fragCnt = make(map[reasmID]int)
+		}
+		ep.fragCnt[reasmID{src: f.Msg.Src, msgID: f.MsgID}]++
 	}
-	ep.fragCnt[id]++
 	m, done, err := ep.reasm.Add(f)
 	if err != nil {
-		delete(ep.fragCnt, id)
+		if f.Count > 1 {
+			delete(ep.fragCnt, reasmID{src: f.Msg.Src, msgID: f.MsgID})
+		}
 		return
 	}
 	if !done {
@@ -942,8 +964,11 @@ func (ep *Endpoint) handleDatagram(d ipnet.Datagram) {
 		}
 		return
 	}
-	nfrags := ep.fragCnt[id]
-	delete(ep.fragCnt, id)
+	if f.Count > 1 {
+		id := reasmID{src: f.Msg.Src, msgID: f.MsgID}
+		nfrags = ep.fragCnt[id]
+		delete(ep.fragCnt, id)
+	}
 	if ep.inbox.Len() >= prof.RecvRing {
 		// For a streamed message the overflow is not a loss: the message
 		// stays unacknowledged (its reassembly state is gone, so the ack

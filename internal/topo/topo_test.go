@@ -109,3 +109,85 @@ func TestProject(t *testing.T) {
 		t.Fatalf("single-segment projection wrong: %v", flat)
 	}
 }
+
+// TestUniformAtScale pins the map invariants at the N=256 scale the
+// sweeps now run at (and the opt-in 1024): exact segment count for even
+// and uneven fanouts, a short remainder tail, every rank in exactly one
+// segment, leaders strictly ascending, and the fanout≥N single-segment
+// degenerate the two-level suite delegates on.
+func TestUniformAtScale(t *testing.T) {
+	cases := []struct {
+		n, fanout, segs, lastLen int
+	}{
+		{256, 4, 64, 4},    // the shared-uplink sweep wiring
+		{256, 6, 43, 4},    // uneven: 42 full segments + remainder of 4
+		{256, 300, 1, 256}, // degenerate single segment
+		{1024, 4, 256, 4},
+		{1021, 8, 128, 5}, // prime world, remainder tail
+	}
+	for _, cs := range cases {
+		m := topo.Uniform(cs.n, cs.fanout)
+		if m.Ranks() != cs.n || m.Segments() != cs.segs {
+			t.Fatalf("Uniform(%d,%d): %d ranks %d segments, want %d/%d",
+				cs.n, cs.fanout, m.Ranks(), m.Segments(), cs.n, cs.segs)
+		}
+		if got := len(m.Members(cs.segs - 1)); got != cs.lastLen {
+			t.Fatalf("Uniform(%d,%d): last segment has %d members, want %d",
+				cs.n, cs.fanout, got, cs.lastLen)
+		}
+		seen := 0
+		prevLeader := -1
+		for s := 0; s < m.Segments(); s++ {
+			members := m.Members(s)
+			if len(members) == 0 {
+				t.Fatalf("Uniform(%d,%d): empty segment %d", cs.n, cs.fanout, s)
+			}
+			if l := m.Leader(s); l != members[0] || l <= prevLeader {
+				t.Fatalf("Uniform(%d,%d): segment %d leader %d (prev %d, members %v)",
+					cs.n, cs.fanout, s, l, prevLeader, members[:1])
+			}
+			prevLeader = m.Leader(s)
+			for _, r := range members {
+				if m.SegmentOf(r) != s {
+					t.Fatalf("Uniform(%d,%d): rank %d maps to segment %d, want %d",
+						cs.n, cs.fanout, r, m.SegmentOf(r), s)
+				}
+				seen++
+			}
+		}
+		if seen != cs.n {
+			t.Fatalf("Uniform(%d,%d): %d ranks across segments, want %d", cs.n, cs.fanout, seen, cs.n)
+		}
+	}
+}
+
+// TestProjectAtScale: projecting every other rank of the 256-rank sweep
+// map halves each segment without merging any; projecting one full
+// segment degenerates to a single-segment map.
+func TestProjectAtScale(t *testing.T) {
+	world := topo.Uniform(256, 4)
+	evens := make([]int, 128)
+	for i := range evens {
+		evens[i] = 2 * i
+	}
+	sub, err := world.Project(evens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Segments() != 64 {
+		t.Fatalf("even-rank projection spans %d segments, want 64", sub.Segments())
+	}
+	for s := 0; s < sub.Segments(); s++ {
+		if got := sub.Members(s); len(got) != 2 {
+			t.Fatalf("projected segment %d has %d members, want 2", s, len(got))
+		}
+	}
+
+	one, err := world.Project([]int{252, 253, 254, 255})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Segments() != 1 || one.Leader(0) != 0 {
+		t.Fatalf("single-segment projection wrong: %v", one)
+	}
+}

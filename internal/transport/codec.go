@@ -72,7 +72,17 @@ var ErrBadPacket = errors.New("transport: bad packet")
 
 // EncodeFragment serializes f into a fresh buffer.
 func EncodeFragment(f Fragment) []byte {
-	b := make([]byte, HeaderLen+len(f.Msg.Payload))
+	return AppendFragment(nil, f)
+}
+
+// AppendFragment serializes f, appending the wire packet to dst and
+// returning the extended slice — the encode-into form for hot paths that
+// reuse a scratch buffer (append to dst[:0]) instead of allocating per
+// frame.
+func AppendFragment(dst []byte, f Fragment) []byte {
+	n := len(dst)
+	dst = append(dst, make([]byte, HeaderLen+len(f.Msg.Payload))...)
+	b := dst[n:]
 	binary.BigEndian.PutUint32(b[0:4], wireMagic)
 	b[4] = wireVersion
 	b[5] = byte(f.Msg.Kind)
@@ -97,7 +107,7 @@ func EncodeFragment(f Fragment) []byte {
 	binary.BigEndian.PutUint32(b[40:44], f.Offset)
 	binary.BigEndian.PutUint32(b[44:48], f.Stream)
 	copy(b[HeaderLen:], f.Msg.Payload)
-	return b
+	return dst
 }
 
 // DecodeFragment parses a wire packet. The returned fragment's payload

@@ -365,3 +365,41 @@ func TestReassemblerPendingFrom(t *testing.T) {
 		t.Fatal("wrong source reports pending state")
 	}
 }
+
+func TestAppendFragmentMatchesEncode(t *testing.T) {
+	f := Fragment{
+		Msg: Message{
+			Kind: P2P, Comm: 7, Src: 3, Tag: -2, Seq: 9,
+			Class: ClassData, Reliable: true, Payload: []byte("payload bytes"),
+		},
+		MsgID: 42, Index: 1, Count: 3,
+		TotalLen: 40, Offset: 13, Stream: 5,
+	}
+	want := EncodeFragment(f)
+	scratch := make([]byte, 0, HeaderLen+len(f.Msg.Payload))
+	got := AppendFragment(scratch, f)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("AppendFragment = %x, want %x", got, want)
+	}
+	// Appending after existing content must leave it intact.
+	prefixed := AppendFragment([]byte("abc"), f)
+	if !bytes.Equal(prefixed[:3], []byte("abc")) || !bytes.Equal(prefixed[3:], want) {
+		t.Fatal("AppendFragment corrupted the destination prefix")
+	}
+}
+
+// The encode path runs once per frame on every transport; pin it to zero
+// allocations when the caller reuses its scratch buffer.
+func TestAppendFragmentAllocFree(t *testing.T) {
+	f := Fragment{
+		Msg:   Message{Kind: Mcast, Comm: 1, Src: 2, Payload: make([]byte, 1400)},
+		MsgID: 7, Index: 0, Count: 1, TotalLen: 1400,
+	}
+	buf := make([]byte, 0, HeaderLen+len(f.Msg.Payload))
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendFragment(buf[:0], f)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendFragment into reused buffer: %.1f allocs/frame, want 0", allocs)
+	}
+}

@@ -31,6 +31,21 @@ import (
 	"repro/internal/transport"
 )
 
+// recvBufPool holds the 64KiB datagram receive buffers the per-socket
+// read loops borrow for their lifetime.
+var recvBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 65536)
+	return &b
+}}
+
+// wireBufPool holds scratch buffers for wire encoding on the send
+// paths: a fragment is encoded into a pooled buffer, handed to the
+// kernel (WriteToUDP copies), and the buffer returns to the pool.
+var wireBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 2048)
+	return &b
+}}
+
 // Config describes a localhost world.
 type Config struct {
 	// N is the world size.
@@ -422,7 +437,10 @@ func (ep *Endpoint) probeFire(dst int, sp *uSendPeer) {
 	ep.armProbeLocked(dst, sp)
 	frag := ep.ctlFragLocked(body)
 	ep.mu.Unlock()
-	_, _ = ep.uc.WriteToUDP(transport.EncodeFragment(frag), ep.peers[dst])
+	bp := wireBufPool.Get().(*[]byte)
+	*bp = transport.AppendFragment((*bp)[:0], frag)
+	_, _ = ep.uc.WriteToUDP(*bp, ep.peers[dst])
+	wireBufPool.Put(bp)
 }
 
 // failStreamLocked declares the endpoint's streams broken; blocked
@@ -492,9 +510,13 @@ func (ep *Endpoint) sendStreamAckLocked(src int, rp *uRecvPeer, nonce uint32, fo
 	}, nonce)
 	ep.stats.Stream.AcksSent++
 	frag := ep.ctlFragLocked(reliab.EncodeAck(ack, ep.net.cfg.FragSize))
-	buf := transport.EncodeFragment(frag)
+	bp := wireBufPool.Get().(*[]byte)
+	*bp = transport.AppendFragment((*bp)[:0], frag)
 	dst := ep.peers[src]
-	return func() { _, _ = ep.uc.WriteToUDP(buf, dst) }
+	return func() {
+		_, _ = ep.uc.WriteToUDP(*bp, dst)
+		wireBufPool.Put(bp)
+	}
 }
 
 // handleStreamCtl consumes a stream control frame on the read loop.
@@ -569,8 +591,11 @@ func (ep *Endpoint) write(dst *net.UDPAddr, m transport.Message) error {
 }
 
 func (ep *Endpoint) writeFrags(dst *net.UDPAddr, frags []transport.Fragment) error {
+	bp := wireBufPool.Get().(*[]byte)
+	defer wireBufPool.Put(bp)
 	for _, f := range frags {
-		if _, err := ep.uc.WriteToUDP(transport.EncodeFragment(f), dst); err != nil {
+		*bp = transport.AppendFragment((*bp)[:0], f)
+		if _, err := ep.uc.WriteToUDP(*bp, dst); err != nil {
 			return fmt.Errorf("udpnet: write to %v: %w", dst, err)
 		}
 		ep.mu.Lock()
@@ -674,7 +699,15 @@ func (ep *Endpoint) Leave(group uint32) error {
 // are consumed, and delivery/acknowledgment state is updated.
 func (ep *Endpoint) readLoop(conn *net.UDPConn) {
 	defer ep.wg.Done()
-	buf := make([]byte, 65536)
+	// Receive buffers are pooled across sockets and endpoints: every
+	// Join spins up a reader, and communicator churn (Dup/Split per
+	// benchmark round) would otherwise allocate 64KiB per group socket.
+	// The buffer is reused across reads, which is safe because each
+	// datagram is fully consumed (payloads copied by the reassembler)
+	// before the next read overwrites it.
+	bp := recvBufPool.Get().(*[]byte)
+	defer recvBufPool.Put(bp)
+	buf := *bp
 	for {
 		n, _, err := conn.ReadFromUDP(buf)
 		if err != nil {

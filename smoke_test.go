@@ -86,7 +86,9 @@ func TestUnknownOpFailsLoudly(t *testing.T) {
 
 // TestExtensionFigureRenders builds the extension comparison figures
 // (allgather, allreduce, alltoall, pipelined-vs-sequential) at a micro
-// grid and checks they render and export.
+// grid and checks they render and export. The N-sweep grid is capped at
+// 32 here — the a5/a6 self-check tests below and the CI bench-smoke and
+// bench-trajectory jobs cover the N=256 points.
 func TestExtensionFigureRenders(t *testing.T) {
 	want := map[string][]string{
 		"14":  {"mcast-binary", "mpich"},
@@ -105,7 +107,7 @@ func TestExtensionFigureRenders(t *testing.T) {
 		if !ok {
 			t.Fatalf("figure %s not registered", id)
 		}
-		r, err := d.Build(bench.Options{Reps: 1, SizeStep: 2500, MaxSize: 5000, Seed: 1})
+		r, err := d.Build(bench.Options{Reps: 1, SizeStep: 2500, MaxSize: 5000, Seed: 1, MaxN: 32})
 		if err != nil {
 			t.Fatal(err)
 		}
