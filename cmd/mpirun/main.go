@@ -32,7 +32,11 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/mpi"
@@ -61,15 +65,17 @@ func algorithmNames() string {
 
 func main() {
 	var (
-		n       = flag.Int("n", 4, "number of ranks")
-		work    = flag.String("workload", "bcast", workloadNames())
-		alg     = flag.String("algorithm", "mcast-binary", algorithmNames())
-		size    = flag.Int("size", 1000, "message size in bytes (per-rank chunk for the rooted and all-to-all collectives)")
-		reps    = flag.Int("reps", 20, "repetitions")
-		port    = flag.Int("mcast-port", 45999, "multicast UDP port")
-		probe   = flag.Bool("probe", false, "probe multicast support and exit")
-		p2ploss = flag.Float64("p2ploss", 0, "inject receiver-side point-to-point loss probability (exercises the reliable stream layer; stats printed after the run)")
-		topof   = flag.Int("topo", 0, "declare the fabric topology as ranks-per-segment (0: none); the topology-aware algorithms (mcast-2level) cluster communication by it")
+		n        = flag.Int("n", 4, "number of ranks")
+		work     = flag.String("workload", "bcast", workloadNames())
+		alg      = flag.String("algorithm", "mcast-binary", algorithmNames())
+		size     = flag.Int("size", 1000, "message size in bytes (per-rank chunk for the rooted and all-to-all collectives)")
+		reps     = flag.Int("reps", 20, "repetitions")
+		port     = flag.Int("mcast-port", 45999, "multicast UDP port")
+		probe    = flag.Bool("probe", false, "probe multicast support and exit")
+		p2ploss  = flag.Float64("p2ploss", 0, "inject receiver-side point-to-point loss probability (exercises the reliable stream layer; stats printed after the run)")
+		topof    = flag.Int("topo", 0, "declare the fabric topology as ranks-per-segment (0: none); the topology-aware algorithms (mcast-2level) cluster communication by it")
+		chaos    = flag.String("chaos", "", "inject a fault, e.g. kill:2@50ms — kill rank 2's endpoint 50ms into the run; failure detection is enabled, the per-rank outcome is dumped, and the exit status is nonzero")
+		deadline = flag.Duration("deadline", 0, "abort a stuck run after this long with a per-rank progress dump and nonzero exit (0: wait forever)")
 	)
 	flag.Parse()
 
@@ -103,11 +109,27 @@ func main() {
 		// frames; the default RTO is tuned for quiet wires.
 		cfg.Stream.RTO = 20_000_000
 	}
+	kill, err := parseChaos(*chaos)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpirun: %v\n", err)
+		os.Exit(2)
+	}
+	if kill != nil && (kill.rank < 0 || kill.rank >= *n) {
+		fmt.Fprintf(os.Stderr, "mpirun: -chaos kills rank %d in a world of %d\n", kill.rank, *n)
+		os.Exit(2)
+	}
+
 	switch {
 	case *work == "pi":
-		err = runPi(cfg, algs)
+		if kill != nil {
+			fmt.Fprintf(os.Stderr, "mpirun: -chaos applies to the latency workloads, not pi\n")
+			os.Exit(2)
+		}
+		err = watchdog(*deadline, func() {
+			fmt.Fprintln(os.Stderr, "  (no per-rank progress for the pi workload)")
+		}, func() error { return runPi(cfg, algs) })
 	case isRegisteredOp(*work):
-		err = runLatency(cfg, algs, *work, *size, *reps)
+		err = runLatency(cfg, algs, *work, *size, *reps, kill, *deadline)
 	default:
 		fmt.Fprintf(os.Stderr, "mpirun: unknown workload %q (known: %s)\n", *work, workloadNames())
 		os.Exit(2)
@@ -115,6 +137,58 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mpirun: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// chaosKill is a parsed -chaos directive: kill one rank's endpoint a
+// fixed wall-clock delay into the run.
+type chaosKill struct {
+	rank int
+	at   time.Duration
+}
+
+// parseChaos parses the -chaos flag ("" means none). The only directive
+// is kill:RANK@DURATION, mirroring the simulator harness's event-time
+// kills with a wall-clock offset.
+func parseChaos(spec string) (*chaosKill, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	rest, ok := strings.CutPrefix(spec, "kill:")
+	if !ok {
+		return nil, fmt.Errorf("bad -chaos %q: want kill:RANK@DURATION (e.g. kill:2@50ms)", spec)
+	}
+	rankStr, atStr, ok := strings.Cut(rest, "@")
+	if !ok {
+		return nil, fmt.Errorf("bad -chaos %q: want kill:RANK@DURATION (e.g. kill:2@50ms)", spec)
+	}
+	rank, err := strconv.Atoi(rankStr)
+	if err != nil {
+		return nil, fmt.Errorf("bad -chaos rank %q: %v", rankStr, err)
+	}
+	at, err := time.ParseDuration(atStr)
+	if err != nil {
+		return nil, fmt.Errorf("bad -chaos delay %q: %v", atStr, err)
+	}
+	return &chaosKill{rank: rank, at: at}, nil
+}
+
+// watchdog runs run, but if it has not returned within deadline it
+// prints dump and exits nonzero. deadline 0 just runs.
+func watchdog(deadline time.Duration, dump func(), run func() error) error {
+	if deadline <= 0 {
+		return run()
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- run() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-time.After(deadline):
+		fmt.Fprintf(os.Stderr, "mpirun: stuck — deadline %v exceeded\n", deadline)
+		dump()
+		os.Exit(1)
+		panic("unreachable")
 	}
 }
 
@@ -127,15 +201,33 @@ func isRegisteredOp(name string) bool {
 	return false
 }
 
-func runLatency(cfg udpnet.Config, algs mpi.Algorithms, work string, size, reps int) error {
+func runLatency(cfg udpnet.Config, algs mpi.Algorithms, work string, size, reps int, kill *chaosKill, deadline time.Duration) error {
 	samples := make([]float64, reps) // µs, max across ranks per rep
-	nw, err := udpnet.RunNet(cfg, algs, func(c *mpi.Comm) error {
+	nw, err := udpnet.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer nw.Close()
+	if kill != nil {
+		timer := time.AfterFunc(kill.at, func() { nw.KillRank(kill.rank) })
+		defer timer.Stop()
+	}
+
+	// progress[r] counts rank r's completed measured repetitions (-1:
+	// still warming up); the deadline dump reads it.
+	progress := make([]atomic.Int64, cfg.N)
+	for i := range progress {
+		progress[i].Store(-1)
+	}
+	errs := make([]error, cfg.N)
+	body := func(rank int, c *mpi.Comm) error {
 		op := workload.Make(c, workload.Op(work), size, 0)
 		for w := 0; w < 3; w++ { // warmup
 			if err := op(); err != nil {
 				return err
 			}
 		}
+		progress[rank].Store(0)
 		for r := 0; r < reps; r++ {
 			if err := c.Barrier(); err != nil {
 				return err
@@ -154,11 +246,76 @@ func runLatency(cfg udpnet.Config, algs mpi.Algorithms, work string, size, reps 
 			if c.Rank() == 0 {
 				samples[r] = mpi.BytesToFloat64s(agg)[0]
 			}
+			progress[rank].Store(int64(r) + 1)
 		}
+		return nil
+	}
+	dump := func() {
+		for r := 0; r < cfg.N; r++ {
+			switch done := progress[r].Load(); {
+			case done < 0:
+				fmt.Fprintf(os.Stderr, "  rank %d: warming up\n", r)
+			default:
+				fmt.Fprintf(os.Stderr, "  rank %d: %d/%d reps\n", r, done, reps)
+			}
+		}
+	}
+
+	err = watchdog(deadline, dump, func() error {
+		var wg sync.WaitGroup
+		for i := 0; i < cfg.N; i++ {
+			rank := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rt := mpi.NewRuntime(nw.Endpoint(rank))
+				if kill != nil {
+					// Generous wall-clock budgets: a loaded host must not
+					// suspect a merely descheduled rank.
+					opts := mpi.FailureOptions{
+						Suspicion:   (250 * time.Millisecond).Nanoseconds(),
+						PingTimeout: (50 * time.Millisecond).Nanoseconds(),
+					}
+					if err := rt.SetFailureDetection(opts); err != nil {
+						errs[rank] = err
+						return
+					}
+				}
+				c, err := mpi.World(rt, algs)
+				if err != nil {
+					errs[rank] = err
+					return
+				}
+				errs[rank] = body(rank, c)
+			}()
+		}
+		wg.Wait()
 		return nil
 	})
 	if err != nil {
 		return err
+	}
+
+	if kill != nil {
+		// A chaos run is a failure-injection demo: dump every rank's
+		// outcome and always exit nonzero.
+		fmt.Printf("%s n=%d size=%dB: killed rank %d at +%v\n", work, cfg.N, size, kill.rank, kill.at)
+		for r := 0; r < cfg.N; r++ {
+			switch {
+			case r == kill.rank:
+				fmt.Printf("  rank %d: KILLED (%d/%d reps before death)\n", r, max64(progress[r].Load(), 0), reps)
+			case errs[r] == nil:
+				fmt.Printf("  rank %d: completed all %d reps (kill landed after its last dependency)\n", r, reps)
+			default:
+				fmt.Printf("  rank %d: %v (%d/%d reps)\n", r, errs[r], max64(progress[r].Load(), 0), reps)
+			}
+		}
+		return fmt.Errorf("chaos: rank %d killed; see per-rank outcomes above", kill.rank)
+	}
+	for r, err := range errs {
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", r, err)
+		}
 	}
 	sort.Float64s(samples)
 	fmt.Printf("%s n=%d size=%dB reps=%d (real UDP/IP multicast)\n", work, cfg.N, size, reps)
@@ -178,6 +335,13 @@ func runLatency(cfg udpnet.Config, algs mpi.Algorithms, work string, size, reps 
 			cfg.P2PLossRate*100, losses, streamed, retransmits, probes, acks)
 	}
 	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // runPi estimates pi by numeric integration: the root broadcasts the

@@ -153,126 +153,157 @@ func fill(op byte, from, to, n int) []byte {
 	return b
 }
 
+// Ops lists the collective operations CheckOp knows, in the order
+// Conformance runs them.
+var Ops = []string{"bcast", "barrier", "allgather", "allreduce", "scatter", "gather", "alltoall"}
+
+// CheckOp runs one collective operation on c with chunk bytes per rank
+// rooted at root (ignored by the unrooted ops) and verifies this rank's
+// outputs against the pure oracle. The chaos harness uses it to run and
+// re-verify a single collective — on the original communicator and
+// again on a shrunken survivor communicator — while Conformance chains
+// all seven.
+func CheckOp(c *mpi.Comm, op string, chunk, root int) error {
+	n := c.Size()
+	me := c.Rank()
+	switch op {
+	case "bcast":
+		// Bcast: every rank must end with the root's pattern.
+		buf := make([]byte, chunk)
+		if me == root {
+			copy(buf, fill('b', root, 0, chunk))
+		}
+		if err := c.Bcast(buf, root); err != nil {
+			return fmt.Errorf("bcast: %w", err)
+		}
+		if !bytes.Equal(buf, fill('b', root, 0, chunk)) {
+			return fmt.Errorf("bcast: rank %d buffer corrupted", me)
+		}
+
+	case "barrier":
+		// Barrier: completion is the property.
+		if err := c.Barrier(); err != nil {
+			return fmt.Errorf("barrier: %w", err)
+		}
+
+	case "allgather":
+		// Allgather: concatenation of every rank's chunk, everywhere.
+		ag := make([]byte, n*chunk)
+		if err := c.Allgather(fill('g', me, 0, chunk), ag); err != nil {
+			return fmt.Errorf("allgather: %w", err)
+		}
+		for r := 0; r < n; r++ {
+			if !bytes.Equal(ag[r*chunk:(r+1)*chunk], fill('g', r, 0, chunk)) {
+				return fmt.Errorf("allgather: rank %d chunk %d corrupted", me, r)
+			}
+		}
+
+	case "allreduce":
+		// Allreduce over bytes with OpMax: the elementwise maximum of
+		// all ranks' patterns, computable locally.
+		arSend := fill('r', me, 0, chunk)
+		arRecv := make([]byte, chunk)
+		if err := c.Allreduce(arSend, arRecv, mpi.Byte, mpi.OpMax); err != nil {
+			return fmt.Errorf("allreduce: %w", err)
+		}
+		for i := 0; i < chunk; i++ {
+			var want byte
+			for r := 0; r < n; r++ {
+				if v := pattern('r', r, 0, i); v > want {
+					want = v
+				}
+			}
+			if arRecv[i] != want {
+				return fmt.Errorf("allreduce: rank %d elem %d = %d, want %d", me, i, arRecv[i], want)
+			}
+		}
+		// Typed allreduce (Int64 sum) when the chunk holds whole
+		// elements, so datatype decoding stays covered.
+		if chunk > 0 && chunk%8 == 0 {
+			vals := make([]int64, chunk/8)
+			var wantSum int64
+			for i := range vals {
+				vals[i] = int64(me*1000 + i)
+			}
+			for r := 0; r < n; r++ {
+				wantSum += int64(r * 1000)
+			}
+			recv := make([]byte, chunk)
+			if err := c.Allreduce(mpi.Int64sToBytes(vals), recv, mpi.Int64, mpi.OpSum); err != nil {
+				return fmt.Errorf("allreduce int64: %w", err)
+			}
+			got := mpi.BytesToInt64s(recv)
+			for i := range got {
+				if got[i] != wantSum+int64(i*n) {
+					return fmt.Errorf("allreduce int64: rank %d elem %d = %d, want %d", me, i, got[i], wantSum+int64(i*n))
+				}
+			}
+		}
+
+	case "scatter":
+		// Scatter: rank k keeps slice k of the root's buffer.
+		var scSend []byte
+		if me == root {
+			scSend = make([]byte, n*chunk)
+			for r := 0; r < n; r++ {
+				copy(scSend[r*chunk:], fill('s', root, r, chunk))
+			}
+		}
+		scRecv := make([]byte, chunk)
+		if err := c.Scatter(scSend, scRecv, root); err != nil {
+			return fmt.Errorf("scatter: %w", err)
+		}
+		if !bytes.Equal(scRecv, fill('s', root, me, chunk)) {
+			return fmt.Errorf("scatter: rank %d slice corrupted", me)
+		}
+
+	case "gather":
+		// Gather: the root reassembles every rank's chunk.
+		var gaRecv []byte
+		if me == root {
+			gaRecv = make([]byte, n*chunk)
+		}
+		if err := c.Gather(fill('h', me, root, chunk), gaRecv, root); err != nil {
+			return fmt.Errorf("gather: %w", err)
+		}
+		if me == root {
+			for r := 0; r < n; r++ {
+				if !bytes.Equal(gaRecv[r*chunk:(r+1)*chunk], fill('h', r, root, chunk)) {
+					return fmt.Errorf("gather: chunk from %d corrupted", r)
+				}
+			}
+		}
+
+	case "alltoall":
+		// Alltoall: rank k ends with the slice every sender addressed
+		// to k.
+		atSend := make([]byte, n*chunk)
+		for d := 0; d < n; d++ {
+			copy(atSend[d*chunk:], fill('a', me, d, chunk))
+		}
+		atRecv := make([]byte, n*chunk)
+		if err := c.Alltoall(atSend, atRecv); err != nil {
+			return fmt.Errorf("alltoall: %w", err)
+		}
+		for r := 0; r < n; r++ {
+			if !bytes.Equal(atRecv[r*chunk:(r+1)*chunk], fill('a', r, me, chunk)) {
+				return fmt.Errorf("alltoall: rank %d slice from %d corrupted", me, r)
+			}
+		}
+
+	default:
+		return fmt.Errorf("coretest: unknown op %q", op)
+	}
+	return nil
+}
+
 // Conformance runs the seven collectives on c with chunk bytes per rank
 // rooted at root, checking this rank's outputs against the oracle. It
 // is safe to call repeatedly on the same communicator.
 func Conformance(c *mpi.Comm, chunk, root int) error {
-	n := c.Size()
-	me := c.Rank()
-
-	// Bcast: every rank must end with the root's pattern.
-	buf := make([]byte, chunk)
-	if me == root {
-		copy(buf, fill('b', root, 0, chunk))
-	}
-	if err := c.Bcast(buf, root); err != nil {
-		return fmt.Errorf("bcast: %w", err)
-	}
-	if !bytes.Equal(buf, fill('b', root, 0, chunk)) {
-		return fmt.Errorf("bcast: rank %d buffer corrupted", me)
-	}
-
-	// Barrier: completion is the property; it also separates the ops.
-	if err := c.Barrier(); err != nil {
-		return fmt.Errorf("barrier: %w", err)
-	}
-
-	// Allgather: concatenation of every rank's chunk, everywhere.
-	ag := make([]byte, n*chunk)
-	if err := c.Allgather(fill('g', me, 0, chunk), ag); err != nil {
-		return fmt.Errorf("allgather: %w", err)
-	}
-	for r := 0; r < n; r++ {
-		if !bytes.Equal(ag[r*chunk:(r+1)*chunk], fill('g', r, 0, chunk)) {
-			return fmt.Errorf("allgather: rank %d chunk %d corrupted", me, r)
-		}
-	}
-
-	// Allreduce over bytes with OpMax: the elementwise maximum of all
-	// ranks' patterns, computable locally.
-	arSend := fill('r', me, 0, chunk)
-	arRecv := make([]byte, chunk)
-	if err := c.Allreduce(arSend, arRecv, mpi.Byte, mpi.OpMax); err != nil {
-		return fmt.Errorf("allreduce: %w", err)
-	}
-	for i := 0; i < chunk; i++ {
-		var want byte
-		for r := 0; r < n; r++ {
-			if v := pattern('r', r, 0, i); v > want {
-				want = v
-			}
-		}
-		if arRecv[i] != want {
-			return fmt.Errorf("allreduce: rank %d elem %d = %d, want %d", me, i, arRecv[i], want)
-		}
-	}
-	// Typed allreduce (Int64 sum) when the chunk holds whole elements,
-	// so datatype decoding stays covered.
-	if chunk > 0 && chunk%8 == 0 {
-		vals := make([]int64, chunk/8)
-		var wantSum int64
-		for i := range vals {
-			vals[i] = int64(me*1000 + i)
-		}
-		for r := 0; r < n; r++ {
-			wantSum += int64(r * 1000)
-		}
-		recv := make([]byte, chunk)
-		if err := c.Allreduce(mpi.Int64sToBytes(vals), recv, mpi.Int64, mpi.OpSum); err != nil {
-			return fmt.Errorf("allreduce int64: %w", err)
-		}
-		got := mpi.BytesToInt64s(recv)
-		for i := range got {
-			if got[i] != wantSum+int64(i*n) {
-				return fmt.Errorf("allreduce int64: rank %d elem %d = %d, want %d", me, i, got[i], wantSum+int64(i*n))
-			}
-		}
-	}
-
-	// Scatter: rank k keeps slice k of the root's buffer.
-	var scSend []byte
-	if me == root {
-		scSend = make([]byte, n*chunk)
-		for r := 0; r < n; r++ {
-			copy(scSend[r*chunk:], fill('s', root, r, chunk))
-		}
-	}
-	scRecv := make([]byte, chunk)
-	if err := c.Scatter(scSend, scRecv, root); err != nil {
-		return fmt.Errorf("scatter: %w", err)
-	}
-	if !bytes.Equal(scRecv, fill('s', root, me, chunk)) {
-		return fmt.Errorf("scatter: rank %d slice corrupted", me)
-	}
-
-	// Gather: the root reassembles every rank's chunk.
-	var gaRecv []byte
-	if me == root {
-		gaRecv = make([]byte, n*chunk)
-	}
-	if err := c.Gather(fill('h', me, root, chunk), gaRecv, root); err != nil {
-		return fmt.Errorf("gather: %w", err)
-	}
-	if me == root {
-		for r := 0; r < n; r++ {
-			if !bytes.Equal(gaRecv[r*chunk:(r+1)*chunk], fill('h', r, root, chunk)) {
-				return fmt.Errorf("gather: chunk from %d corrupted", r)
-			}
-		}
-	}
-
-	// Alltoall: rank k ends with the slice every sender addressed to k.
-	atSend := make([]byte, n*chunk)
-	for d := 0; d < n; d++ {
-		copy(atSend[d*chunk:], fill('a', me, d, chunk))
-	}
-	atRecv := make([]byte, n*chunk)
-	if err := c.Alltoall(atSend, atRecv); err != nil {
-		return fmt.Errorf("alltoall: %w", err)
-	}
-	for r := 0; r < n; r++ {
-		if !bytes.Equal(atRecv[r*chunk:(r+1)*chunk], fill('a', r, me, chunk)) {
-			return fmt.Errorf("alltoall: rank %d slice from %d corrupted", me, r)
+	for _, op := range Ops {
+		if err := CheckOp(c, op, chunk, root); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -63,6 +63,9 @@ func BcastNack(c *mpi.Comm, buf []byte, root int, opts NackOptions) error {
 				// Confirm receipt so the root can stop repairing.
 				return cc.Send(root, phaseAck, nil, transport.ClassAck, false)
 			}
+			if err := cc.CheckFailures(); err != nil {
+				return err
+			}
 			if attempt >= opts.MaxRepairs {
 				return fmt.Errorf("core: nack bcast gave up after %d repair requests", attempt)
 			}

@@ -312,6 +312,13 @@ func awaitRepairedMulticastScoped(cc mpi.CollCtx, sender, bytes int, recv func(t
 		if ok {
 			return m, nil
 		}
+		// The probe expired with nothing delivered. Before the repair
+		// logic, ask the failure detector (when armed) whether the quiet
+		// is a dead rank: a receiver NACKing a dead sender forever would
+		// otherwise only surface the generic give-up error below.
+		if err := cc.CheckFailures(); err != nil {
+			return transport.Message{}, err
+		}
 		// MaxRepairs bounds the repair requests actually sent, as the
 		// option documents — silent expiries (transmission progressing,
 		// or no evidence yet) do not count against it.

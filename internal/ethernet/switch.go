@@ -10,6 +10,7 @@ type SwitchStats struct {
 	MulticastDrops  int64 // multicast frames with no snooped members
 	PauseEvents     int64 // source NICs paused by egress backpressure
 	MaxQueueDepth   int   // highest egress queue depth seen on any port
+	PartitionDrops  int64 // frames dropped by an injected uplink partition
 }
 
 // SwitchPortStats is one egress port's occupancy record, for the
@@ -56,8 +57,18 @@ type Switch struct {
 	macTable map[MAC]*swPort
 	groups   map[MAC]*group // snooped membership per multicast address
 	heldBy   map[*NIC]int   // frames parked per paused source NIC
+	cuts     map[int]portCut
 
 	Stats SwitchStats
+}
+
+// portCut is one injected uplink partition: the port forwards nothing
+// (in either direction) during [from, to). Segment-local traffic is
+// unaffected — stations on a shared segment still hear each other
+// directly; only the path through the switch fabric is cut, modeling a
+// failed uplink between a leaf segment and the core.
+type portCut struct {
+	from, to sim.Time
 }
 
 // group is one snooped multicast address: per-port refcounts plus the
@@ -150,6 +161,32 @@ func (s *Switch) PortStats() []SwitchPortStats {
 }
 
 func (p *swPort) shared() bool { return len(p.nics) > 1 }
+
+// PartitionPort cuts the fabric path through port idx during the
+// event-time window [from, to): frames arriving from the port are not
+// forwarded, and frames bound for it are dropped before flow control
+// (a partitioned link cannot backpressure its sender). Deterministic —
+// the cut is a pure function of event time.
+func (s *Switch) PartitionPort(idx int, from, to sim.Time) {
+	if idx < 0 || idx >= len(s.ports) {
+		panic("ethernet: PartitionPort on unknown port")
+	}
+	if s.cuts == nil {
+		s.cuts = make(map[int]portCut)
+	}
+	s.cuts[idx] = portCut{from: from, to: to}
+}
+
+// partitioned reports whether p's uplink is cut at the current event
+// time.
+func (s *Switch) partitioned(p *swPort) bool {
+	c, ok := s.cuts[p.idx]
+	if !ok {
+		return false
+	}
+	now := s.eng.Now()
+	return now >= c.from && now < c.to
+}
 
 // transmit implements Link for the station-to-switch direction. On a
 // dedicated port the link is full duplex, so there is never contention
@@ -273,6 +310,10 @@ func (m *group) remove(p *swPort) {
 // enqueued on each egress port. src is the transmitting station, the
 // target of any flow-control pause this frame provokes.
 func (s *Switch) ingress(from *swPort, src *NIC, f Frame) {
+	if s.partitioned(from) {
+		s.Stats.PartitionDrops++
+		return
+	}
 	s.macTable[f.Src] = from
 	s.eng.At(s.params.SwitchLatency, func() { s.forward(from, src, f) })
 }
@@ -323,6 +364,10 @@ func (s *Switch) flood(from *swPort, src *NIC, f Frame) {
 // funnel deadlocks on) or parks the frame and PAUSEs the source station
 // until the queue drains.
 func (p *swPort) enqueue(f Frame, src *NIC) {
+	if p.sw.partitioned(p) {
+		p.sw.Stats.PartitionDrops++
+		return
+	}
 	if p.outq.len() >= p.sw.params.SwitchQueueCap {
 		if !p.sw.params.SwitchFlowControl {
 			p.sw.Stats.QueueDrops++

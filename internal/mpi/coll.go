@@ -86,7 +86,7 @@ func (cc CollCtx) Recv(src, phase int) (transport.Message, error) {
 		srcWorld = cc.c.group[src]
 	}
 	want := collTagBase - int32(phase)
-	return cc.c.rt.recvMatch(func(m *transport.Message) bool {
+	return cc.c.recvMatchFT(func(m *transport.Message) bool {
 		if m.Kind != transport.P2P || m.Comm != cc.c.ctx || m.Tag != want || m.Seq != cc.seq {
 			return false
 		}
@@ -184,7 +184,7 @@ func (cc CollCtx) RecvMulticast() (transport.Message, error) {
 	if cc.c.rt.mc == nil {
 		return transport.Message{}, ErrNoMulticast
 	}
-	return cc.c.rt.recvMatch(func(m *transport.Message) bool {
+	return cc.c.recvMatchFT(func(m *transport.Message) bool {
 		return m.Kind == transport.Mcast && m.Comm == cc.c.ctx && m.Seq == cc.seq && m.Tag == 0
 	})
 }
@@ -197,7 +197,7 @@ func (cc CollCtx) RecvMulticastSlice(slice int) (transport.Message, error) {
 		return transport.Message{}, ErrNoMulticast
 	}
 	want := mcastSliceTag(slice)
-	return cc.c.rt.recvMatch(func(m *transport.Message) bool {
+	return cc.c.recvMatchFT(func(m *transport.Message) bool {
 		return m.Kind == transport.Mcast && m.Comm == cc.c.ctx && m.Seq == cc.seq && m.Tag == want
 	})
 }
@@ -210,7 +210,7 @@ func (cc CollCtx) RecvMulticastSeg(seg int) (transport.Message, error) {
 		return transport.Message{}, ErrNoMulticast
 	}
 	want := mcastSegTag(seg)
-	return cc.c.rt.recvMatch(func(m *transport.Message) bool {
+	return cc.c.recvMatchFT(func(m *transport.Message) bool {
 		return m.Kind == transport.Mcast && m.Comm == cc.c.ctx && m.Seq == cc.seq && m.Tag == want
 	})
 }
@@ -342,7 +342,7 @@ func (cc CollCtx) Pace(d int64) {
 // operation regardless of phase; the caller dispatches on Class. Repair
 // servers use it to react to acknowledgments and NACKs in arrival order.
 func (cc CollCtx) RecvControl() (transport.Message, error) {
-	return cc.c.rt.recvMatch(func(m *transport.Message) bool {
+	return cc.c.recvMatchFT(func(m *transport.Message) bool {
 		return m.Kind == transport.P2P && m.Comm == cc.c.ctx && m.Seq == cc.seq && m.Tag <= collTagBase
 	})
 }
@@ -359,7 +359,7 @@ func (cc CollCtx) RecvPhases(phases ...int) (transport.Message, error) {
 	for _, p := range phases {
 		want[collTagBase-int32(p)] = true
 	}
-	return cc.c.rt.recvMatch(func(m *transport.Message) bool {
+	return cc.c.recvMatchFT(func(m *transport.Message) bool {
 		return m.Kind == transport.P2P && m.Comm == cc.c.ctx && m.Seq == cc.seq && want[m.Tag]
 	})
 }

@@ -10,6 +10,31 @@
 // three-phase barrier) and package core supplies the paper's multicast
 // implementations, which bypass the point-to-point path and talk to the
 // device's multicast capability directly.
+//
+// # Failure detection and shrink
+//
+// A runtime with SetFailureDetection armed turns every blocking
+// collective receive into a bounded wait: after each suspicion period
+// of silence the rank sweeps the whole group with transport-level pings
+// (answered at interrupt level, so a rank deep in a compute stall stays
+// alive while a dead one stays silent) and, once a peer exhausts its
+// ping budget, the collective returns a *RankFailedError naming the
+// dead members instead of hanging. The contract on every live rank is:
+// a correct result, or a RankFailedError carrying the true dead set —
+// never a hang, never a silently wrong answer. The sweep covers the
+// full group rather than only the blocking peer, so every survivor
+// converges on the same dead set no matter where in the collective it
+// was stuck.
+//
+// That determinism is what lets Comm.Shrink work without a
+// coordination round: each survivor independently drops the dead ranks
+// it has observed, renumbers the remainder in world-rank order, and
+// derives the new communicator id from an FNV hash salted with the
+// dead set — survivors that agree on who died (and after a full sweep
+// they do) build interoperable communicators, and a straggler that
+// missed a death is fenced off by the id. Collectives rerun on the
+// shrunk communicator are oracle-exact; see internal/core's chaos
+// matrix for the enforced kill/straggler/partition scenarios.
 package mpi
 
 import (
@@ -66,6 +91,10 @@ type Runtime struct {
 	// already-consumed sequence number and are discarded here, so
 	// duplicates never accumulate in the unexpected queue.
 	mcastSeen map[uint32]uint32
+
+	// fd is the optional failure detector (SetFailureDetection). When
+	// nil, collective receives block forever exactly as before.
+	fd *failureDetector
 }
 
 // NewRuntime wraps an endpoint. The multicast capability is discovered by

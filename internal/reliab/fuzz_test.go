@@ -1,0 +1,99 @@
+package reliab
+
+import (
+	"testing"
+)
+
+// Fuzzing the stream control codec: arbitrary bytes must decode cleanly
+// or error — never panic or over-read — and EncodeAck must honor its
+// MTU bound for every combination of state sizes, shedding detail
+// rather than emitting an undeliverable oversized frame.
+
+func FuzzDecodeCtl(f *testing.F) {
+	f.Add(EncodeProbe(1))
+	f.Add(EncodeProbe(0xFFFFFFFF))
+	f.Add(EncodeAck(Ack{Cum: 3, Nonce: 2}, 1400))
+	f.Add(EncodeAck(Ack{
+		Cum:      7,
+		Sacks:    []uint32{9, 12},
+		Partials: []Partial{{Seq: 8, Missing: []int{0, 3}}, {Seq: 10, Missing: []int{1}}},
+		Nonce:    5,
+	}, 1400))
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 4}) // ack naming 4 sacks, holding none
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		a, probe, err := DecodeCtl(b)
+		if err != nil {
+			return
+		}
+		if probe {
+			a2, p2, err := DecodeCtl(EncodeProbe(a.Nonce))
+			if err != nil || !p2 || a2.Nonce != a.Nonce {
+				t.Fatalf("probe round trip: (%v, %v, %v), want nonce %d", a2, p2, err, a.Nonce)
+			}
+			return
+		}
+		// Re-encode with a budget covering the input: everything decoded
+		// from len(b) bytes fits back into a comparable budget, so the
+		// round trip may shed nothing and must stay decodable.
+		bound := len(b) + 16
+		enc := EncodeAck(a, bound)
+		if len(enc) > bound {
+			t.Fatalf("re-encoded ack is %d bytes, budget %d", len(enc), bound)
+		}
+		a2, p2, err := DecodeCtl(enc)
+		if err != nil || p2 {
+			t.Fatalf("re-decode of re-encoded ack: probe=%v err=%v", p2, err)
+		}
+		if a2.Cum != a.Cum || a2.Nonce != a.Nonce {
+			t.Fatalf("ack header changed across round trip: %+v vs %+v", a, a2)
+		}
+		if len(a2.Sacks) > len(a.Sacks) || len(a2.Partials) > len(a.Partials) {
+			t.Fatalf("re-encoded ack grew: %+v vs %+v", a, a2)
+		}
+	})
+}
+
+func FuzzEncodeAckBound(f *testing.F) {
+	f.Add(uint32(0), uint32(0), uint16(0), uint8(0), uint16(0), 0)
+	f.Add(uint32(100), uint32(7), uint16(40), uint8(3), uint16(500), 1400)
+	f.Add(uint32(1), uint32(1), uint16(2000), uint8(16), uint16(2000), 64)
+	f.Add(uint32(9), uint32(2), uint16(1), uint8(1), uint16(1), -50)
+
+	f.Fuzz(func(t *testing.T, cum, nonce uint32, nsack uint16, npart uint8, nmiss uint16, maxBytes int) {
+		// Cap the synthesized state so a fuzz input cannot demand
+		// gigabytes; the capped sizes still exceed any real window.
+		ns, np, nm := int(nsack)%4096, int(npart)%32, int(nmiss)%4096
+		if maxBytes > 1<<20 {
+			maxBytes %= 1 << 20
+		}
+		a := Ack{Cum: cum, Nonce: nonce}
+		for i := 0; i < ns; i++ {
+			a.Sacks = append(a.Sacks, cum+2+uint32(i))
+		}
+		for p := 0; p < np; p++ {
+			miss := make([]int, 0, nm)
+			for i := 0; i < nm; i++ {
+				miss = append(miss, i)
+			}
+			a.Partials = append(a.Partials, Partial{Seq: cum + 2 + uint32(ns+p), Missing: miss})
+		}
+		enc := EncodeAck(a, maxBytes)
+		bound := maxBytes
+		if bound < 13 {
+			bound = 13 // the encoder's floor: header plus the partial count
+		}
+		if len(enc) > bound {
+			t.Fatalf("ack is %d bytes, bound %d (sacks %d, partials %d x %d missing)",
+				len(enc), bound, ns, np, nm)
+		}
+		a2, probe, err := DecodeCtl(enc)
+		if err != nil || probe {
+			t.Fatalf("shed ack undecodable: probe=%v err=%v", probe, err)
+		}
+		if a2.Cum != cum || a2.Nonce != nonce {
+			t.Fatalf("ack header lost in shedding: got (%d, %d), want (%d, %d)",
+				a2.Cum, a2.Nonce, cum, nonce)
+		}
+	})
+}

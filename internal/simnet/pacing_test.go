@@ -114,3 +114,107 @@ func TestPausedWindowBoundsHostQueue(t *testing.T) {
 	}
 	t.Logf("NIC queue high watermark: %d frames paced (%d pause stalls) vs %d unpaced", paced, stalls, unpaced)
 }
+
+// TestPausedWindowManyStreams drives the admission hook with many
+// concurrent streams sharing one NIC. The pause signal is per-NIC, not
+// per-stream: while the funnel at the hot receiver holds the sender's
+// port paused, admissions on EVERY stream — including those to idle
+// receivers whose ports are empty — must shrink to the paused window,
+// because a paused NIC transmits nothing and each admitted message sits
+// in host memory regardless of destination. The backlog bound is
+// therefore streams x PausedWindow, not streams x Window.
+func TestPausedWindowManyStreams(t *testing.T) {
+	const (
+		blasters = 4
+		blast    = 200
+		burst    = 32 // reliable messages per stream
+		idles    = 3  // idle receivers: streams beyond the hot one
+		msg      = 1400
+	)
+	streams := idles + 1
+	run := func(pausedWindow int) (maxQueued int, pauseStalls int64) {
+		prof := simnet.DefaultProfile()
+		prof.Ethernet.SwitchQueueCap = 8
+		prof.RecvRing = 2048
+		prof.Stream.Window = burst
+		prof.Stream.PausedWindow = pausedWindow
+		n := blasters + 2 + idles // 0: hot receiver, 1: sender, 2..: blasters, rest: idle receivers
+		nw := simnet.New(n, simnet.Switch, prof)
+		fns := make([]func(ep *simnet.Endpoint) error, n)
+		drain := func(ep *simnet.Endpoint) error {
+			ep.Proc().Sleep(100 * sim.Millisecond)
+			for {
+				_, ok, err := ep.RecvTimeout(int64(60 * sim.Millisecond))
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+			}
+		}
+		fns[0] = drain
+		for r := blasters + 2; r < n; r++ {
+			fns[r] = drain
+		}
+		fns[1] = func(ep *simnet.Endpoint) error {
+			ep.Proc().Sleep(2 * sim.Millisecond)
+			// Round-robin across the streams, so all of them carry
+			// in-flight messages while the NIC is paused.
+			for k := 0; k < burst; k++ {
+				dsts := []int{0}
+				for r := blasters + 2; r < n; r++ {
+					dsts = append(dsts, r)
+				}
+				for _, dst := range dsts {
+					err := ep.SendReliable(dst, transport.Message{
+						Class:   transport.ClassData,
+						Payload: make([]byte, msg),
+					})
+					if err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+		for r := 2; r < blasters+2; r++ {
+			fns[r] = func(ep *simnet.Endpoint) error {
+				for k := 0; k < blast; k++ {
+					err := ep.Send(0, transport.Message{
+						Class:   transport.ClassData,
+						Payload: make([]byte, msg),
+					})
+					if err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+		}
+		if err := nw.Run(fns); err != nil {
+			t.Fatal(err)
+		}
+		if drops := nw.SwitchStats().QueueDrops; drops != 0 {
+			t.Fatalf("flow control let %d frames tail-drop", drops)
+		}
+		return nw.Endpoint(1).NIC().Stats.MaxQueued, nw.Stats.Stream.PauseStalls
+	}
+
+	paced, stalls := run(0) // default paused window (2)
+	if stalls == 0 {
+		t.Fatal("the shrunk window never blocked the sender; the scenario is vacuous")
+	}
+	unpaced, _ := run(burst)
+
+	// Bound: streams x paused window, plus the frames admitted before
+	// the first pause and the stream's own control traffic.
+	bound := streams*2 + 8
+	if paced > bound {
+		t.Errorf("%d streams queued %d frames at the paused NIC (want <= %d)", streams, paced, bound)
+	}
+	if unpaced < 3*paced {
+		t.Errorf("negative control queued only %d frames vs %d paced — the hook changed nothing", unpaced, paced)
+	}
+	t.Logf("%d streams: %d frames queued paced (%d pause stalls) vs %d unpaced", streams, paced, stalls, unpaced)
+}

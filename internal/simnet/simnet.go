@@ -325,6 +325,50 @@ func (nw *Network) SwitchPortStats() []ethernet.SwitchPortStats {
 	return nw.sw.PortStats()
 }
 
+// KillRank schedules rank r's death at event time `at`: from that
+// instant the endpoint drops every arriving frame (it never answers a
+// probe again), and every device call from the rank's own program
+// returns transport.ErrKilled. Frames the rank already put on the wire
+// still drain — a real crash does not recall packets in flight. The
+// kill is deterministic: a pure function of event time, like DropFrag.
+func (nw *Network) KillRank(r int, at sim.Duration) {
+	ep := nw.eps[r]
+	nw.eng.At(at, func() {
+		if ep.killed {
+			return
+		}
+		ep.killed = true
+		ep.inbox.Close()
+		if ep.proc != nil {
+			ep.proc.Nudge()
+		}
+	})
+}
+
+// Straggle schedules an injected compute stall for rank r: at event
+// time `at` the rank accrues `delay` of extra virtual compute, consumed
+// at its next receive or send. The rank stays alive the whole time —
+// stream control is handled at interrupt level, so its probes are still
+// answered — which is exactly the straggler-versus-failure distinction
+// the failure detector must honor.
+func (nw *Network) Straggle(r int, at, delay sim.Duration) {
+	ep := nw.eps[r]
+	nw.eng.At(at, func() { ep.straggle += delay })
+}
+
+// PartitionUplink cuts segment seg's uplink through the switch during
+// the event-time window [from, to): no frame crosses the fabric in
+// either direction, while segment-local traffic (stations on the shared
+// segment hearing each other directly) is unaffected. Requires a
+// switched topology; under SwitchShared the segment index is the port
+// index by construction.
+func (nw *Network) PartitionUplink(seg int, from, to sim.Duration) {
+	if nw.sw == nil {
+		panic("simnet: PartitionUplink requires a switched topology")
+	}
+	nw.sw.PartitionPort(seg, sim.Time(from), sim.Time(to))
+}
+
 // RankError reports which rank program failed.
 type RankError struct {
 	Rank int
@@ -394,6 +438,13 @@ type Endpoint struct {
 	closed    bool
 	delivered DeliveredStats
 
+	// Fault-injection state (Network.KillRank / Straggle, FailPeer).
+	killed      bool         // rank is dead: drops all arrivals, errors all calls
+	straggle    sim.Duration // injected compute delay, consumed at the next call
+	failedPeers []bool       // peers declared dead by the failure detector
+	ackSeen     []uint64     // stream acks received per peer (Ping evidence)
+	pinging     int          // Ping calls blocked on an ack
+
 	// Reliable point-to-point stream state (package reliab): the sender
 	// halves indexed by destination rank, the receiver halves by source
 	// (slices sized to the world, allocated on first use — a rank lookup
@@ -440,6 +491,8 @@ var (
 	_ transport.Pacer            = (*Endpoint)(nil)
 	_ transport.ReliableSender   = (*Endpoint)(nil)
 	_ transport.DeadlineRecver   = (*Endpoint)(nil)
+	_ transport.Pinger           = (*Endpoint)(nil)
+	_ transport.PeerFailer       = (*Endpoint)(nil)
 	_ topo.Provider              = (*Endpoint)(nil)
 )
 
@@ -484,14 +537,70 @@ func classToFrameKind(c transport.Class) ethernet.FrameKind {
 
 // Send implements transport.Endpoint.
 func (ep *Endpoint) Send(dst int, m transport.Message) error {
+	if ep.killed {
+		return transport.ErrKilled
+	}
 	if ep.closed {
 		return transport.ErrClosed
 	}
 	if dst < 0 || dst >= len(ep.nw.eps) {
 		return fmt.Errorf("simnet: send to rank %d outside world of %d", dst, len(ep.nw.eps))
 	}
+	if ep.peerFailed(dst) {
+		// The peer was declared dead: discard silently, exactly like a
+		// frame toward a crashed host. The caller already knows from the
+		// failure detector; erroring here would poison survivor reruns.
+		return nil
+	}
 	m.Kind = transport.P2P
 	return ep.transmit(ipnet.RankAddr(dst), m)
+}
+
+func (ep *Endpoint) peerFailed(dst int) bool {
+	return ep.failedPeers != nil && dst >= 0 && dst < len(ep.failedPeers) && ep.failedPeers[dst]
+}
+
+// FailPeer implements transport.PeerFailer: traffic to dst is silently
+// discarded and its stream retransmission timers stop, so background
+// probes to a dead rank cannot exhaust the stream retry budget and
+// poison the whole endpoint after a Shrink.
+func (ep *Endpoint) FailPeer(dst int) {
+	if ep.failedPeers == nil {
+		ep.failedPeers = make([]bool, len(ep.nw.eps))
+	}
+	if dst >= 0 && dst < len(ep.failedPeers) {
+		ep.failedPeers[dst] = true
+	}
+}
+
+// pingNonce marks Ping's liveness probes. Real stream nonces count up
+// from 1, so the answering ack's unknown nonce never matches a send
+// horizon at the prober — provably inert to the stream state machine.
+const pingNonce = 0xFFFFFFFF
+
+// Ping implements transport.Pinger: one stream-layer probe to dst,
+// answered at interrupt level by any live peer (even one deep in a
+// compute stall), never by a killed one.
+func (ep *Endpoint) Ping(dst int, timeout int64) bool {
+	p := ep.proc
+	if p == nil {
+		panic("simnet: endpoint used outside Network.Run")
+	}
+	if ep.killed || ep.closed || dst < 0 || dst >= len(ep.nw.eps) || dst == ep.rank {
+		return false
+	}
+	if ep.ackSeen == nil {
+		ep.ackSeen = make([]uint64, len(ep.nw.eps))
+	}
+	before := ep.ackSeen[dst]
+	ep.nw.Stats.Stream.ProbesSent++
+	ep.sendCtl(dst, reliab.EncodeProbe(pingNonce))
+	ep.pinging++
+	err := p.WaitFor(func() bool {
+		return ep.ackSeen[dst] > before || ep.killed || ep.closed
+	}, ep.nw.eng.Now()+sim.Time(timeout))
+	ep.pinging--
+	return err == nil && !ep.killed && !ep.closed && ep.ackSeen[dst] > before
 }
 
 // SendReliable implements transport.ReliableSender: m rides the
@@ -503,6 +612,9 @@ func (ep *Endpoint) Send(dst int, m transport.Message) error {
 // NIC/kernel reliability layer) and cost the host nothing, exactly like
 // the modeled TCP acknowledgments.
 func (ep *Endpoint) SendReliable(dst int, m transport.Message) error {
+	if ep.killed {
+		return transport.ErrKilled
+	}
 	if ep.closed {
 		return transport.ErrClosed
 	}
@@ -511,6 +623,9 @@ func (ep *Endpoint) SendReliable(dst int, m transport.Message) error {
 	}
 	if dst < 0 || dst >= len(ep.nw.eps) {
 		return fmt.Errorf("simnet: send to rank %d outside world of %d", dst, len(ep.nw.eps))
+	}
+	if ep.peerFailed(dst) {
+		return nil
 	}
 	if ep.nw.prof.DisableP2PStream {
 		return ep.Send(dst, m)
@@ -546,8 +661,11 @@ func (ep *Endpoint) SendReliable(dst int, m transport.Message) error {
 			ep.nw.Stats.Stream.PauseStalls++
 		}
 		_ = p.WaitFor(func() bool {
-			return !windowFull() || ep.streamErr != nil || ep.closed
+			return !windowFull() || ep.streamErr != nil || ep.closed || ep.killed
 		}, 0)
+		if ep.killed {
+			return transport.ErrKilled
+		}
 		if ep.streamErr != nil {
 			return ep.streamErr
 		}
@@ -620,7 +738,7 @@ func (ep *Endpoint) armProbe(dst int, sp *sendPeer) {
 // fails after MaxProbes consecutive silent probes.
 func (ep *Endpoint) probeTick(dst int, sp *sendPeer) {
 	sp.armed = false
-	if ep.closed || !sp.ss.NeedProbe() {
+	if ep.closed || ep.killed || ep.peerFailed(dst) || !sp.ss.NeedProbe() {
 		return
 	}
 	// The stream has been active since the timer was armed: the silence
@@ -745,8 +863,21 @@ func (ep *Endpoint) handleStreamCtl(f transport.Fragment) {
 	}
 	sp := ep.sendPeer(src)
 	ep.nw.Stats.Stream.AcksReceived++
+	if ep.ackSeen == nil {
+		ep.ackSeen = make([]uint64, len(ep.nw.eps))
+	}
+	ep.ackSeen[src]++
+	if ep.pinging > 0 && ep.proc != nil {
+		ep.proc.Nudge()
+	}
 	resend, freed := sp.ss.HandleAck(ack)
-	sp.lastActivity = int64(ep.nw.eng.Now())
+	// An ack answering a failure-detector ping is liveness evidence, not
+	// stream progress: refreshing the activity clock on it would let
+	// periodic pings postpone the recovery probe forever (sweep period <
+	// RTO) and starve retransmission of a genuinely lost fragment.
+	if ack.Nonce != pingNonce {
+		sp.lastActivity = int64(ep.nw.eng.Now())
+	}
 	for _, r := range resend {
 		ep.resendFrags(src, r.Frags)
 	}
@@ -760,6 +891,9 @@ func (ep *Endpoint) handleStreamCtl(f transport.Fragment) {
 
 // Join implements transport.Multicaster.
 func (ep *Endpoint) Join(group uint32) error {
+	if ep.killed {
+		return transport.ErrKilled
+	}
 	if ep.closed {
 		return transport.ErrClosed
 	}
@@ -768,6 +902,9 @@ func (ep *Endpoint) Join(group uint32) error {
 
 // Leave implements transport.Multicaster.
 func (ep *Endpoint) Leave(group uint32) error {
+	if ep.killed {
+		return transport.ErrKilled
+	}
 	if ep.closed {
 		return transport.ErrClosed
 	}
@@ -777,6 +914,9 @@ func (ep *Endpoint) Leave(group uint32) error {
 // Multicast implements transport.Multicaster: one transmission reaches
 // every joined member, exactly as one IP multicast datagram does.
 func (ep *Endpoint) Multicast(group uint32, m transport.Message) error {
+	if ep.killed {
+		return transport.ErrKilled
+	}
 	if ep.closed {
 		return transport.ErrClosed
 	}
@@ -800,6 +940,7 @@ func (ep *Endpoint) transmitFrags(dst ipnet.Addr, m transport.Message, frags []t
 	if p == nil {
 		panic("simnet: endpoint used outside Network.Run")
 	}
+	ep.consumeStraggle(p)
 	bytes := 0
 	for _, f := range frags {
 		bytes += len(f.Msg.Payload)
@@ -837,6 +978,9 @@ func (ep *Endpoint) LastMulticastID() uint64 { return ep.lastMcast }
 // the named fragments of m (nil = all) to group under the original
 // message id, so they complete receivers' partial reassembly.
 func (ep *Endpoint) RepairMulticast(group uint32, m transport.Message, msgID uint64, frags []int) error {
+	if ep.killed {
+		return transport.ErrKilled
+	}
 	if ep.closed {
 		return transport.ErrClosed
 	}
@@ -865,6 +1009,17 @@ func (ep *Endpoint) PendingFrom(src int) (msgID uint64, missing []int, ok bool) 
 // MaxFragPayload implements transport.Fragmenter.
 func (ep *Endpoint) MaxFragPayload() int { return MaxFragPayload }
 
+// consumeStraggle sleeps off any injected compute stall accrued by
+// Network.Straggle. Called with the rank's descriptor posted (or on the
+// send path), so the stall models a busy CPU, not an absent receiver.
+func (ep *Endpoint) consumeStraggle(p *sim.Proc) {
+	for ep.straggle > 0 {
+		d := ep.straggle
+		ep.straggle = 0
+		p.Sleep(d)
+	}
+}
+
 // Pace implements transport.Pacer as virtual-time sleep.
 func (ep *Endpoint) Pace(d int64) {
 	p := ep.proc
@@ -882,7 +1037,7 @@ func (ep *Endpoint) Delivered() DeliveredStats { return ep.delivered }
 // handleDatagram runs in event context when a UDP datagram reaches the
 // rank's stack.
 func (ep *Endpoint) handleDatagram(d ipnet.Datagram) {
-	if ep.closed {
+	if ep.closed || ep.killed {
 		return
 	}
 	prof := &ep.nw.prof
@@ -1026,13 +1181,23 @@ func (ep *Endpoint) Recv() (transport.Message, error) {
 	if p == nil {
 		panic("simnet: endpoint used outside Network.Run")
 	}
+	if ep.killed {
+		return transport.Message{}, transport.ErrKilled
+	}
 	if ep.closed {
 		return transport.Message{}, transport.ErrClosed
 	}
 	ep.posted++
 	defer func() { ep.posted-- }()
+	// An injected compute stall is consumed inside the posted scope: a
+	// VIA-style descriptor stays posted while the "CPU" stalls, so a
+	// straggler never reintroduces the lost-multicast failure mode.
+	ep.consumeStraggle(p)
 	a, ok := ep.inbox.Recv(p)
 	if !ok {
+		if ep.killed {
+			return transport.Message{}, transport.ErrKilled
+		}
 		if ep.streamErr != nil {
 			return transport.Message{}, ep.streamErr
 		}
@@ -1050,14 +1215,21 @@ func (ep *Endpoint) RecvTimeout(timeout int64) (transport.Message, bool, error) 
 	if p == nil {
 		panic("simnet: endpoint used outside Network.Run")
 	}
+	if ep.killed {
+		return transport.Message{}, false, transport.ErrKilled
+	}
 	if ep.closed {
 		return transport.Message{}, false, transport.ErrClosed
 	}
 	ep.posted++
 	defer func() { ep.posted-- }()
+	ep.consumeStraggle(p)
 	a, ok := ep.inbox.RecvDeadline(p, ep.nw.eng.Now()+sim.Time(timeout))
 	if !ok {
 		if ep.inbox.Closed() {
+			if ep.killed {
+				return transport.Message{}, false, transport.ErrKilled
+			}
 			if ep.streamErr != nil {
 				return transport.Message{}, false, ep.streamErr
 			}

@@ -391,6 +391,9 @@ func TestAppendFragmentMatchesEncode(t *testing.T) {
 // The encode path runs once per frame on every transport; pin it to zero
 // allocations when the caller reuses its scratch buffer.
 func TestAppendFragmentAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates inside AppendFragment; the zero-alloc pin only holds for production builds")
+	}
 	f := Fragment{
 		Msg:   Message{Kind: Mcast, Comm: 1, Src: 2, Payload: make([]byte, 1400)},
 		MsgID: 7, Index: 0, Count: 1, TotalLen: 1400,

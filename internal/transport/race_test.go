@@ -1,0 +1,8 @@
+//go:build race
+
+package transport
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation pins are meaningless under -race: the instrumentation
+// itself allocates, so AllocsPerRun-based tests skip.
+const raceEnabled = true

@@ -218,5 +218,36 @@ type DeadlineRecver interface {
 	RecvTimeout(timeout int64) (m Message, ok bool, err error)
 }
 
+// Pinger is the optional capability of an explicit liveness probe. Ping
+// sends one stream-layer probe to dst and waits up to timeout
+// nanoseconds (on the endpoint's clock) for any stream acknowledgment
+// back from it. The probe rides the same wire path as the reliable
+// stream's RTO probes, so an answer proves the peer's receive path is
+// alive — a rank that is merely computing (a straggler) still answers,
+// because stream control is handled at interrupt level, while a dead
+// rank never does. The failure detector in package mpi is built on it.
+type Pinger interface {
+	// Ping reports whether dst acknowledged a liveness probe within
+	// timeout nanoseconds.
+	Ping(dst int, timeout int64) bool
+}
+
+// PeerFailer is the optional capability of declaring a peer dead at the
+// device layer. After FailPeer(dst), the endpoint silently discards
+// traffic addressed to dst and stops retransmission timers for it, so a
+// survivor communicator (Comm.Shrink in package mpi) is not poisoned by
+// background probes to the dead rank exhausting the stream's retry
+// budget.
+type PeerFailer interface {
+	// FailPeer marks world rank dst as failed for this endpoint.
+	FailPeer(dst int)
+}
+
 // ErrClosed is returned by operations on a closed endpoint.
 var ErrClosed = errors.New("transport: endpoint closed")
+
+// ErrKilled is returned by operations on an endpoint whose rank was
+// killed by fault injection (simnet's KillRank, udpnet's Kill). It is
+// how a killed rank's own program observes its death: every subsequent
+// device call fails with it.
+var ErrKilled = errors.New("transport: endpoint killed (fault injection)")

@@ -170,6 +170,10 @@ func New(cfg Config) (*Net, error) {
 			sstreams: make(map[int]*uSendPeer),
 			rstreams: make(map[int]*uRecvPeer),
 			done:     make(chan struct{}),
+
+			failedPeers: make(map[int]bool),
+			ackSeen:     make(map[int]uint64),
+			ackWake:     make(chan struct{}),
 		}
 		ep.sendCond = sync.NewCond(&ep.mu)
 		seed := cfg.LossSeed
@@ -262,6 +266,19 @@ type Endpoint struct {
 	streamErr error
 	lossRng   *rand.Rand
 
+	// Fault injection and failure detection, guarded by mu. killed is
+	// the process-local kill switch: the rank drops every arrival and
+	// errors every call, while its sockets stay open so the death is
+	// silent on the wire (peers' pings time out, exactly like a crashed
+	// process whose host answers no one). failedPeers marks peers the
+	// failure detector declared dead; ackSeen counts stream acks per
+	// peer (the liveness evidence Ping waits for) and ackWake is closed
+	// and replaced on each ack so pingers can block on it.
+	killed      bool
+	failedPeers map[int]bool
+	ackSeen     map[int]uint64
+	ackWake     chan struct{}
+
 	inbox chan transport.Message
 	done  chan struct{}
 	wg    sync.WaitGroup
@@ -291,8 +308,17 @@ var (
 	_ transport.FragmentRepairer = (*Endpoint)(nil)
 	_ transport.Pacer            = (*Endpoint)(nil)
 	_ transport.ReliableSender   = (*Endpoint)(nil)
+	_ transport.Pinger           = (*Endpoint)(nil)
+	_ transport.PeerFailer       = (*Endpoint)(nil)
 	_ topo.Provider              = (*Endpoint)(nil)
 )
+
+// pingNonce marks a failure-detector probe. It shares the stream probe
+// wire format — the receiver answers it at the read loop, below the
+// application — but its acks must not be mistaken for answers to a real
+// stream probe (send streams number their probes from 1) nor count as
+// stream activity.
+const pingNonce = 0xFFFFFFFF
 
 // Rank implements transport.Endpoint.
 func (ep *Endpoint) Rank() int { return ep.rank }
@@ -315,12 +341,122 @@ func (ep *Endpoint) Stats() Stats {
 	return ep.stats
 }
 
+// Kill is the process-local fault injection switch: the rank becomes
+// silently dead. Every arrival is dropped, every subsequent call errors
+// with transport.ErrKilled, blocked receives and window waits wake —
+// but the sockets stay open, so nothing on the wire distinguishes the
+// kill from a crashed process on a live host: peers' pings simply go
+// unanswered until the failure detector times them out.
+func (ep *Endpoint) Kill() {
+	ep.mu.Lock()
+	if ep.killed || ep.closed {
+		ep.mu.Unlock()
+		return
+	}
+	ep.killed = true
+	ep.closeDoneLocked()
+	ep.sendCond.Broadcast()
+	for _, sp := range ep.sstreams {
+		if sp.timer != nil {
+			sp.timer.Stop()
+			sp.timer = nil
+		}
+	}
+	ep.mu.Unlock()
+}
+
+// KillRank kills rank r's endpoint (see Endpoint.Kill).
+func (nw *Net) KillRank(r int) { nw.eps[r].Kill() }
+
+// FailPeer implements transport.PeerFailer: the failure detector
+// declared dst dead. Sends to it turn into silent no-ops and its stream
+// stops probing, so background retransmission toward a corpse cannot
+// exhaust the probe budget and poison the whole endpoint.
+func (ep *Endpoint) FailPeer(dst int) {
+	if dst < 0 || dst >= len(ep.peers) {
+		return
+	}
+	ep.mu.Lock()
+	ep.failedPeers[dst] = true
+	if sp := ep.sstreams[dst]; sp != nil && sp.timer != nil {
+		sp.timer.Stop()
+		sp.timer = nil
+	}
+	ep.sendCond.Broadcast()
+	ep.mu.Unlock()
+}
+
+// Ping implements transport.Pinger: it solicits one stream
+// acknowledgment from dst and reports whether any ack from dst arrived
+// within timeout. The probe is answered on the receiver's read loop —
+// below the application — so a rank that is slow or compute-bound still
+// answers; only a killed or crashed one stays silent.
+func (ep *Endpoint) Ping(dst int, timeout int64) bool {
+	if dst < 0 || dst >= len(ep.peers) {
+		return false
+	}
+	ep.mu.Lock()
+	if ep.closed || ep.killed {
+		ep.mu.Unlock()
+		return false
+	}
+	before := ep.ackSeen[dst]
+	wake := ep.ackWake
+	ep.stats.Stream.ProbesSent++
+	frag := ep.ctlFragLocked(reliab.EncodeProbe(pingNonce))
+	ep.mu.Unlock()
+
+	bp := wireBufPool.Get().(*[]byte)
+	*bp = transport.AppendFragment((*bp)[:0], frag)
+	_, _ = ep.uc.WriteToUDP(*bp, ep.peers[dst])
+	wireBufPool.Put(bp)
+
+	deadline := time.Now().Add(time.Duration(timeout))
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return false
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-wake:
+			t.Stop()
+		case <-t.C:
+			return false
+		case <-ep.done:
+			t.Stop()
+			return false
+		}
+		ep.mu.Lock()
+		got := ep.ackSeen[dst] > before
+		wake = ep.ackWake
+		gone := ep.killed || ep.closed
+		ep.mu.Unlock()
+		if gone {
+			return false
+		}
+		if got {
+			return true
+		}
+	}
+}
+
 // Send implements transport.Endpoint: fragments m and writes each
 // fragment to the destination's unicast socket.
 func (ep *Endpoint) Send(dst int, m transport.Message) error {
 	if dst < 0 || dst >= len(ep.peers) {
 		return fmt.Errorf("udpnet: send to rank %d outside world of %d", dst, len(ep.peers))
 	}
+	ep.mu.Lock()
+	if ep.killed {
+		ep.mu.Unlock()
+		return transport.ErrKilled
+	}
+	if ep.failedPeers[dst] {
+		ep.mu.Unlock()
+		return nil
+	}
+	ep.mu.Unlock()
 	m.Kind = transport.P2P
 	return ep.write(ep.peers[dst], m)
 }
@@ -338,16 +474,28 @@ func (ep *Endpoint) SendReliable(dst int, m transport.Message) error {
 	m.Src = ep.rank
 
 	ep.mu.Lock()
+	if ep.killed {
+		ep.mu.Unlock()
+		return transport.ErrKilled
+	}
 	if ep.closed {
 		ep.mu.Unlock()
 		return transport.ErrClosed
+	}
+	if ep.failedPeers[dst] {
+		ep.mu.Unlock()
+		return nil
 	}
 	sp := ep.sendPeerLocked(dst)
 	if sp.ss.Full() {
 		ep.stats.Stream.WindowStalls++
 	}
-	for sp.ss.Full() && ep.streamErr == nil && !ep.closed {
+	for sp.ss.Full() && ep.streamErr == nil && !ep.closed && !ep.killed && !ep.failedPeers[dst] {
 		ep.sendCond.Wait()
+	}
+	if ep.killed {
+		ep.mu.Unlock()
+		return transport.ErrKilled
 	}
 	if err := ep.streamErr; err != nil {
 		ep.mu.Unlock()
@@ -356,6 +504,10 @@ func (ep *Endpoint) SendReliable(dst int, m transport.Message) error {
 	if ep.closed {
 		ep.mu.Unlock()
 		return transport.ErrClosed
+	}
+	if ep.failedPeers[dst] {
+		ep.mu.Unlock()
+		return nil
 	}
 	// Retransmission may happen long after this call returns, so the
 	// recorded fragments must not alias a caller buffer the application
@@ -414,7 +566,7 @@ func (ep *Endpoint) armProbeLocked(dst int, sp *uSendPeer) {
 func (ep *Endpoint) probeFire(dst int, sp *uSendPeer) {
 	ep.mu.Lock()
 	sp.timer = nil
-	if ep.closed || !sp.ss.NeedProbe() {
+	if ep.closed || ep.killed || ep.failedPeers[dst] || !sp.ss.NeedProbe() {
 		ep.mu.Unlock()
 		return
 	}
@@ -470,6 +622,9 @@ func (ep *Endpoint) closeDoneLocked() {
 func (ep *Endpoint) closeErr() error {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
+	if ep.killed {
+		return transport.ErrKilled
+	}
 	if ep.streamErr != nil {
 		return ep.streamErr
 	}
@@ -541,8 +696,17 @@ func (ep *Endpoint) handleStreamCtl(f transport.Fragment) {
 	ep.mu.Lock()
 	sp := ep.sendPeerLocked(src)
 	ep.stats.Stream.AcksReceived++
+	ep.ackSeen[src]++
+	close(ep.ackWake)
+	ep.ackWake = make(chan struct{})
 	resend, freed := sp.ss.HandleAck(ack)
-	sp.lastActivity = ep.Now()
+	// An ack answering a failure-detector ping is liveness evidence, not
+	// stream progress: refreshing the activity clock on it would let
+	// periodic pings postpone the recovery probe indefinitely and starve
+	// retransmission of a genuinely lost fragment.
+	if ack.Nonce != pingNonce {
+		sp.lastActivity = ep.Now()
+	}
 	var bufs [][]byte
 	for _, r := range resend {
 		ep.stats.Stream.Retransmits += int64(len(r.Frags))
@@ -575,6 +739,10 @@ func (ep *Endpoint) Multicast(group uint32, m transport.Message) error {
 
 func (ep *Endpoint) write(dst *net.UDPAddr, m transport.Message) error {
 	ep.mu.Lock()
+	if ep.killed {
+		ep.mu.Unlock()
+		return transport.ErrKilled
+	}
 	if ep.closed {
 		ep.mu.Unlock()
 		return transport.ErrClosed
@@ -617,6 +785,10 @@ func (ep *Endpoint) LastMulticastID() uint64 {
 // original message id, completing receivers' partial reassembly.
 func (ep *Endpoint) RepairMulticast(group uint32, m transport.Message, msgID uint64, frags []int) error {
 	ep.mu.Lock()
+	if ep.killed {
+		ep.mu.Unlock()
+		return transport.ErrKilled
+	}
 	if ep.closed {
 		ep.mu.Unlock()
 		return transport.ErrClosed
@@ -663,6 +835,9 @@ func (ep *Endpoint) Pace(d int64) {
 func (ep *Endpoint) Join(group uint32) error {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
+	if ep.killed {
+		return transport.ErrKilled
+	}
 	if ep.closed {
 		return transport.ErrClosed
 	}
@@ -721,6 +896,11 @@ func (ep *Endpoint) readLoop(conn *net.UDPConn) {
 			continue
 		}
 		ep.mu.Lock()
+		if ep.killed {
+			// A dead rank's NIC hears everything and answers nothing.
+			ep.mu.Unlock()
+			continue
+		}
 		if f.Msg.Kind == transport.Mcast && f.Msg.Src == ep.rank {
 			// Our own multicast looped back by the kernel.
 			ep.stats.OwnMulticast++
@@ -798,12 +978,17 @@ func (ep *Endpoint) Recv() (transport.Message, error) {
 	case m := <-ep.inbox:
 		return m, nil
 	case <-ep.done:
-		// Drain anything already queued before reporting closure.
+		// Drain anything already queued before reporting closure — unless
+		// killed: a dead rank delivers nothing, not even backlog.
+		err := ep.closeErr()
+		if errors.Is(err, transport.ErrKilled) {
+			return transport.Message{}, err
+		}
 		select {
 		case m := <-ep.inbox:
 			return m, nil
 		default:
-			return transport.Message{}, ep.closeErr()
+			return transport.Message{}, err
 		}
 	}
 }
