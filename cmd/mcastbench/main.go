@@ -15,6 +15,8 @@
 //	mcastbench -quick           # coarse grid for a fast look
 //	mcastbench -reps 30 -step 100
 //	mcastbench -csv results/    # also write one CSV per experiment
+//	mcastbench -figure 14h -cpuprofile cpu.pprof -memprofile mem.pprof
+//	                            # profile the harness (go tool pprof)
 //
 // Trajectory mode (instead of figures):
 //
@@ -33,6 +35,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/bench"
@@ -49,16 +53,52 @@ func main() {
 		csvDir = flag.String("csv", "", "directory to write per-experiment CSV files")
 		trajec = flag.String("trajectory", "", "write the N-sweep perf trajectory (BENCH_sim.json) to this path and skip the figures")
 		gate   = flag.String("gate", "", "baseline BENCH_sim.json to gate the trajectory against (requires -trajectory)")
+		cpuOut = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memOut = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
 
+	os.Exit(run(figure, reps, step, max, seed, quick, csvDir, trajec, gate, cpuOut, memOut))
+}
+
+func run(figure *string, reps, step, max *int, seed *uint64, quick *bool, csvDir, trajec, gate, cpuOut, memOut *string) int {
+	if *cpuOut != "" {
+		f, err := os.Create(*cpuOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcastbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mcastbench: -cpuprofile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memOut != "" {
+		defer func() {
+			f, err := os.Create(*memOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mcastbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "mcastbench: -memprofile: %v\n", err)
+			}
+		}()
+	}
+
 	if *trajec != "" {
-		runTrajectory(*trajec, *gate, *seed)
-		return
+		return runTrajectory(*trajec, *gate, *seed)
 	}
 	if *gate != "" {
 		fmt.Fprintln(os.Stderr, "mcastbench: -gate requires -trajectory")
-		os.Exit(2)
+		return 2
 	}
 
 	opts := bench.Options{Reps: *reps, SizeStep: *step, MaxSize: *max, Seed: *seed}
@@ -76,7 +116,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, " %s", d.ID)
 			}
 			fmt.Fprintln(os.Stderr)
-			os.Exit(2)
+			return 2
 		}
 		defs = []bench.Def{d}
 	}
@@ -84,7 +124,7 @@ func main() {
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "mcastbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 
@@ -92,7 +132,7 @@ func main() {
 		r, err := d.Build(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mcastbench: experiment %s: %v\n", d.ID, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(strings.Repeat("=", 100))
 		fmt.Println(r.Render())
@@ -100,26 +140,28 @@ func main() {
 			path := filepath.Join(*csvDir, "experiment_"+d.ID+".csv")
 			if err := os.WriteFile(path, []byte(r.CSV()), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "mcastbench: writing %s: %v\n", path, err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Printf("(csv written to %s)\n", path)
 		}
 	}
+	return 0
 }
 
 // runTrajectory measures the perf trajectory, writes it to out, and —
-// when a baseline is given — gates against it, exiting non-zero on any
-// violation. The 10% tolerance matches the CI job's contract.
-func runTrajectory(out, baseline string, seed uint64) {
+// when a baseline is given — gates against it, returning a non-zero
+// exit code on any violation. The 10% tolerance matches the CI job's
+// contract.
+func runTrajectory(out, baseline string, seed uint64) int {
 	tr, err := bench.RunTrajectory(seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mcastbench: trajectory: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Print(tr.Render())
 	if err := tr.WriteFile(out); err != nil {
 		fmt.Fprintf(os.Stderr, "mcastbench: writing %s: %v\n", out, err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("(trajectory written to %s)\n", out)
 
@@ -128,7 +170,7 @@ func runTrajectory(out, baseline string, seed uint64) {
 		base, err = bench.LoadTrajectory(baseline)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mcastbench: loading baseline: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	violations := bench.GateTrajectory(tr, base, 0.10)
@@ -136,9 +178,10 @@ func runTrajectory(out, baseline string, seed uint64) {
 		fmt.Fprintf(os.Stderr, "mcastbench: GATE: %s\n", v)
 	}
 	if len(violations) > 0 {
-		os.Exit(1)
+		return 1
 	}
 	if base != nil {
 		fmt.Printf("gate passed vs %s (score %.4f vs baseline %.4f)\n", baseline, tr.Score, base.Score)
 	}
+	return 0
 }

@@ -19,6 +19,10 @@
 //	                   # declare 4 ranks per fabric segment: the two-level
 //	                   # collectives combine inside each segment and cross
 //	                   # the segment boundary once per segment
+//	mpirun -n 8 -workload alltoall -algorithm mcast-2level -topo 4
+//	                   # two-level alltoall: S(S-1) leader super-slice
+//	                   # blocks across segments instead of N(N-1) sends
+//	mpirun -n 8 -workload scatter -algorithm mcast-2level -topo 4
 //	mpirun -probe      # check whether IP multicast works here
 //
 // The workload and algorithm lists come from the registries in

@@ -93,6 +93,27 @@
 // -trajectory out.json -gate BENCH_sim.json`; regenerate the baseline
 // in the same way when a PR legitimately moves the floor).
 //
+// The pipelining gap closed next: transport.RecvPoster lets a rank post
+// standing receive descriptors for a whole operation, so the two-level
+// allgather's handshake became scout-only — members prove entry to
+// their leader, leaders prove their segment to every other leader once,
+// and after the segment release every rank multicasts its own chunk
+// directly (same (N-S)+S(S-1) scout budget, flat's exact N·M data bytes
+// per segment wire, every per-round gather collapsed into the entry
+// handshake) — beating flat pipelined at every multi-segment N (−36% at
+// N=8/5000B, fig 14h). The suite gained two-level scatter and alltoall
+// (ScatterTwoLevel, AlltoallTwoLevel): segment-sliced rounds multicast
+// per-segment super-slice blocks to segment groups, so alltoall pays
+// (N-S)+S(S-1) scouts (4,224 vs the flat 65,280 at N=256, gated on the
+// trajectory grid) with leaders exchanging S(S-1) aggregate blocks.
+// AllreduceMcastChunked's per-slice binomial reduce-scatter walks now
+// overlap event-driven through CollCtx.RecvPhaseRange (frame counts
+// unchanged, −54% sim-µs at N=8/5000B, fig 19), and the burst round
+// scheduler (runRoundsBurst) lets lossless multi-round senders transmit
+// without consuming earlier rounds first. The trajectory grid covers
+// the new surfaces (two-level scatter/alltoall, chunked allreduce) and
+// holds allgather and alltoall to the tight (N-S)+S(S-1)+S scout bound.
+//
 // See README.md for the tour, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 // The top-level bench_test.go exposes one benchmark per paper figure,

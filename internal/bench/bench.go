@@ -59,9 +59,12 @@ const (
 	// McastTwoLevel is the topology-aware two-level suite: ranks
 	// scout-combine to their segment leader, leaders exchange one
 	// aggregate per segment across the shared uplinks, and results
-	// multicast back down — cutting the allgather scout term from
-	// N(N-1) to ~N + S². Falls back to the flat algorithms when the
-	// device reports no topology (or a degenerate one).
+	// multicast back down — cutting the allgather and alltoall scout
+	// terms from N(N-1) to ~N + S². The set covers allgather (scout-only
+	// handshake, then direct chunk multicasts), alltoall and scatter
+	// (segment-group super-slice blocks), bcast, gather, allreduce and
+	// barrier. Falls back to the flat algorithms when the device reports
+	// no topology (or a degenerate one).
 	McastTwoLevel Algorithm = "mcast-2level"
 	// McastTwoLevelResilient is McastTwoLevel with every multicast
 	// (leader rounds, fan-outs, segment releases) under NACK repair.

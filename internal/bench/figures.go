@@ -488,7 +488,7 @@ func fig14h(o Options) (Renderable, error) {
 	return nSweepFigure("14h",
 		"MPI_Allgather: two-level (segment-leader) vs flat rounds over shared-uplink switch (4 stations/port)", o,
 		OpAllgather, []Algorithm{McastPipelined, McastBinary, McastTwoLevel},
-		"The two-level allgather combines chunks at each segment leader and multicasts one aggregate block per segment, cutting the scout term from N(N-1) to (N-S) + S(S-1) ≤ N + S² + S (the a6 gate) and replacing N small data rounds with S large ones. At N=4 a single segment means it IS the flat algorithm; from N=8 it wins everywhere, and at N=32 the win is largest in the scout-dominated sub-frame region (~7x over flat at chunk 0) while still beating both flat schedules at 5000 B — the flat pipelined overlap, which helped on dedicated ports, actually loses to sequential at N=32 here because the overlapped scout storms contend with data on every segment.")
+		"The two-level allgather's handshake is scout-only — members prove entry to their segment leader, leaders prove their segment to every other leader once — cutting the scout term from N(N-1) to (N-S) + S(S-1) ≤ N + S² + S (the a6 gate); after the release every rank multicasts its own chunk directly, so the data phase carries exactly the flat algorithm's N·M bytes per segment wire with every per-round gather collapsed into the entry handshake. At N=4 a single segment means it IS the flat algorithm; from N=8 it wins everywhere (−36% at 5000 B, where flat pipelined still pays a scout path per round), and the scout-dominated sub-frame region collapses from quadratic to near-linear (~86x over flat pipelined at N=256, chunk 0).")
 }
 
 func fig15n(o Options) (Renderable, error) {

@@ -82,6 +82,9 @@ func RunTrajectory(seed uint64) (*Trajectory, error) {
 		{OpAllgather, McastTwoLevel},
 		{OpAllreduce, McastBinary},
 		{OpAllreduce, McastTwoLevel},
+		{OpAllreduce, McastChunked},
+		{OpScatter, McastTwoLevel},
+		{OpAlltoall, McastTwoLevel},
 	}
 	for _, procs := range sweepNs() {
 		for _, g := range grid {
@@ -158,10 +161,26 @@ func trajectoryPoint(op Op, a Algorithm, procs int, seed uint64) (TrajectoryEntr
 		// Single-segment fabric: the suite delegates to the flat
 		// algorithm, whose scout count the bound does not describe.
 		ent.Check = "flat (S=1)"
-	case a == McastTwoLevel && ent.ScoutFrames > int64(procs+s*s+s):
+	case a == McastTwoLevel && ent.ScoutFrames > twoLevelScoutBound(op, procs, s):
 		ent.Check = "SCOUT-EXCESS"
 	}
 	return ent, nil
+}
+
+// twoLevelScoutBound is the per-operation scout-frame ceiling the
+// trajectory gate holds the two-level suite to. Allgather and alltoall
+// send exactly (N-S) member scouts plus S(S-1) leader scouts, so they
+// get the tight (N-S) + S(S-1) + S bound (the +S is headroom for one
+// release-class reclassification, and at N=256/S=64 it is 4,288 versus
+// the flat algorithms' 65,280); everything else keeps the generic
+// N + S² + S ceiling of the a6 table.
+func twoLevelScoutBound(op Op, n, s int) int64 {
+	switch op {
+	case OpAllgather, OpAlltoall:
+		return int64((n - s) + s*(s-1) + s)
+	default:
+		return int64(n + s*s + s)
+	}
 }
 
 // calibrateEngine measures the host's raw discrete-event throughput:

@@ -79,14 +79,36 @@ type roundPlan struct {
 	// multicasts slicePayload(r) to rank r's slice group for every rank
 	// but itself, and each receiver consumes only its own slice.
 	slicePayload func(slice int) []byte
+	// segPayload, when set, makes the round segment-sliced (the
+	// two-level scatter and alltoall): the sender multicasts
+	// segPayload(s) to segment s's group for every segment not excluded
+	// by segSkip, and each receiver consumes its own segment's block.
+	// segs, segOf and segSkip describe the segment addressing; they are
+	// required alongside segPayload and ignored otherwise. segPayload is
+	// evaluated only on the sender (other ranks may pass a closure over
+	// state they do not have).
+	segPayload func(seg int) []byte
+	// segs is the number of fabric segments of a segment-sliced round.
+	segs int
+	// segOf maps a communicator rank to its segment index.
+	segOf func(rank int) int
+	// segSkip, when set, excludes a segment from the multicast loop —
+	// used when a segment's only member is the sender itself, so a
+	// multicast to it would have no receiver under strict posted
+	// semantics. Every rank of a skipped segment must be the sender.
+	segSkip func(seg int) bool
 	// consume is called on every non-sender rank with the multicast
-	// payload — the whole message, or this rank's slice for a sliced
-	// round (after any repair resends).
+	// payload — the whole message, this rank's slice for a sliced round,
+	// or this rank's segment block for a segment-sliced round (after any
+	// repair resends).
 	consume func(payload []byte) error
 }
 
 // sliced reports whether the round uses per-slice group addressing.
 func (rd *roundPlan) sliced() bool { return rd.slicePayload != nil }
+
+// segSliced reports whether the round uses per-segment group addressing.
+func (rd *roundPlan) segSliced() bool { return rd.segPayload != nil }
 
 // roundOptions selects the scout scheme, the schedule and the
 // reliability class of a round sequence.
@@ -223,6 +245,121 @@ func pipelinedGather(cc mpi.CollCtx, opt *roundOptions, rd *roundPlan, hot int) 
 		return linearRoundGather(cc, rd.sender, hot)
 	}
 	return opt.gather(cc, rd.sender, hot)
+}
+
+// maxBurstRounds bounds the burst schedule's outstanding rounds: a rank
+// can hold at most 2·(rounds-1) undrained inbox messages (one data block
+// plus one scout per round it has not reached), and the device receive
+// ring must absorb that without overflow. 128 keeps the bound inside the
+// simulator's default 256-message ring with room for stream control;
+// longer sequences fall back to the pipelined schedule.
+const maxBurstRounds = 128
+
+// runRoundsBurst executes the round sequence with every round
+// outstanding at once: each rank walks the rounds in order, scouting (or
+// collecting scouts and multicasting, for rounds it sends) without ever
+// blocking for another sender's data, then consumes all foreign rounds'
+// data afterwards. Compared to the pipelined schedule — which keeps one
+// round of lookahead — the burst removes the last serialization: sender
+// i+1 multicasts as soon as its own scout gather lands, without first
+// consuming round i, so data transmissions overlap across segment ports
+// and a late phase-A combine on one segment no longer stalls every other
+// segment's round (the two-level allgather enters a leader's round the
+// moment that leader is ready).
+//
+// The schedule is only safe where the device can post standing receive
+// descriptors (transport.RecvPoster): with len(rounds) descriptors
+// posted up front, a data multicast arriving while this rank is still
+// scouting later rounds finds a descriptor instead of the strict-posted
+// drop path. On devices without descriptor accounting Comm.PostRecvs is
+// a no-op — correct wherever strict posted semantics do not exist (the
+// in-process transport, real UDP sockets with kernel buffering).
+//
+// The scout-gating invariant per round is unchanged: round i's sender
+// multicasts only after every participant has scouted round i. Repair
+// rounds keep the sequential schedule (the NACK server assumes one
+// round's control traffic at a time), as do sequences longer than
+// maxBurstRounds.
+func runRoundsBurst(c *mpi.Comm, rounds []roundPlan, opt roundOptions) error {
+	if len(rounds) == 0 {
+		return nil
+	}
+	if opt.repair != nil || len(rounds) > maxBurstRounds {
+		return runRounds(c, rounds, opt)
+	}
+	me := c.Rank()
+	release := c.PostRecvs(len(rounds))
+	defer release()
+	// Contexts are opened lazily, one per iteration: BeginColl
+	// garbage-collects lower-sequence protocol stragglers, and a scout
+	// for round k carries sequence base+k+1 ≥ any earlier iteration's
+	// threshold, so the burst's queued scouts survive the collection.
+	ccs := make([]mpi.CollCtx, len(rounds))
+	for i := range rounds {
+		rd := &rounds[i]
+		cc := c.BeginColl()
+		if !cc.CanMulticast() {
+			return mpi.ErrNoMulticast
+		}
+		ccs[i] = cc
+		if err := opt.gather(cc, rd.sender, -1); err != nil {
+			return err
+		}
+		if me != rd.sender {
+			continue
+		}
+		switch {
+		case rd.segSliced():
+			for s := 0; s < rd.segs; s++ {
+				if rd.segSkip != nil && rd.segSkip(s) {
+					continue
+				}
+				if err := cc.MulticastSeg(s, rd.segPayload(s), rd.class); err != nil {
+					return err
+				}
+			}
+		case rd.sliced():
+			for r := 0; r < c.Size(); r++ {
+				if r == rd.sender {
+					continue
+				}
+				if err := cc.MulticastSlice(r, rd.slicePayload(r), rd.class); err != nil {
+					return err
+				}
+			}
+		default:
+			if err := cc.Multicast(rd.payload(), rd.class); err != nil {
+				return err
+			}
+		}
+	}
+	// Consume in round order: the multicast staleness watermark advances
+	// with each consumed sequence number, so in-order consumption never
+	// marks a later round's pending data stale.
+	for i := range rounds {
+		rd := &rounds[i]
+		if me == rd.sender {
+			continue
+		}
+		cc := ccs[i]
+		var m transport.Message
+		var err error
+		switch {
+		case rd.segSliced():
+			m, err = cc.RecvMulticastSeg(rd.segOf(me))
+		case rd.sliced():
+			m, err = cc.RecvMulticastSlice(me)
+		default:
+			m, err = cc.RecvMulticast()
+		}
+		if err != nil {
+			return err
+		}
+		if err := rd.consume(m.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // awaitRepairedMulticast blocks for this operation's multicast — the
@@ -419,7 +556,10 @@ func serveRepairs(cc mpi.CollCtx, rd *roundPlan,
 				continue
 			}
 			slice := -1
-			if rd.sliced() {
+			switch {
+			case rd.segSliced():
+				slice = rd.segOf(r)
+			case rd.sliced():
 				slice = r
 			}
 			msgID := idFor(slice)
@@ -459,17 +599,27 @@ func runDataPhase(cc mpi.CollCtx, rd *roundPlan, opt *roundOptions, nextSender i
 	if me != rd.sender {
 		var m transport.Message
 		var err error
-		slice := -1
-		if rd.sliced() {
-			slice = me
-		}
-		if opt.repair == nil {
-			if rd.sliced() {
+		switch {
+		case opt.repair == nil:
+			switch {
+			case rd.segSliced():
+				m, err = cc.RecvMulticastSeg(rd.segOf(me))
+			case rd.sliced():
 				m, err = cc.RecvMulticastSlice(me)
-			} else {
+			default:
 				m, err = cc.RecvMulticast()
 			}
-		} else {
+		case rd.segSliced():
+			seg := rd.segOf(me)
+			m, err = awaitRepairedMulticastScoped(cc, rd.sender, rd.bytes,
+				func(timeout int64) (transport.Message, bool, error) {
+					return cc.RecvMulticastSegTimeout(seg, timeout)
+				}, *opt.repair)
+		default:
+			slice := -1
+			if rd.sliced() {
+				slice = me
+			}
 			m, err = awaitRepairedMulticast(cc, rd.sender, slice, rd.bytes, *opt.repair)
 		}
 		if err != nil {
@@ -485,8 +635,42 @@ func runDataPhase(cc mpi.CollCtx, rd *roundPlan, opt *roundOptions, nextSender i
 		return cc.Send(rd.sender, phaseAck, nil, transport.ClassAck, false)
 	}
 
-	// Sender side. Transmit once — whole buffer or per-slice — capturing
-	// the device message ids so selective repairs can reuse them.
+	// Sender side. Transmit once — whole buffer, per-slice, or
+	// per-segment — capturing the device message ids so selective
+	// repairs can reuse them.
+	if rd.segSliced() {
+		// Segment-sliced sender: one multicast per fabric segment group
+		// (skipping segments whose only member is the sender itself).
+		ids := make([]uint64, rd.segs)
+		minSeg := -1
+		for s := 0; s < rd.segs; s++ {
+			if rd.segSkip != nil && rd.segSkip(s) {
+				continue
+			}
+			if n := len(rd.segPayload(s)); minSeg < 0 || n < minSeg {
+				minSeg = n
+			}
+		}
+		pacePipelined(cc, opt, pipelined, minSeg)
+		for s := 0; s < rd.segs; s++ {
+			if rd.segSkip != nil && rd.segSkip(s) {
+				continue
+			}
+			if err := cc.MulticastSeg(s, rd.segPayload(s), rd.class); err != nil {
+				return err
+			}
+			ids[s] = cc.LastMulticastID()
+		}
+		if opt.repair == nil {
+			return nil
+		}
+		return serveRepairs(cc, rd,
+			func(seg int) []byte { return rd.segPayload(seg) },
+			func(seg int) uint64 { return ids[seg] },
+			func(seg int, payload []byte, msgID uint64, frags []int) error {
+				return cc.MulticastSegRepair(seg, payload, rd.class, msgID, frags)
+			})
+	}
 	if !rd.sliced() {
 		payload := rd.payload()
 		pacePipelined(cc, opt, pipelined, len(payload))

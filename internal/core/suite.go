@@ -282,10 +282,9 @@ func sliceBounds(total, extent, size int) []int {
 
 // AllreduceMcastChunked is the Rabenseifner-style chunked composition:
 // a reduce-scatter built from one binomial walk per slice (slice s
-// combines toward rank s on the UDP bypass, all walks sharing one
-// collective operation and pipelining naturally because sends are
-// buffered), followed by the pipelined scout-gated multicast allgather
-// rounds of the suite broadcasting each reduced slice exactly once.
+// combines toward rank s on the UDP bypass), followed by the pipelined
+// scout-gated multicast allgather rounds of the suite broadcasting each
+// reduced slice exactly once.
 //
 // The byte economics against AllreduceMcast's binomial-reduce + bcast:
 // both put ~(N-1)·M + M data bytes on the wire (a reduction cannot move
@@ -293,12 +292,19 @@ func sliceBounds(total, extent, size int) []int {
 // the binomial reduce, while here every rank moves ~M in and ~M out on
 // the reduce half (~2M end to end) regardless of N, and the multicast
 // allgather half delivers each receiver exactly the M result bytes
-// (asserted by TestChunkedAllreduceByteFunnel). On the calibrated
-// 1999-era testbed that balance does NOT buy latency (fig 19): the
-// walks multiply the 34 µs per-message overheads by N(N-1) and their
-// blocking schedule serializes, while the binomial pairs already
-// transmit in parallel. The shape pays off where per-rank bandwidth is
-// the ceiling; overlapping the walks is ROADMAP work.
+// (asserted by TestChunkedAllreduceByteFunnel).
+//
+// The walks overlap: every walk where this rank is a leaf fires its
+// parent send up front, filling the wire immediately, and the remaining
+// interior walks make progress in whatever order their children's
+// contributions arrive (CollCtx.RecvPhaseRange is the event pump — the
+// slice index rides the message phase). The earlier blocking schedule
+// completed walk s everywhere before walk s+1 started, serializing
+// ~2M of wire time behind per-message host overheads and losing on
+// latency at every measured size despite winning the byte funnel; the
+// event-driven form keeps each walk's tree, phases, classes and frame
+// counts bit-identical (the a3 table is unaffected) while the wire and
+// the hosts work concurrently.
 //
 // The reduction combines slice contributions in binomial-tree order, so
 // op should be commutative and associative (every built-in mpi.Op is;
@@ -318,29 +324,93 @@ func AllreduceMcastChunked(c *mpi.Comm, send, recv []byte, dt mpi.Datatype, op m
 	bounds := sliceBounds(len(send), dt.Size(), size)
 
 	// Reduce-scatter: slice s's contributions combine toward rank s up a
-	// binomial tree, in recv in place. All N walks share one collective
-	// operation (one phase per slice); a rank finishes its part of walk
-	// s and moves on while its parent still combines, so the walks
-	// overlap without any schedule machinery.
+	// low-bit-first binomial tree (the mpi.BinomialToRoot walk shape),
+	// in recv in place, all N walks sharing one collective operation
+	// with one phase per slice.
 	cc := c.BeginColl()
 	if !cc.CanMulticast() {
 		return mpi.ErrNoMulticast
 	}
+	me := c.Rank()
+	// sliceWalk is one interior walk's progress state.
+	type sliceWalk struct {
+		lo, hi   int
+		parent   int            // rank to send the combined slice to; -1 at the walk's root
+		children []int          // child ranks in increasing-mask order (the blocking walk's absorb order)
+		pending  map[int][]byte // child contributions buffered until all have arrived
+	}
+	walks := make(map[int]*sliceWalk, size)
 	for s := 0; s < size; s++ {
 		lo, hi := bounds[s], bounds[s+1]
 		if lo == hi {
 			continue
 		}
-		seg := recv[lo:hi]
-		if _, err := mpi.BinomialToRoot(cc, s, size, phaseSlice+s, transport.ClassData, false, seg,
-			func(_ int, payload []byte) error {
-				if len(payload) != hi-lo {
-					return fmt.Errorf("core: allreduce slice %d contribution %d bytes, want %d", s, len(payload), hi-lo)
+		rel := (me - s + size) % size
+		parent := -1
+		var children []int
+		for mask := 1; mask < size; mask <<= 1 {
+			if rel&mask != 0 {
+				parent = (rel - mask + s) % size
+				break
+			}
+			if peer := rel + mask; peer < size {
+				children = append(children, (peer+s)%size)
+			}
+		}
+		if len(children) == 0 {
+			// Leaf in this walk: nothing to combine — send immediately,
+			// before any interior walk blocks. These up-front sends are
+			// the overlap: every leaf contribution of every walk is on
+			// the wire before the first receive.
+			if parent >= 0 {
+				if err := cc.Send(parent, phaseSlice+s, recv[lo:hi], transport.ClassData, false); err != nil {
+					return err
 				}
-				return mpi.ReduceBytes(op, dt, seg, payload)
-			}); err != nil {
+			}
+			continue
+		}
+		walks[s] = &sliceWalk{lo: lo, hi: hi, parent: parent, children: children,
+			pending: make(map[int][]byte, len(children))}
+	}
+	for len(walks) > 0 {
+		m, phase, err := cc.RecvPhaseRange(phaseSlice, phaseSlice+size-1)
+		if err != nil {
 			return err
 		}
+		s := phase - phaseSlice
+		w := walks[s]
+		if w == nil {
+			return fmt.Errorf("core: allreduce slice %d contribution at rank %d, which is not interior in that walk", s, me)
+		}
+		src := cc.SrcRank(m)
+		if len(m.Payload) != w.hi-w.lo {
+			return fmt.Errorf("core: allreduce slice %d contribution %d bytes, want %d", s, len(m.Payload), w.hi-w.lo)
+		}
+		if _, dup := w.pending[src]; dup {
+			return fmt.Errorf("core: allreduce slice %d duplicate contribution from %d", s, src)
+		}
+		w.pending[src] = m.Payload
+		if len(w.pending) < len(w.children) {
+			continue
+		}
+		// Every child is in: absorb in the blocking walk's mask order,
+		// then pass the combined slice up (or keep it, at the root).
+		seg := recv[w.lo:w.hi]
+		for _, ch := range w.children {
+			p, ok := w.pending[ch]
+			if !ok {
+				return fmt.Errorf("core: allreduce slice %d missing contribution from %d", s, ch)
+			}
+			if err := mpi.ReduceBytes(op, dt, seg, p); err != nil {
+				return err
+			}
+		}
+		if w.parent >= 0 {
+			if err := cc.Send(w.parent, phaseSlice+s, seg, transport.ClassData, false); err != nil {
+				return err
+			}
+		}
+		delete(walks, s)
 	}
 
 	// Allgather: rank s multicasts its reduced slice once per round,

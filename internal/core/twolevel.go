@@ -27,13 +27,21 @@ package core
 //
 // The scout economics per operation, with N ranks on S segments:
 //
-//	AllgatherTwoLevel: (N-S) member scouts + S(S-1) leader-round scouts
+//	AllgatherTwoLevel: (N-S) member scouts + S(S-1) leader scouts
 //	                   + S segment releases, versus the flat N(N-1)
 //	                   scouts — the ~N + S² bound the a6 table gates on.
-//	                   Data: each segment's aggregate block is multicast
-//	                   once per leader round, so the wire carries the
-//	                   same N·M data bytes in S messages instead of N
-//	                   (fewer per-message overheads, no scout storm).
+//	                   Lossless data path: the handshake is scout-only
+//	                   (members prove entry to their leader, leaders
+//	                   prove their segment to every other leader), and
+//	                   once released every rank multicasts its own chunk
+//	                   directly — N data multicasts, exactly the flat
+//	                   algorithm's N·M bytes per segment wire, with all
+//	                   per-round gathers collapsed into the one entry
+//	                   handshake. Under NACK repair the combine-based
+//	                   schedule runs instead: chunks converge on the
+//	                   leader and S aggregate blocks are multicast in
+//	                   sequential leader rounds the repair server can
+//	                   serve.
 //	BcastTwoLevel:     N-1 scouts as before, but only S-1 cross the
 //	                   uplinks (members scout their local leader).
 //	GatherTwoLevel:    (N-S) member scouts + (S-1) aggregate scouts;
@@ -46,6 +54,17 @@ package core
 //	                   leaders combine up a binomial tree over the
 //	                   leader set, and the final multicast follows the
 //	                   data it proves everyone contributed to).
+//	ScatterTwoLevel:   N-1 scouts (S-1 crossing uplinks), then at most S
+//	                   segment-group multicasts of per-segment
+//	                   super-slices in place of the flat N-1 per-rank
+//	                   slice transmissions.
+//	AlltoallTwoLevel:  (N-S) member scouts + S(S-1) leader-round scouts
+//	                   + S releases, versus the flat N(N-1) — 65,280 at
+//	                   N=256. Data: members ship whole buffers to their
+//	                   leader locally, leaders exchange S(S-1)
+//	                   per-segment super-slice blocks over the uplinks
+//	                   (burst-scheduled, so the blocks overlap), members
+//	                   extract their chunks from their segment's block.
 //
 // A communicator without a usable topology — no device map, a single
 // segment (nothing to localize), or one rank per segment (the
@@ -107,6 +126,12 @@ func twoLevelSet(rep *NackOptions) mpi.Algorithms {
 		Gather: func(c *mpi.Comm, send, recv []byte, root int) error {
 			return gatherTwoLevelWith(c, send, recv, root, rep)
 		},
+		Scatter: func(c *mpi.Comm, send, recv []byte, root int) error {
+			return scatterTwoLevelWith(c, send, recv, root, rep)
+		},
+		Alltoall: func(c *mpi.Comm, send, recv []byte) error {
+			return alltoallTwoLevelWith(c, send, recv, rep)
+		},
 	}
 	if rep != nil {
 		return a.Merge(ResilientAlgorithms(*rep))
@@ -137,6 +162,16 @@ func AllreduceTwoLevel(c *mpi.Comm, send, recv []byte, dt mpi.Datatype, op mpi.O
 // GatherTwoLevel is the hierarchical gather.
 func GatherTwoLevel(c *mpi.Comm, send, recv []byte, root int) error {
 	return gatherTwoLevelWith(c, send, recv, root, nil)
+}
+
+// ScatterTwoLevel is the hierarchical scatter.
+func ScatterTwoLevel(c *mpi.Comm, send, recv []byte, root int) error {
+	return scatterTwoLevelWith(c, send, recv, root, nil)
+}
+
+// AlltoallTwoLevel is the hierarchical personalized exchange.
+func AlltoallTwoLevel(c *mpi.Comm, send, recv []byte) error {
+	return alltoallTwoLevelWith(c, send, recv, nil)
 }
 
 // usableTopo returns the communicator's topology when the two-level
@@ -385,6 +420,9 @@ func allgatherTwoLevelWith(c *mpi.Comm, send, recv []byte, rep *NackOptions) err
 		}
 		return allgatherWith(c, send, recv, opt)
 	}
+	if rep == nil {
+		return allgatherTwoLevelBurst(c, send, recv, t)
+	}
 	mySeg := t.SegmentOf(me)
 	members := t.Members(mySeg)
 	leader := t.Leader(mySeg)
@@ -464,13 +502,113 @@ func allgatherTwoLevelWith(c *mpi.Comm, send, recv []byte, rep *NackOptions) err
 			},
 		}
 	}
+	// Repair mode keeps the sequential round schedule the NACK server
+	// needs; the lossless path took the burst schedule above.
 	return runRounds(c, rounds, roundOptions{
 		gather:    leaderRoundGather(t),
 		gatherSub: leaderRoundGather(t),
-		pipeline:  rep == nil,
-		pace:      DefaultPipelinePace,
 		repair:    rep,
 	})
+}
+
+// allgatherTwoLevelBurst is the lossless allgather fast path: phase A
+// carries no data at all. Members scout their leader to prove they have
+// entered the collective (every rank posts standing receive descriptors
+// for the whole operation on entry), each leader scouts every other
+// leader exactly once, and a leader that holds proof all S segments are
+// in releases its own segment — whereupon every member multicasts its
+// own chunk directly to the whole communicator, one collective context
+// per rank in rank order. The scout budget is identical to the
+// combine-based schedule — (N-S) member scouts plus S(S-1) leader
+// scouts — but the data phase now carries exactly the flat algorithm's
+// N·M bytes per segment wire (the phase-A chunk copies to the leader
+// are gone), and every per-round gather collapses into the single entry
+// handshake, so after the release the wire does all remaining
+// serialization. A rank transmits its chunk before consuming anyone
+// else's, so segment-local combines and remote transmissions overlap
+// fully; in-order consumption keeps the multicast staleness watermark
+// monotone.
+func allgatherTwoLevelBurst(c *mpi.Comm, send, recv []byte, t *topo.Map) error {
+	size := c.Size()
+	n := len(send)
+	me := c.Rank()
+	mySeg := t.SegmentOf(me)
+	members := t.Members(mySeg)
+	leader := t.Leader(mySeg)
+	segs := t.Segments()
+
+	// Standing descriptors for everything that can arrive while this
+	// rank is busy elsewhere: size-1 foreign chunk multicasts plus the
+	// segment release.
+	release := c.PostRecvs(size)
+	defer release()
+
+	cc := c.BeginColl()
+	if !cc.CanMulticast() {
+		return mpi.ErrNoMulticast
+	}
+	if me != leader {
+		if err := cc.Send(leader, phaseScout, nil, transport.ClassScout, false); err != nil {
+			return err
+		}
+		// The release proves every segment has entered, so this rank's
+		// chunk multicast cannot be dropped anywhere.
+		if _, err := cc.RecvMulticastSeg(mySeg); err != nil {
+			return err
+		}
+	} else {
+		for i := 0; i < len(members)-1; i++ {
+			if _, err := cc.Recv(mpi.AnySource, phaseScout); err != nil {
+				return err
+			}
+		}
+		for s := 0; s < segs; s++ {
+			if s == mySeg {
+				continue
+			}
+			if err := cc.Send(t.Leader(s), phaseLeaderScout, nil, transport.ClassScout, false); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < segs-1; i++ {
+			if _, err := cc.Recv(mpi.AnySource, phaseLeaderScout); err != nil {
+				return err
+			}
+		}
+		if len(members) > 1 {
+			if err := cc.MulticastSeg(mySeg, nil, transport.ClassControl); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Data phase: one context per rank, opened in rank order. Fire this
+	// rank's chunk at its own slot — before consuming anything — then
+	// consume the rest in slot order (early arrivals queue against their
+	// standing descriptors).
+	ccs := make([]mpi.CollCtx, size)
+	for r := 0; r < size; r++ {
+		ccs[r] = c.BeginColl()
+		if r == me {
+			if err := ccs[r].Multicast(send, transport.ClassData); err != nil {
+				return err
+			}
+		}
+	}
+	for r := 0; r < size; r++ {
+		if r == me {
+			continue
+		}
+		m, err := ccs[r].RecvMulticast()
+		if err != nil {
+			return err
+		}
+		if len(m.Payload) != n {
+			return fmt.Errorf("core: allgather chunk from %d is %d bytes, want %d", r, len(m.Payload), n)
+		}
+		copy(recv[r*n:(r+1)*n], m.Payload)
+	}
+	return nil
 }
 
 // allreduceTwoLevelWith reduces in two levels — members combine at
@@ -694,4 +832,235 @@ func gatherTwoLevelWith(c *mpi.Comm, send, recv []byte, root int, rep *NackOptio
 		}
 	}
 	return nil
+}
+
+// memberIndex returns r's position within its segment's member list.
+func memberIndex(members []int, r int) int {
+	for i, m := range members {
+		if m == r {
+			return i
+		}
+	}
+	return -1
+}
+
+// scatterTwoLevelWith distributes root's buffer as one segment-sliced
+// round: after the two-level scout gather (N-1 scouts, only S-1 crossing
+// the uplinks — the flat sliced scatter's N-1 scouts all converge on the
+// root's port), the root multicasts each segment's super-slice — the
+// concatenation of that segment's per-rank chunks in member order — to
+// the segment's group address, one egress transmission per port instead
+// of one per rank. Each receiver's NIC accepts only its own segment's
+// block, from which it keeps its chunk, so per-receiver delivered bytes
+// grow only by the segment fanout while the root's transmissions fall
+// from N-1 to at most S.
+func scatterTwoLevelWith(c *mpi.Comm, send, recv []byte, root int, rep *NackOptions) error {
+	size := c.Size()
+	n := len(recv)
+	if c.Rank() == root && len(send) != n*size {
+		return fmt.Errorf("core: scatter send buffer %d bytes, want %d", len(send), n*size)
+	}
+	if size == 1 {
+		copy(recv, send)
+		return nil
+	}
+	t := usableTopo(c)
+	if t == nil {
+		if rep != nil {
+			return scatterWith(c, send, recv, root, roundOptions{gather: binaryRoundGather, repair: rep})
+		}
+		return ScatterMcast(c, send, recv, root)
+	}
+	me := c.Rank()
+	mySeg := t.SegmentOf(me)
+	myMembers := t.Members(mySeg)
+	myIdx := memberIndex(myMembers, me)
+
+	// Per-segment super-slices, root only. Full member order — including
+	// the root's own chunk where it appears — keeps the receiver's index
+	// arithmetic uniform; the root's chunk is placed locally below.
+	var blocks [][]byte
+	if me == root {
+		blocks = make([][]byte, t.Segments())
+		for s := range blocks {
+			ms := t.Members(s)
+			blk := make([]byte, n*len(ms))
+			for i, r := range ms {
+				copy(blk[i*n:], send[r*n:(r+1)*n])
+			}
+			blocks[s] = blk
+		}
+	}
+	maxSeg := 0
+	for s := 0; s < t.Segments(); s++ {
+		if l := len(t.Members(s)); l > maxSeg {
+			maxSeg = l
+		}
+	}
+	round := roundPlan{
+		sender:     root,
+		class:      transport.ClassData,
+		bytes:      n * maxSeg,
+		segPayload: func(seg int) []byte { return blocks[seg] },
+		segs:       t.Segments(),
+		segOf:      t.SegmentOf,
+		segSkip: func(seg int) bool {
+			ms := t.Members(seg)
+			return len(ms) == 1 && ms[0] == root
+		},
+		consume: func(p []byte) error {
+			if len(p) != n*len(myMembers) {
+				return fmt.Errorf("core: scatter segment block is %d bytes, want %d", len(p), n*len(myMembers))
+			}
+			copy(recv, p[myIdx*n:(myIdx+1)*n])
+			return nil
+		},
+	}
+	if err := runRounds(c, []roundPlan{round}, roundOptions{gather: twoLevelRoundGather(t), repair: rep}); err != nil {
+		return err
+	}
+	if me == root {
+		copy(recv, send[root*n:(root+1)*n])
+	}
+	return nil
+}
+
+// alltoallTwoLevelWith runs the personalized exchange hierarchically.
+// Phase A: each segment's members ship their whole send buffer to the
+// segment leader over the release-gated local combine (segment-local
+// unicast — never crossing an uplink). Phase B: S segment-sliced leader
+// rounds — round s's leader multicasts, to each destination segment d,
+// one super-slice holding every chunk from segment s's members to
+// segment d's members — so the uplink fabric carries S(S-1) block
+// transfers gated by S(S-1) leader scouts plus the N-S member scouts and
+// S releases of phase A, where the flat sliced exchange pays N(N-1)
+// scouts (65,280 at N=256) and N(N-1) per-slice transmissions. Under
+// rep == nil the rounds run on the burst schedule: every leader
+// multicasts the moment its own scout gather lands, so block
+// transmissions overlap across segment ports instead of serializing
+// round-by-round.
+func alltoallTwoLevelWith(c *mpi.Comm, send, recv []byte, rep *NackOptions) error {
+	size := c.Size()
+	if len(send)%size != 0 || len(recv) != len(send) {
+		return fmt.Errorf("core: alltoall buffers %d/%d bytes for %d ranks", len(send), len(recv), size)
+	}
+	n := len(send) / size
+	me := c.Rank()
+	copy(recv[me*n:(me+1)*n], send[me*n:(me+1)*n])
+	if size == 1 {
+		return nil
+	}
+	t := usableTopo(c)
+	if t == nil {
+		if rep != nil {
+			return alltoallWith(c, send, recv, roundOptions{gather: binaryRoundGather, repair: rep})
+		}
+		return AlltoallMcastPipelined(c, send, recv)
+	}
+	mySeg := t.SegmentOf(me)
+	myMembers := t.Members(mySeg)
+	leader := t.Leader(mySeg)
+	myIdx := memberIndex(myMembers, me)
+
+	// Phase A: segment-local combine of whole send buffers at the leader.
+	cc := c.BeginColl()
+	if !cc.CanMulticast() {
+		return mpi.ErrNoMulticast
+	}
+	bufs := make(map[int][]byte, len(myMembers))
+	if len(myMembers) > 1 {
+		if me != leader {
+			if err := cc.Send(leader, phaseScout, nil, transport.ClassScout, false); err != nil {
+				return err
+			}
+			if err := awaitSegmentRelease(cc, leader, mySeg, rep); err != nil {
+				return err
+			}
+			if err := cc.Send(leader, phaseChunk, send, transport.ClassData, false); err != nil {
+				return err
+			}
+		} else {
+			for i := 0; i < len(myMembers)-1; i++ {
+				if _, err := cc.Recv(mpi.AnySource, phaseScout); err != nil {
+					return err
+				}
+			}
+			err := collectSegmentChunks(cc, mySeg, myMembers, len(send), rep, func(r int, p []byte) error {
+				bufs[r] = p
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			// The members' chunks addressed to the leader itself never
+			// ride a phase-B multicast; lift them out directly.
+			for _, r := range myMembers {
+				if r != me {
+					copy(recv[r*n:(r+1)*n], bufs[r][me*n:(me+1)*n])
+				}
+			}
+		}
+	}
+
+	// Per-destination-segment super-slices, leaders only. Block s→d is
+	// laid out grouped by destination member — position
+	// (j·|s| + i)·n holds the chunk from source member i to destination
+	// member j — so receiver j extracts one contiguous |s|·n region.
+	var blocks [][]byte
+	if me == leader {
+		blocks = make([][]byte, t.Segments())
+		for d := range blocks {
+			dm := t.Members(d)
+			blk := make([]byte, n*len(myMembers)*len(dm))
+			for j, dst := range dm {
+				for i, src := range myMembers {
+					from := send
+					if src != me {
+						from = bufs[src]
+					}
+					copy(blk[(j*len(myMembers)+i)*n:], from[dst*n:(dst+1)*n])
+				}
+			}
+			blocks[d] = blk
+		}
+	}
+	maxSeg := 0
+	for s := 0; s < t.Segments(); s++ {
+		if l := len(t.Members(s)); l > maxSeg {
+			maxSeg = l
+		}
+	}
+	rounds := make([]roundPlan, t.Segments())
+	for s := range rounds {
+		sm := t.Members(s)
+		sender := t.Leader(s)
+		rounds[s] = roundPlan{
+			sender:     sender,
+			class:      transport.ClassData,
+			bytes:      n * maxSeg * maxSeg,
+			segPayload: func(seg int) []byte { return blocks[seg] },
+			segs:       t.Segments(),
+			segOf:      t.SegmentOf,
+			segSkip: func(seg int) bool {
+				// The sender's own segment is skipped only when the
+				// sender is its sole member (no one to receive); chunks
+				// for the sender itself were lifted out in phase A.
+				return seg == t.SegmentOf(sender) && len(sm) == 1
+			},
+			consume: func(p []byte) error {
+				if len(p) != n*len(sm)*len(myMembers) {
+					return fmt.Errorf("core: alltoall segment block is %d bytes, want %d", len(p), n*len(sm)*len(myMembers))
+				}
+				base := myIdx * len(sm) * n
+				for i, r := range sm {
+					copy(recv[r*n:(r+1)*n], p[base+i*n:base+(i+1)*n])
+				}
+				return nil
+			},
+		}
+	}
+	if rep == nil {
+		return runRoundsBurst(c, rounds, roundOptions{gather: leaderRoundGather(t)})
+	}
+	return runRounds(c, rounds, roundOptions{gather: leaderRoundGather(t), repair: rep})
 }

@@ -253,3 +253,86 @@ func TestTwoLevelUnevenSegments(t *testing.T) {
 		})
 	}
 }
+
+// TestTwoLevelAlltoallScoutEconomy pins the alltoall decomposition's
+// handshake budget: members prove their segment in once (N-S scouts)
+// and each of the S leader rounds gathers S-1 leader scouts, for
+// exactly (N-S) + S(S-1) scout frames versus the flat alltoall's
+// N(N-1) — 65,280 at N=256, where the two-level count is 4,224.
+func TestTwoLevelAlltoallScoutEconomy(t *testing.T) {
+	measure := func(n, fanout, chunk int, algs mpi.Algorithms) int64 {
+		nw, err := cluster.RunSim(n, simnet.SwitchShared, sharedProf(fanout), algs, func(c *mpi.Comm) error {
+			return workload.Make(c, workload.OpAlltoall, chunk, 0)()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nw.Wire.Frames(transport.ClassScout)
+	}
+	for _, cs := range []struct{ n, fanout int }{{8, 4}, {16, 4}, {12, 3}, {7, 3}} {
+		cs := cs
+		t.Run(fmt.Sprintf("n=%d fanout=%d", cs.n, cs.fanout), func(t *testing.T) {
+			s := topo.Uniform(cs.n, cs.fanout).Segments()
+			two := measure(cs.n, cs.fanout, 100, core.TwoLevelAlgorithms())
+			flat := measure(cs.n, cs.fanout, 100, mpi.Algorithms{}.Merge(core.Algorithms(core.Binary)))
+			if want := int64((cs.n - s) + s*(s-1)); two != want {
+				t.Errorf("two-level alltoall sent %d scouts, want exactly %d", two, want)
+			}
+			if want := int64(cs.n * (cs.n - 1)); flat != want {
+				t.Errorf("flat alltoall sent %d scouts, want N(N-1)=%d", flat, want)
+			}
+		})
+	}
+	t.Run("n=256 bound", func(t *testing.T) {
+		if testing.Short() {
+			t.Skip("256-rank sim in -short mode")
+		}
+		const n, fanout = 256, 4
+		s := topo.Uniform(n, fanout).Segments()
+		two := measure(n, fanout, 1, core.TwoLevelAlgorithms())
+		if bound := int64((n - s) + s*(s-1) + s); two > bound {
+			t.Errorf("two-level alltoall sent %d scouts at N=256, above the (N-S)+S(S-1)+S bound %d", two, bound)
+		}
+		if flatScouts := int64(n * (n - 1)); two >= flatScouts/10 {
+			t.Errorf("two-level alltoall sent %d scouts at N=256; expected an order of magnitude under the flat %d", two, flatScouts)
+		}
+	})
+}
+
+// TestTwoLevelAllgatherBeatsFlatPipelined pins the figure 14h
+// crossover the scout-only handshake exists for: at N=8 with 5000-byte
+// chunks on the shared-uplink fabric — the smallest multi-segment
+// point, where the data term dominates and the old combine-based
+// schedule paid a 12% premium for the phase-A chunk copies — the
+// two-level allgather's worst-rank completion must be no later than
+// the flat pipelined schedule's.
+func TestTwoLevelAllgatherBeatsFlatPipelined(t *testing.T) {
+	const n, chunk = 8, 5000
+	measure := func(algs mpi.Algorithms) int64 {
+		lat := make([]int64, n)
+		_, err := cluster.RunSim(n, simnet.SwitchShared, sharedProf(4), algs, func(c *mpi.Comm) error {
+			t0 := c.Now()
+			if err := workload.Make(c, workload.OpAllgather, chunk, 0)(); err != nil {
+				return err
+			}
+			lat[c.Rank()] = c.Now() - t0
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var worst int64
+		for _, l := range lat {
+			if l > worst {
+				worst = l
+			}
+		}
+		return worst
+	}
+	two := measure(core.TwoLevelAlgorithms())
+	flat := measure(mpi.Algorithms{}.Merge(core.Algorithms(core.BinaryPipelined)))
+	if two > flat {
+		t.Errorf("two-level allgather %d ns is slower than flat pipelined %d ns at N=%d/%dB (fig 14h gap must be <= 0)",
+			two, flat, n, chunk)
+	}
+}

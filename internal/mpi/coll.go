@@ -364,6 +364,24 @@ func (cc CollCtx) RecvPhases(phases ...int) (transport.Message, error) {
 	})
 }
 
+// RecvPhaseRange blocks for a point-to-point protocol message of this
+// operation in any phase of [lo, hi] and returns the message together
+// with the phase it arrived in. The overlapped chunked allreduce runs
+// one binomial walk per slice concurrently with the slice index encoded
+// in the phase; this is its event pump — whichever walk's message lands
+// next is the one that makes progress.
+func (cc CollCtx) RecvPhaseRange(lo, hi int) (transport.Message, int, error) {
+	lowTag, highTag := collTagBase-int32(hi), collTagBase-int32(lo)
+	m, err := cc.c.recvMatchFT(func(m *transport.Message) bool {
+		return m.Kind == transport.P2P && m.Comm == cc.c.ctx && m.Seq == cc.seq &&
+			m.Tag >= lowTag && m.Tag <= highTag
+	})
+	if err != nil {
+		return m, 0, err
+	}
+	return m, int(collTagBase - m.Tag), nil
+}
+
 // RecvTimeout is Recv with a timeout in nanoseconds on the device clock;
 // ok=false reports expiry. It requires transport.DeadlineRecver.
 func (cc CollCtx) RecvTimeout(src, phase int, timeout int64) (transport.Message, bool, error) {

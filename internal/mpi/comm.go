@@ -414,6 +414,22 @@ func (c *Comm) Now() int64 { return c.rt.ep.Now() }
 // back to the flat algorithms on nil (or degenerate) maps.
 func (c *Comm) Topo() *topo.Map { return c.topoMap }
 
+// PostRecvs posts n standing receive descriptors on the device (when it
+// supports transport.RecvPoster) and returns a release function that
+// retires them. Under strict posted-receive semantics a multicast frame
+// arriving between two Recv calls of a burst of concurrent collective
+// rounds would otherwise be dropped; standing descriptors make the burst
+// schedule safe by construction. On devices without descriptor
+// accounting both the post and the release are no-ops.
+func (c *Comm) PostRecvs(n int) (release func()) {
+	rp, ok := c.rt.ep.(transport.RecvPoster)
+	if !ok || n <= 0 {
+		return func() {}
+	}
+	rp.PostRecvs(n)
+	return func() { rp.UnpostRecvs(n) }
+}
+
 // Free leaves the communicator's multicast group. The communicator must
 // not be used afterwards. Freeing the world communicator does not close
 // the runtime; use Runtime.Close for that.

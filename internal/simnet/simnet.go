@@ -1031,6 +1031,15 @@ func (ep *Endpoint) Pace(d int64) {
 	}
 }
 
+// PostRecvs implements transport.RecvPoster: it adds n standing receive
+// descriptors to the endpoint's posted count, so strict-posted mode
+// keeps accepting multicast frames between the Recv calls of a burst of
+// concurrent collective rounds.
+func (ep *Endpoint) PostRecvs(n int) { ep.posted += n }
+
+// UnpostRecvs retires n standing descriptors posted by PostRecvs.
+func (ep *Endpoint) UnpostRecvs(n int) { ep.posted -= n }
+
 // Delivered returns the endpoint's delivery counters.
 func (ep *Endpoint) Delivered() DeliveredStats { return ep.delivered }
 

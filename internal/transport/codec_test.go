@@ -406,3 +406,48 @@ func TestAppendFragmentAllocFree(t *testing.T) {
 		t.Fatalf("AppendFragment into reused buffer: %.1f allocs/frame, want 0", allocs)
 	}
 }
+
+// TestGroupDerivationDomainSeparation pins the multicast group address
+// derivation against collisions between the three address families a
+// communicator uses at once: raw contexts, per-slice groups (0x5C
+// domain separator) and per-segment groups (0x5E). The derivations are
+// pure functions, so this is a deterministic pin: across a grid of
+// contexts (including the separator bytes themselves and the world
+// context's neighbourhood) and 64 indices per family, every derived id
+// must clear the reserved world range (id > 1), never equal a sampled
+// raw context, and never equal any other derived id in the grid —
+// i.e. both negative-tag-space families stay disjoint from each other
+// and from whole-communicator addressing for every (ctx, index) a
+// realistic topology can produce.
+func TestGroupDerivationDomainSeparation(t *testing.T) {
+	ctxs := []uint32{0, 1, 2, 3, 0x5C, 0x5E, 0x5C5C5C5C, 0x5E5E5E5E,
+		1 << 8, 1 << 16, 1 << 24, 0xDEADBEEF, 0xFFFFFFFF}
+	rawCtx := make(map[uint32]bool, len(ctxs))
+	for _, ctx := range ctxs {
+		rawCtx[ctx] = true
+	}
+	seen := make(map[uint32]string, 2*64*len(ctxs))
+	for _, ctx := range ctxs {
+		for i := 0; i < 64; i++ {
+			for _, d := range []struct {
+				family string
+				id     uint32
+			}{
+				{"slice", SliceGroup(ctx, i)},
+				{"segment", SegmentGroup(ctx, i)},
+			} {
+				key := fmt.Sprintf("%s(ctx=%#x, %d)", d.family, ctx, i)
+				if d.id <= 1 {
+					t.Errorf("%s = %d intrudes on the reserved world range", key, d.id)
+				}
+				if rawCtx[d.id] {
+					t.Errorf("%s = %#x collides with a raw context id", key, d.id)
+				}
+				if prev, ok := seen[d.id]; ok {
+					t.Errorf("%s = %#x collides with %s", key, d.id, prev)
+				}
+				seen[d.id] = key
+			}
+		}
+	}
+}

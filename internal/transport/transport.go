@@ -209,6 +209,22 @@ type Pacer interface {
 	Pace(d int64)
 }
 
+// RecvPoster is the optional capability of posting standing receive
+// descriptors ahead of the Recv calls that consume them. Under the
+// paper's strict-posted discipline a multicast frame arriving while the
+// receiver has no descriptor posted is silently lost; a collective that
+// lets several multicast rounds run concurrently (the burst schedule in
+// package core) posts one descriptor per outstanding round up front, so
+// every round's data frame finds a descriptor no matter how the senders
+// interleave. Devices without VIA-style descriptor accounting simply do
+// not implement it.
+type RecvPoster interface {
+	// PostRecvs posts n additional standing receive descriptors.
+	PostRecvs(n int)
+	// UnpostRecvs retires n previously posted descriptors.
+	UnpostRecvs(n int)
+}
+
 // DeadlineRecver is the optional capability of receiving with a timeout,
 // needed by acknowledgment-based reliability protocols (the PVM-style
 // sender-repeats-until-acked broadcast the paper compares against).
