@@ -31,6 +31,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +41,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -53,15 +55,16 @@ func main() {
 		csvDir = flag.String("csv", "", "directory to write per-experiment CSV files")
 		trajec = flag.String("trajectory", "", "write the N-sweep perf trajectory (BENCH_sim.json) to this path and skip the figures")
 		gate   = flag.String("gate", "", "baseline BENCH_sim.json to gate the trajectory against (requires -trajectory)")
+		trOut  = flag.String("trace", "", "record the flight-recorder demo set, write a Chrome/Perfetto trace to this path, and skip the figures")
 		cpuOut = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memOut = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
 
-	os.Exit(run(figure, reps, step, max, seed, quick, csvDir, trajec, gate, cpuOut, memOut))
+	os.Exit(run(figure, reps, step, max, seed, quick, csvDir, trajec, gate, trOut, cpuOut, memOut))
 }
 
-func run(figure *string, reps, step, max *int, seed *uint64, quick *bool, csvDir, trajec, gate, cpuOut, memOut *string) int {
+func run(figure *string, reps, step, max *int, seed *uint64, quick *bool, csvDir, trajec, gate, trOut, cpuOut, memOut *string) int {
 	if *cpuOut != "" {
 		f, err := os.Create(*cpuOut)
 		if err != nil {
@@ -99,6 +102,9 @@ func run(figure *string, reps, step, max *int, seed *uint64, quick *bool, csvDir
 	if *gate != "" {
 		fmt.Fprintln(os.Stderr, "mcastbench: -gate requires -trajectory")
 		return 2
+	}
+	if *trOut != "" {
+		return runTrace(*trOut, *seed)
 	}
 
 	opts := bench.Options{Reps: *reps, SizeStep: *step, MaxSize: *max, Seed: *seed}
@@ -148,6 +154,40 @@ func run(figure *string, reps, step, max *int, seed *uint64, quick *bool, csvDir
 	return 0
 }
 
+// runTrace records the flight-recorder demo set — a flat broadcast, a
+// pipelined allgather and a two-level allgather at the fig-14h point —
+// writes the merged Chrome/Perfetto trace to out, validates the export
+// against the schema contract, and prints each run's phase-latency and
+// critical-path summary. Load the file at https://ui.perfetto.dev or
+// chrome://tracing: one process per run, one thread track per rank (plus
+// the "fabric" track's switch gauges).
+func runTrace(out string, seed uint64) int {
+	entries, err := bench.TraceDemo(seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcastbench: trace: %v\n", err)
+		return 1
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteChromeTrace(&buf, bench.TraceRuns(entries)...); err != nil {
+		fmt.Fprintf(os.Stderr, "mcastbench: trace export: %v\n", err)
+		return 1
+	}
+	if err := trace.ValidateChromeTrace(buf.Bytes()); err != nil {
+		fmt.Fprintf(os.Stderr, "mcastbench: trace: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(out, buf.Bytes(), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "mcastbench: writing %s: %v\n", out, err)
+		return 1
+	}
+	for _, e := range entries {
+		fmt.Println(strings.Repeat("=", 100))
+		fmt.Printf("%s (%d events)\n%s", e.Name, e.Rec.Len(), e.Summary.Format())
+	}
+	fmt.Printf("trace validated: %d runs, %d bytes written to %s\n", len(entries), buf.Len(), out)
+	return 0
+}
+
 // runTrajectory measures the perf trajectory, writes it to out, and —
 // when a baseline is given — gates against it, returning a non-zero
 // exit code on any violation. The 10% tolerance matches the CI job's
@@ -156,6 +196,10 @@ func runTrajectory(out, baseline string, seed uint64) int {
 	tr, err := bench.RunTrajectory(seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mcastbench: trajectory: %v\n", err)
+		return 1
+	}
+	if err := tr.AttachPhaseMetrics(seed); err != nil {
+		fmt.Fprintf(os.Stderr, "mcastbench: trajectory phase metrics: %v\n", err)
 		return 1
 	}
 	fmt.Print(tr.Render())

@@ -31,6 +31,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"math"
@@ -44,6 +45,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/mpi"
+	"repro/internal/trace"
 	"repro/internal/udpnet"
 	"repro/internal/workload"
 )
@@ -80,6 +82,7 @@ func main() {
 		topof    = flag.Int("topo", 0, "declare the fabric topology as ranks-per-segment (0: none); the topology-aware algorithms (mcast-2level) cluster communication by it")
 		chaos    = flag.String("chaos", "", "inject a fault, e.g. kill:2@50ms — kill rank 2's endpoint 50ms into the run; failure detection is enabled, the per-rank outcome is dumped, and the exit status is nonzero")
 		deadline = flag.Duration("deadline", 0, "abort a stuck run after this long with a per-rank progress dump and nonzero exit (0: wait forever)")
+		traceOut = flag.String("trace", "", "record the per-rank protocol flight recorder (wall-clock timestamps) and write a Chrome/Perfetto trace plus a phase-latency summary to this path")
 	)
 	flag.Parse()
 
@@ -108,6 +111,11 @@ func main() {
 	cfg.McastPort = *port
 	cfg.P2PLossRate = *p2ploss
 	cfg.SegmentFanout = *topof
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.NewRecorder()
+		cfg.Trace = rec
+	}
 	if *p2ploss > 0 {
 		// Repair promptly when the operator is deliberately dropping
 		// frames; the default RTO is tuned for quiet wires.
@@ -129,19 +137,37 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mpirun: -chaos applies to the latency workloads, not pi\n")
 			os.Exit(2)
 		}
-		err = watchdog(*deadline, func() {
-			fmt.Fprintln(os.Stderr, "  (no per-rank progress for the pi workload)")
-		}, func() error { return runPi(cfg, algs) })
+		err = runPi(cfg, algs, *deadline)
 	case isRegisteredOp(*work):
 		err = runLatency(cfg, algs, *work, *size, *reps, kill, *deadline)
 	default:
 		fmt.Fprintf(os.Stderr, "mpirun: unknown workload %q (known: %s)\n", *work, workloadNames())
 		os.Exit(2)
 	}
+	if err == nil && rec != nil {
+		err = writeTrace(*traceOut, *work, cfg.N, rec)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mpirun: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// writeTrace exports the flight recorder of a finished run as a
+// Chrome/Perfetto trace (one thread track per rank, wall-clock µs) and
+// prints the phase-latency and critical-path summary.
+func writeTrace(path, work string, n int, rec *trace.Recorder) error {
+	var buf bytes.Buffer
+	name := fmt.Sprintf("%s n=%d (udp)", work, n)
+	if err := trace.WriteChromeTrace(&buf, trace.Run{Name: name, Rec: rec}); err != nil {
+		return fmt.Errorf("trace export: %w", err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	fmt.Printf("trace: %d events written to %s\n", rec.Len(), path)
+	fmt.Print(trace.Summarize(rec).Format())
+	return nil
 }
 
 // chaosKill is a parsed -chaos directive: kill one rank's endpoint a
@@ -348,37 +374,76 @@ func max64(a, b int64) int64 {
 	return b
 }
 
+// Pi progress markers. 0..100 is the integration percentage; the values
+// outside that range mark the phases around it.
+const (
+	piWaitingBcast = -1
+	piReducing     = 101
+	piDone         = 102
+)
+
 // runPi estimates pi by numeric integration: the root broadcasts the
 // interval count, every rank integrates its stripe, and a reduction sums
 // the partial results — the classic first MPI program, exercising both
-// collectives the paper optimizes.
-func runPi(cfg udpnet.Config, algs mpi.Algorithms) error {
+// collectives the paper optimizes. Each rank publishes its phase and
+// integration percentage so a -deadline dump shows exactly where every
+// rank is stuck.
+func runPi(cfg udpnet.Config, algs mpi.Algorithms, deadline time.Duration) error {
 	const intervals = 2_000_000
-	return udpnet.Run(cfg, algs, func(c *mpi.Comm) error {
-		nbuf := mpi.Int64sToBytes([]int64{intervals})
-		if err := c.Bcast(nbuf, 0); err != nil {
-			return err
+	progress := make([]atomic.Int64, cfg.N)
+	for i := range progress {
+		progress[i].Store(piWaitingBcast)
+	}
+	dump := func() {
+		for r := 0; r < cfg.N; r++ {
+			switch p := progress[r].Load(); {
+			case p == piWaitingBcast:
+				fmt.Fprintf(os.Stderr, "  rank %d: waiting for the interval-count broadcast\n", r)
+			case p <= 100:
+				fmt.Fprintf(os.Stderr, "  rank %d: integrating (%d%% of stripe)\n", r, p)
+			case p == piReducing:
+				fmt.Fprintf(os.Stderr, "  rank %d: integration done, in the sum reduction\n", r)
+			default:
+				fmt.Fprintf(os.Stderr, "  rank %d: done\n", r)
+			}
 		}
-		n := mpi.BytesToInt64s(nbuf)[0]
-		h := 1.0 / float64(n)
-		sum := 0.0
-		for i := int64(c.Rank()); i < n; i += int64(c.Size()) {
-			x := h * (float64(i) + 0.5)
-			sum += 4.0 / (1.0 + x*x)
-		}
-		part := mpi.Float64sToBytes([]float64{sum * h})
-		total := make([]byte, len(part))
-		if err := c.Reduce(part, total, mpi.Float64, mpi.OpSum, 0); err != nil {
-			return err
-		}
-		if err := c.Barrier(); err != nil {
-			return err
-		}
-		if c.Rank() == 0 {
-			pi := mpi.BytesToFloat64s(total)[0]
-			fmt.Printf("pi ≈ %.12f  (error %.2e, %d ranks over real UDP multicast)\n",
-				pi, math.Abs(pi-math.Pi), c.Size())
-		}
-		return nil
+	}
+	return watchdog(deadline, dump, func() error {
+		return udpnet.Run(cfg, algs, func(c *mpi.Comm) error {
+			rank := c.Rank()
+			nbuf := mpi.Int64sToBytes([]int64{intervals})
+			if err := c.Bcast(nbuf, 0); err != nil {
+				return err
+			}
+			n := mpi.BytesToInt64s(nbuf)[0]
+			progress[rank].Store(0)
+			stride := int64(c.Size())
+			steps := (n - int64(rank) + stride - 1) / stride
+			h := 1.0 / float64(n)
+			sum, done := 0.0, int64(0)
+			for i := int64(rank); i < n; i += stride {
+				x := h * (float64(i) + 0.5)
+				sum += 4.0 / (1.0 + x*x)
+				if done++; done%65536 == 0 {
+					progress[rank].Store(done * 100 / steps)
+				}
+			}
+			progress[rank].Store(piReducing)
+			part := mpi.Float64sToBytes([]float64{sum * h})
+			total := make([]byte, len(part))
+			if err := c.Reduce(part, total, mpi.Float64, mpi.OpSum, 0); err != nil {
+				return err
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			progress[rank].Store(piDone)
+			if rank == 0 {
+				pi := mpi.BytesToFloat64s(total)[0]
+				fmt.Printf("pi ≈ %.12f  (error %.2e, %d ranks over real UDP multicast)\n",
+					pi, math.Abs(pi-math.Pi), c.Size())
+			}
+			return nil
+		})
 	})
 }

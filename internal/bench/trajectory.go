@@ -56,6 +56,11 @@ type Trajectory struct {
 	TotalWallNS       int64             `json:"total_wall_ns"`
 	EventsPerSec      float64           `json:"events_per_sec"`
 	Score             float64           `json:"score"`
+	// PhaseMetrics is the optional flight-recorder section
+	// (AttachPhaseMetrics): phase-latency and critical-path summaries of
+	// the fixed trace demo set. Informational only — GateTrajectory never
+	// compares it, so baselines with and without the section interoperate.
+	PhaseMetrics []PhaseMetricsEntry `json:"phase_metrics,omitempty"`
 }
 
 // trajectoryChunk is the fixed per-rank payload of the trajectory grid:

@@ -246,14 +246,22 @@ func bcastWith(c *mpi.Comm, buf []byte, root int, gather func(mpi.CollCtx, int) 
 	if !cc.CanMulticast() {
 		return mpi.ErrNoMulticast
 	}
-	if err := gather(cc, root); err != nil {
+	cc.SpanBegin("scout-gather")
+	err := gather(cc, root)
+	cc.SpanEnd("scout-gather")
+	if err != nil {
 		return err
 	}
 	if c.Rank() == root {
 		// Every receiver has posted: one multicast cannot be lost.
-		return cc.Multicast(buf, transport.ClassData)
+		cc.SpanBegin("data-mcast")
+		err := cc.Multicast(buf, transport.ClassData)
+		cc.SpanEnd("data-mcast")
+		return err
 	}
+	cc.SpanBegin("data-mcast")
 	m, err := cc.RecvMulticast()
+	cc.SpanEndGated("data-mcast", root)
 	if err != nil {
 		return err
 	}
@@ -321,13 +329,21 @@ func barrierWith(c *mpi.Comm, gather func(mpi.CollCtx, int) error) error {
 	if !cc.CanMulticast() {
 		return mpi.ErrNoMulticast
 	}
-	if err := gather(cc, 0); err != nil {
+	cc.SpanBegin("scout-gather")
+	err := gather(cc, 0)
+	cc.SpanEnd("scout-gather")
+	if err != nil {
 		return err
 	}
 	if c.Rank() == 0 {
-		return cc.Multicast(nil, transport.ClassControl)
+		cc.SpanBegin("release")
+		err := cc.Multicast(nil, transport.ClassControl)
+		cc.SpanEnd("release")
+		return err
 	}
-	_, err := cc.RecvMulticast()
+	cc.SpanBegin("release")
+	_, err = cc.RecvMulticast()
+	cc.SpanEndGated("release", 0)
 	return err
 }
 

@@ -1,0 +1,169 @@
+package core_test
+
+// Fault-injection coverage for simnet.DeliveredStats: the delivered-
+// bytes accounting must freeze at the instant a rank dies (a dead NIC
+// hands nothing up), stay complete for a straggler (late, not lossy),
+// and both must hold on the flat and the two-level collectives.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/workload"
+)
+
+// deliveredRun runs n ranks each doing reps allgathers and returns every
+// endpoint's DeliveredStats. Ranks tolerate rank-failure errors (a kill
+// scenario makes survivors fail the collective by contract); any other
+// error fails the test.
+func deliveredRun(t *testing.T, n int, topology simnet.Topology, prof simnet.Profile,
+	algs mpi.Algorithms, reps, chunk int, kills []coretestKill, stalls []coretestStall) []simnet.DeliveredStats {
+	t.Helper()
+	nw := simnet.New(n, topology, prof)
+	detect := len(kills) > 0
+	for _, k := range kills {
+		nw.KillRank(k.rank, k.at)
+	}
+	for _, s := range stalls {
+		nw.Straggle(s.rank, s.at, s.delay)
+	}
+	dead := make(map[int]bool)
+	for _, k := range kills {
+		dead[k.rank] = true
+	}
+	fns := make([]func(*simnet.Endpoint) error, n)
+	for i := range fns {
+		rank := i
+		fns[i] = func(ep *simnet.Endpoint) error {
+			rt := mpi.NewRuntime(ep)
+			if detect {
+				if err := rt.SetFailureDetection(mpi.FailureOptions{}); err != nil {
+					return err
+				}
+			}
+			c, err := mpi.World(rt, algs)
+			if err != nil {
+				if dead[rank] {
+					return nil
+				}
+				return err
+			}
+			op := workload.Make(c, workload.OpAllgather, chunk, 0)
+			for r := 0; r < reps; r++ {
+				if err := op(); err != nil {
+					if dead[rank] {
+						return nil
+					}
+					if _, ok := mpi.AsRankFailed(err); ok {
+						return nil
+					}
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	if err := nw.Run(fns); err != nil {
+		t.Fatalf("simulation: %v", err)
+	}
+	stats := make([]simnet.DeliveredStats, n)
+	for i := range stats {
+		stats[i] = nw.Endpoint(i).Delivered()
+	}
+	return stats
+}
+
+type coretestKill struct {
+	rank int
+	at   sim.Duration
+}
+
+type coretestStall struct {
+	rank      int
+	at, delay sim.Duration
+}
+
+// TestDeliveredFrozenAtDeath: a killed rank's delivered counters stop at
+// the kill instant — less than the fault-free run delivered to the same
+// rank, deterministically reproducible, while survivors keep receiving
+// (at least as much as the victim saw).
+func TestDeliveredFrozenAtDeath(t *testing.T) {
+	cases := []struct {
+		name     string
+		topology simnet.Topology
+		prof     simnet.Profile
+		algs     mpi.Algorithms
+		n        int
+	}{
+		{"flat/switch", simnet.Switch, simnet.DefaultProfile(), core.Algorithms(core.Binary), 4},
+		{"2level/shared", simnet.SwitchShared, sharedProf(4), core.TwoLevelAlgorithms(), 8},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			const victim, reps, chunk = 1, 40, 1500
+			kill := []coretestKill{{rank: victim, at: 3_000_000}} // 3 ms: mid-run
+			control := deliveredRun(t, tc.n, tc.topology, tc.prof, tc.algs, reps, chunk, nil, nil)
+			faulted := deliveredRun(t, tc.n, tc.topology, tc.prof, tc.algs, reps, chunk, kill, nil)
+			again := deliveredRun(t, tc.n, tc.topology, tc.prof, tc.algs, reps, chunk, kill, nil)
+
+			if faulted[victim] != again[victim] {
+				t.Errorf("killed rank's frozen stats not deterministic: %+v vs %+v",
+					faulted[victim], again[victim])
+			}
+			if faulted[victim].Messages >= control[victim].Messages {
+				t.Errorf("killed rank delivered %d messages, fault-free run %d — not frozen at death",
+					faulted[victim].Messages, control[victim].Messages)
+			}
+			if faulted[victim].Messages == 0 {
+				t.Error("kill at 3ms landed before any delivery; move the kill later")
+			}
+			for r := 0; r < tc.n; r++ {
+				if r == victim {
+					continue
+				}
+				if faulted[r].Messages < faulted[victim].Messages {
+					t.Errorf("survivor %d delivered %d messages, fewer than the victim's %d",
+						r, faulted[r].Messages, faulted[victim].Messages)
+				}
+			}
+		})
+	}
+}
+
+// TestDeliveredCompleteForStraggler: an injected compute stall delays a
+// rank but loses nothing — every rank's delivered accounting matches the
+// stall-free run exactly, on both the flat and two-level paths.
+func TestDeliveredCompleteForStraggler(t *testing.T) {
+	cases := []struct {
+		name     string
+		topology simnet.Topology
+		prof     simnet.Profile
+		algs     mpi.Algorithms
+		n        int
+	}{
+		{"flat/switch", simnet.Switch, simnet.DefaultProfile(), core.Algorithms(core.Binary), 4},
+		{"2level/shared", simnet.SwitchShared, sharedProf(4), core.TwoLevelAlgorithms(), 8},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			const reps, chunk = 10, 1500
+			stall := []coretestStall{{rank: 2, at: 1_000_000, delay: 20_000_000}} // 20 ms stall
+			control := deliveredRun(t, tc.n, tc.topology, tc.prof, tc.algs, reps, chunk, nil, nil)
+			stalled := deliveredRun(t, tc.n, tc.topology, tc.prof, tc.algs, reps, chunk, nil, stall)
+			for r := 0; r < tc.n; r++ {
+				if control[r] != stalled[r] {
+					t.Errorf("rank %d: delivered %+v with straggler, %+v without — a stall must delay, not drop",
+						r, stalled[r], control[r])
+				}
+			}
+			if control[2].Messages == 0 {
+				t.Error("straggler delivered nothing even in the control run")
+			}
+		})
+	}
+}

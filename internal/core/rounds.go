@@ -173,10 +173,13 @@ func runRounds(c *mpi.Comm, rounds []roundPlan, opt roundOptions) error {
 			if !cc.CanMulticast() {
 				return mpi.ErrNoMulticast
 			}
-			if err := opt.gather(cc, rounds[i].sender, -1); err != nil {
+			cc.SpanBegin("round-gather")
+			err := opt.gather(cc, rounds[i].sender, -1)
+			cc.SpanEnd("round-gather")
+			if err != nil {
 				return err
 			}
-			if err := runDataPhase(cc, &rounds[i], &opt, -1); err != nil {
+			if err := tracedDataPhase(cc, &rounds[i], &opt, -1); err != nil {
 				return err
 			}
 		}
@@ -200,7 +203,10 @@ func runRounds(c *mpi.Comm, rounds []roundPlan, opt roundOptions) error {
 	if !cc.CanMulticast() {
 		return mpi.ErrNoMulticast
 	}
-	if err := opt.gather(cc, rounds[0].sender, -1); err != nil {
+	cc.SpanBegin("round-gather")
+	err := opt.gather(cc, rounds[0].sender, -1)
+	cc.SpanEnd("round-gather")
+	if err != nil {
 		return err
 	}
 	for i := range rounds {
@@ -212,16 +218,34 @@ func runRounds(c *mpi.Comm, rounds []roundPlan, opt roundOptions) error {
 			// this send is what overlaps the next gather with the
 			// current multicast.
 			next = c.BeginColl()
-			if err := pipelinedGather(next, &opt, &rounds[i+1], rounds[i].sender); err != nil {
+			next.SpanBegin("round-gather-overlap")
+			err := pipelinedGather(next, &opt, &rounds[i+1], rounds[i].sender)
+			next.SpanEnd("round-gather-overlap")
+			if err != nil {
 				return err
 			}
 		}
-		if err := runDataPhase(cc, &rounds[i], &opt, nextSender); err != nil {
+		if err := tracedDataPhase(cc, &rounds[i], &opt, nextSender); err != nil {
 			return err
 		}
 		cc = next
 	}
 	return nil
+}
+
+// tracedDataPhase wraps one round's data phase in a span: the sender's
+// closes plainly (its multicast is the release), a receiver's closes
+// gated on the round sender — the edge that lets the critical-path walk
+// cross from a waiting rank onto the track of the rank it waited for.
+func tracedDataPhase(cc mpi.CollCtx, rd *roundPlan, opt *roundOptions, nextSender int) error {
+	cc.SpanBegin("round-data")
+	err := runDataPhase(cc, rd, opt, nextSender)
+	if cc.Comm().Rank() == rd.sender {
+		cc.SpanEnd("round-data")
+	} else {
+		cc.SpanEndGated("round-data", rd.sender)
+	}
+	return err
 }
 
 // pipelinedGather runs one rank's part of the overlapped scout gather
@@ -302,7 +326,10 @@ func runRoundsBurst(c *mpi.Comm, rounds []roundPlan, opt roundOptions) error {
 			return mpi.ErrNoMulticast
 		}
 		ccs[i] = cc
-		if err := opt.gather(cc, rd.sender, -1); err != nil {
+		cc.SpanBegin("round-gather")
+		err := opt.gather(cc, rd.sender, -1)
+		cc.SpanEnd("round-gather")
+		if err != nil {
 			return err
 		}
 		if me != rd.sender {
@@ -344,6 +371,7 @@ func runRoundsBurst(c *mpi.Comm, rounds []roundPlan, opt roundOptions) error {
 		cc := ccs[i]
 		var m transport.Message
 		var err error
+		cc.SpanBegin("round-consume")
 		switch {
 		case rd.segSliced():
 			m, err = cc.RecvMulticastSeg(rd.segOf(me))
@@ -352,6 +380,7 @@ func runRoundsBurst(c *mpi.Comm, rounds []roundPlan, opt roundOptions) error {
 		default:
 			m, err = cc.RecvMulticast()
 		}
+		cc.SpanEndGated("round-consume", rd.sender)
 		if err != nil {
 			return err
 		}

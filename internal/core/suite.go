@@ -332,6 +332,7 @@ func AllreduceMcastChunked(c *mpi.Comm, send, recv []byte, dt mpi.Datatype, op m
 		return mpi.ErrNoMulticast
 	}
 	me := c.Rank()
+	cc.SpanBegin("reduce-scatter")
 	// sliceWalk is one interior walk's progress state.
 	type sliceWalk struct {
 		lo, hi   int
@@ -412,6 +413,7 @@ func AllreduceMcastChunked(c *mpi.Comm, send, recv []byte, dt mpi.Datatype, op m
 		}
 		delete(walks, s)
 	}
+	cc.SpanEnd("reduce-scatter")
 
 	// Allgather: rank s multicasts its reduced slice once per round,
 	// pipelined (round r+1's scout gather under round r's data, paced

@@ -548,35 +548,55 @@ func allgatherTwoLevelBurst(c *mpi.Comm, send, recv []byte, t *topo.Map) error {
 		return mpi.ErrNoMulticast
 	}
 	if me != leader {
-		if err := cc.Send(leader, phaseScout, nil, transport.ClassScout, false); err != nil {
+		cc.SpanBegin("member-scout")
+		err := cc.Send(leader, phaseScout, nil, transport.ClassScout, false)
+		cc.SpanEnd("member-scout")
+		if err != nil {
 			return err
 		}
 		// The release proves every segment has entered, so this rank's
 		// chunk multicast cannot be dropped anywhere.
-		if _, err := cc.RecvMulticastSeg(mySeg); err != nil {
+		cc.SpanBegin("await-release")
+		_, err = cc.RecvMulticastSeg(mySeg)
+		cc.SpanEndGated("await-release", leader)
+		if err != nil {
 			return err
 		}
 	} else {
+		cc.SpanBegin("member-scout")
 		for i := 0; i < len(members)-1; i++ {
 			if _, err := cc.Recv(mpi.AnySource, phaseScout); err != nil {
+				cc.SpanEnd("member-scout")
 				return err
 			}
 		}
+		cc.SpanEnd("member-scout")
+		// The cross-scout exchange among the S leaders: the phase the
+		// two-level handshake's completion time hinges on, and the one
+		// the critical-path report names when the uplink fabric bounds
+		// the operation.
+		cc.SpanBegin("leader-scout-exchange")
 		for s := 0; s < segs; s++ {
 			if s == mySeg {
 				continue
 			}
 			if err := cc.Send(t.Leader(s), phaseLeaderScout, nil, transport.ClassScout, false); err != nil {
+				cc.SpanEnd("leader-scout-exchange")
 				return err
 			}
 		}
 		for i := 0; i < segs-1; i++ {
 			if _, err := cc.Recv(mpi.AnySource, phaseLeaderScout); err != nil {
+				cc.SpanEnd("leader-scout-exchange")
 				return err
 			}
 		}
+		cc.SpanEnd("leader-scout-exchange")
 		if len(members) > 1 {
-			if err := cc.MulticastSeg(mySeg, nil, transport.ClassControl); err != nil {
+			cc.SpanBegin("release")
+			err := cc.MulticastSeg(mySeg, nil, transport.ClassControl)
+			cc.SpanEnd("release")
+			if err != nil {
 				return err
 			}
 		}
@@ -590,24 +610,31 @@ func allgatherTwoLevelBurst(c *mpi.Comm, send, recv []byte, t *topo.Map) error {
 	for r := 0; r < size; r++ {
 		ccs[r] = c.BeginColl()
 		if r == me {
-			if err := ccs[r].Multicast(send, transport.ClassData); err != nil {
+			cc.SpanBegin("chunk-mcast")
+			err := ccs[r].Multicast(send, transport.ClassData)
+			cc.SpanEnd("chunk-mcast")
+			if err != nil {
 				return err
 			}
 		}
 	}
+	cc.SpanBegin("chunk-consume")
 	for r := 0; r < size; r++ {
 		if r == me {
 			continue
 		}
 		m, err := ccs[r].RecvMulticast()
 		if err != nil {
+			cc.SpanEnd("chunk-consume")
 			return err
 		}
 		if len(m.Payload) != n {
+			cc.SpanEnd("chunk-consume")
 			return fmt.Errorf("core: allgather chunk from %d is %d bytes, want %d", r, len(m.Payload), n)
 		}
 		copy(recv[r*n:(r+1)*n], m.Payload)
 	}
+	cc.SpanEnd("chunk-consume")
 	return nil
 }
 

@@ -58,9 +58,25 @@ type Switch struct {
 	groups   map[MAC]*group // snooped membership per multicast address
 	heldBy   map[*NIC]int   // frames parked per paused source NIC
 	cuts     map[int]portCut
+	tap      SwitchTap
 
 	Stats SwitchStats
 }
+
+// SwitchTap observes fabric occupancy as it changes: egress queue depth
+// after every enqueue and dequeue, the count of 802.3x-paused stations
+// after every transition, and tail drops. The simulator wires it to the
+// flight recorder when tracing is enabled; nil fields are skipped. The
+// callbacks only observe — they must not mutate the switch or schedule
+// events, so a tap can never move a simulated timestamp.
+type SwitchTap struct {
+	QueueDepth func(port, depth int)
+	Paused     func(stations int)
+	Drop       func(port int)
+}
+
+// SetTap installs the occupancy observer (zero value to remove).
+func (s *Switch) SetTap(t SwitchTap) { s.tap = t }
 
 // portCut is one injected uplink partition: the port forwards nothing
 // (in either direction) during [from, to). Segment-local traffic is
@@ -372,6 +388,9 @@ func (p *swPort) enqueue(f Frame, src *NIC) {
 		if !p.sw.params.SwitchFlowControl {
 			p.sw.Stats.QueueDrops++
 			p.stats.Drops++
+			if t := p.sw.tap.Drop; t != nil {
+				t(p.idx)
+			}
 			return
 		}
 		p.stats.Held++
@@ -388,6 +407,9 @@ func (p *swPort) enqueue(f Frame, src *NIC) {
 			p.sw.Stats.MaxQueueDepth = d
 		}
 	}
+	if t := p.sw.tap.QueueDepth; t != nil {
+		t(p.idx, p.outq.len())
+	}
 	p.pumpOut()
 }
 
@@ -402,6 +424,9 @@ func (s *Switch) pause(n *NIC) {
 	if s.heldBy[n] == 1 {
 		s.Stats.PauseEvents++
 		n.setPaused(true)
+		if t := s.tap.Paused; t != nil {
+			t(len(s.heldBy))
+		}
 	}
 }
 
@@ -413,6 +438,9 @@ func (s *Switch) unpause(n *NIC) {
 	if s.heldBy[n] <= 0 {
 		delete(s.heldBy, n)
 		n.setPaused(false)
+		if t := s.tap.Paused; t != nil {
+			t(len(s.heldBy))
+		}
 	}
 }
 
@@ -435,6 +463,9 @@ func (p *swPort) pumpOut() {
 	p.outBusy = true
 	f := p.outq.pop()
 	p.drainWait()
+	if t := p.sw.tap.QueueDepth; t != nil {
+		t(p.idx, p.outq.len())
+	}
 	if p.shared() {
 		// Egress must win the shared segment like any transmission; the
 		// segment pump clears outBusy when the frame is on the wire.

@@ -65,6 +65,7 @@ func (cc CollCtx) Send(dst, phase int, payload []byte, class transport.Class, re
 	if dst < 0 || dst >= cc.c.Size() {
 		return fmt.Errorf("%w: collective send to %d (size %d)", ErrInvalidRank, dst, cc.c.Size())
 	}
+	cc.traceSend(class, len(payload))
 	return cc.c.rt.sendP2P(cc.c.group[dst], transport.Message{
 		Comm:     cc.c.ctx,
 		Tag:      collTagBase - int32(phase),
@@ -302,6 +303,7 @@ func (cc CollCtx) repair(group uint32, tag int32, payload []byte, class transpor
 	if cc.c.rt.mc == nil {
 		return ErrNoMulticast
 	}
+	cc.TraceEvent("repair.mcast", int64(len(frags)))
 	m := transport.Message{
 		Comm:    cc.c.ctx,
 		Tag:     tag,
@@ -411,6 +413,7 @@ func (c *Comm) Bcast(buf []byte, root int) error {
 	if root < 0 || root >= c.Size() {
 		return fmt.Errorf("%w: bcast root %d", ErrInvalidRank, root)
 	}
+	defer c.endOp(c.beginOp("bcast"), "bcast")
 	if c.algs.Bcast != nil {
 		return c.algs.Bcast(c, buf, root)
 	}
@@ -419,6 +422,7 @@ func (c *Comm) Bcast(buf []byte, root int) error {
 
 // Barrier blocks until every rank of the communicator has entered.
 func (c *Comm) Barrier() error {
+	defer c.endOp(c.beginOp("barrier"), "barrier")
 	if c.algs.Barrier != nil {
 		return c.algs.Barrier(c)
 	}
@@ -431,6 +435,7 @@ func (c *Comm) Reduce(send, recv []byte, dt Datatype, op Op, root int) error {
 	if root < 0 || root >= c.Size() {
 		return fmt.Errorf("%w: reduce root %d", ErrInvalidRank, root)
 	}
+	defer c.endOp(c.beginOp("reduce"), "reduce")
 	if c.algs.Reduce != nil {
 		return c.algs.Reduce(c, send, recv, dt, op, root)
 	}
@@ -439,6 +444,7 @@ func (c *Comm) Reduce(send, recv []byte, dt Datatype, op Op, root int) error {
 
 // Allreduce is Reduce followed by a broadcast of the result to all ranks.
 func (c *Comm) Allreduce(send, recv []byte, dt Datatype, op Op) error {
+	defer c.endOp(c.beginOp("allreduce"), "allreduce")
 	if c.algs.Allreduce != nil {
 		return c.algs.Allreduce(c, send, recv, dt, op)
 	}
@@ -454,6 +460,7 @@ func (c *Comm) Gather(send, recv []byte, root int) error {
 	if root < 0 || root >= c.Size() {
 		return fmt.Errorf("%w: gather root %d", ErrInvalidRank, root)
 	}
+	defer c.endOp(c.beginOp("gather"), "gather")
 	if c.algs.Gather != nil {
 		return c.algs.Gather(c, send, recv, root)
 	}
@@ -466,6 +473,7 @@ func (c *Comm) Scatter(send, recv []byte, root int) error {
 	if root < 0 || root >= c.Size() {
 		return fmt.Errorf("%w: scatter root %d", ErrInvalidRank, root)
 	}
+	defer c.endOp(c.beginOp("scatter"), "scatter")
 	if c.algs.Scatter != nil {
 		return c.algs.Scatter(c, send, recv, root)
 	}
@@ -475,6 +483,7 @@ func (c *Comm) Scatter(send, recv []byte, root int) error {
 // Allgather concatenates every rank's send buffer into every rank's recv
 // buffer (Size()*len(send) bytes).
 func (c *Comm) Allgather(send, recv []byte) error {
+	defer c.endOp(c.beginOp("allgather"), "allgather")
 	if c.algs.Allgather != nil {
 		return c.algs.Allgather(c, send, recv)
 	}
@@ -487,6 +496,7 @@ func (c *Comm) Allgather(send, recv []byte) error {
 // Alltoall sends the i-th chunk of send to rank i and fills the j-th
 // chunk of recv with the chunk received from rank j.
 func (c *Comm) Alltoall(send, recv []byte) error {
+	defer c.endOp(c.beginOp("alltoall"), "alltoall")
 	if c.algs.Alltoall != nil {
 		return c.algs.Alltoall(c, send, recv)
 	}

@@ -44,6 +44,7 @@ import (
 	"sort"
 
 	"repro/internal/topo"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -95,6 +96,11 @@ type Runtime struct {
 	// fd is the optional failure detector (SetFailureDetection). When
 	// nil, collective receives block forever exactly as before.
 	fd *failureDetector
+
+	// rec is the device's flight recorder (nil: tracing disabled). It is
+	// discovered from the endpoint like the other optional capabilities;
+	// every span and instant the collective layers record goes here.
+	rec *trace.Recorder
 }
 
 // NewRuntime wraps an endpoint. The multicast capability is discovered by
@@ -108,8 +114,16 @@ func NewRuntime(ep transport.Endpoint) *Runtime {
 	if rs, ok := ep.(transport.ReliableSender); ok {
 		rt.rs = rs
 	}
+	if tc, ok := ep.(trace.Carrier); ok {
+		rt.rec = tc.TraceRecorder()
+	}
 	return rt
 }
+
+// Trace returns the device's flight recorder, or nil when tracing is
+// disabled. All recorder methods are nil-safe, so callers may use the
+// result unconditionally.
+func (rt *Runtime) Trace() *trace.Recorder { return rt.rec }
 
 // sendP2P routes a point-to-point message to world rank dstWorld. All
 // point-to-point traffic rides the device's reliable stream when it

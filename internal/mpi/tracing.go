@@ -1,0 +1,94 @@
+package mpi
+
+import (
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// Flight-recorder hooks for the collective layers. Every helper is a
+// no-op when the device carries no recorder: one nil check, no clock
+// read, no allocation — the disabled path is pinned to zero allocs by
+// the trace package's tests, so instrumentation can sit on hot paths.
+
+// beginOp opens the operation-level span the public collective
+// dispatchers record and returns the recorder for the matching endOp
+// (nil when tracing is disabled). Usage:
+//
+//	defer c.endOp(c.beginOp("bcast"), "bcast")
+//
+// The deferred endOp stamps the close at return time; beginOp's clock
+// read happens only when a recorder is present.
+func (c *Comm) beginOp(name string) *trace.Recorder {
+	if c.rt.rec != nil {
+		c.rt.rec.Begin(c.rank, c.rt.ep.Now(), name)
+	}
+	return c.rt.rec
+}
+
+func (c *Comm) endOp(r *trace.Recorder, name string) {
+	if r != nil {
+		r.End(c.rank, c.rt.ep.Now(), name)
+	}
+}
+
+// TraceEnabled reports whether protocol events are being recorded.
+func (cc CollCtx) TraceEnabled() bool { return cc.c.rt.rec != nil }
+
+// SpanBegin opens a phase span on this rank's trace track. Algorithm
+// implementations bracket their protocol phases (scout gather, data
+// rounds, leader exchange) with SpanBegin/SpanEnd so the exported trace
+// nests phases under the operation span.
+func (cc CollCtx) SpanBegin(name string) {
+	if r := cc.c.rt.rec; r != nil {
+		r.Begin(cc.c.rank, cc.c.rt.ep.Now(), name)
+	}
+}
+
+// SpanEnd closes the innermost open phase span of the same name.
+func (cc CollCtx) SpanEnd(name string) {
+	if r := cc.c.rt.rec; r != nil {
+		r.End(cc.c.rank, cc.c.rt.ep.Now(), name)
+	}
+}
+
+// SpanEndGated is SpanEnd for a phase that blocked until a message from
+// communicator rank gate arrived: the recorded edge is what lets the
+// critical-path extraction jump from the waiting rank onto the track of
+// the rank it waited for.
+func (cc CollCtx) SpanEndGated(name string, gate int) {
+	if r := cc.c.rt.rec; r != nil {
+		r.EndGated(cc.c.rank, cc.c.rt.ep.Now(), name, gate)
+	}
+}
+
+// TraceEvent records an instant protocol event (a NACK decision, a
+// repair served) on this rank's track.
+func (cc CollCtx) TraceEvent(name string, arg int64) {
+	if r := cc.c.rt.rec; r != nil {
+		r.Event(cc.c.rank, cc.c.rt.ep.Now(), name, arg)
+	}
+}
+
+// sendEventName maps a protocol message class to the instant-event name
+// recorded when CollCtx sends it. Indexed by class so the lookup costs
+// nothing; data sends are spanned by their phases instead of flooding
+// the log with one instant per chunk.
+var sendEventName = [...]string{
+	transport.ClassScout:   "send.scout",
+	transport.ClassAck:     "send.ack",
+	transport.ClassNack:    "send.nack",
+	transport.ClassControl: "send.release",
+}
+
+// traceSend records the protocol-salient sends (scout, ack, NACK,
+// release) as instants with the payload size as argument.
+func (cc CollCtx) traceSend(class transport.Class, bytes int) {
+	r := cc.c.rt.rec
+	if r == nil {
+		return
+	}
+	if int(class) >= len(sendEventName) || sendEventName[class] == "" {
+		return
+	}
+	r.Event(cc.c.rank, cc.c.rt.ep.Now(), sendEventName[class], int64(bytes))
+}

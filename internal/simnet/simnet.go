@@ -139,6 +139,13 @@ type Profile struct {
 	UplinkFanout int
 	// Seed drives all randomness (CSMA/CD backoff, loss injection).
 	Seed uint64
+	// Trace, when non-nil, is the flight recorder every endpoint exposes
+	// through trace.Carrier and the fabric reports occupancy gauges to.
+	// Recording reads the simulated clock but never advances it and
+	// schedules no events, so an instrumented run produces byte-identical
+	// simulated timestamps to an untraced one (a property pinned by
+	// TestTraceDoesNotPerturbSimTime in package bench).
+	Trace *trace.Recorder
 }
 
 // DefaultProfile returns the era-calibrated constants from DESIGN.md §5.
@@ -231,6 +238,27 @@ func New(n int, topo Topology, prof Profile) *Network {
 		}
 	default:
 		panic(fmt.Sprintf("simnet: unknown topology %d", topo))
+	}
+	if rec := prof.Trace; rec != nil && nw.sw != nil {
+		// Fabric occupancy gauges land on a synthetic track so they never
+		// mix with rank-program events. Port names are precomputed: the tap
+		// fires on every egress enqueue/dequeue.
+		ports := len(nw.sw.PortStats())
+		depthName := make([]string, ports)
+		for p := range depthName {
+			depthName[p] = fmt.Sprintf("switch.port%d.depth", p)
+		}
+		nw.sw.SetTap(ethernet.SwitchTap{
+			QueueDepth: func(port, depth int) {
+				rec.Gauge(trace.FabricRank, int64(eng.Now()), depthName[port], int64(depth))
+			},
+			Paused: func(stations int) {
+				rec.Gauge(trace.FabricRank, int64(eng.Now()), "switch.paused", int64(stations))
+			},
+			Drop: func(port int) {
+				rec.Event(trace.FabricRank, int64(eng.Now()), "switch.drop", int64(port))
+			},
+		})
 	}
 	for i := 0; i < n; i++ {
 		node := ipnet.NewNode(eng, nics[i], ipnet.RankAddr(i))
@@ -494,7 +522,12 @@ var (
 	_ transport.Pinger           = (*Endpoint)(nil)
 	_ transport.PeerFailer       = (*Endpoint)(nil)
 	_ topo.Provider              = (*Endpoint)(nil)
+	_ trace.Carrier              = (*Endpoint)(nil)
 )
+
+// TraceRecorder implements trace.Carrier: the network-wide flight
+// recorder from Profile.Trace, nil when tracing is disabled.
+func (ep *Endpoint) TraceRecorder() *trace.Recorder { return ep.nw.prof.Trace }
 
 // Rank implements transport.Endpoint.
 func (ep *Endpoint) Rank() int { return ep.rank }
@@ -757,6 +790,9 @@ func (ep *Endpoint) probeTick(dst int, sp *sendPeer) {
 		return
 	}
 	ep.nw.Stats.Stream.ProbesSent++
+	if rec := ep.nw.prof.Trace; rec != nil {
+		rec.Event(ep.rank, int64(ep.nw.eng.Now()), "stream.probe", int64(dst))
+	}
 	ep.sendCtl(dst, reliab.EncodeProbe(nonce))
 	ep.armProbe(dst, sp)
 }
@@ -823,6 +859,9 @@ func (ep *Endpoint) resendFrags(dst int, frags []transport.Fragment) {
 		return
 	}
 	ep.nw.Stats.Stream.Retransmits += int64(len(frags))
+	if rec := ep.nw.prof.Trace; rec != nil {
+		rec.Event(ep.rank, int64(ep.nw.eng.Now()), "stream.retransmit", int64(len(frags)))
+	}
 	ep.nw.Wire.CountSend(frags[0].Msg.Class, len(frags), bytes)
 	for _, f := range frags {
 		_ = ep.node.SendUDP(ipnet.Datagram{
@@ -1159,6 +1198,9 @@ func (ep *Endpoint) handleDatagram(d ipnet.Datagram) {
 	ep.delivered.Bytes += int64(len(m.Payload))
 	if m.Class == transport.ClassData {
 		ep.delivered.DataBytes += int64(len(m.Payload))
+	}
+	if rec := prof.Trace; rec != nil {
+		rec.Gauge(ep.rank, int64(ep.nw.eng.Now()), "delivered.bytes", ep.delivered.Bytes)
 	}
 	ep.inbox.Push(arrived{msg: m, frags: nfrags})
 	if rp != nil && rp.rs.Gapped() {

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Run names one recorded run for export: several runs (one per
+// collective demoed) render as separate processes of a single Chrome
+// trace, each with one thread track per rank.
+type Run struct {
+	Name string
+	Rec  *Recorder
+}
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// array Perfetto and chrome://tracing load). Timestamps are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name,omitempty"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   float64        `json:"ts"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromeTID maps a recorder rank to a Chrome thread id. Real ranks map
+// to themselves; pseudo-ranks (FabricRank) move above any plausible
+// world size so they sort below the rank tracks.
+func chromeTID(rank int32) int {
+	if rank >= 0 {
+		return int(rank)
+	}
+	return 1_000_000 - int(rank)
+}
+
+func trackName(rank int32) string {
+	if rank == FabricRank {
+		return "fabric"
+	}
+	return fmt.Sprintf("rank %d", rank)
+}
+
+// WriteChromeTrace renders the runs as one Chrome trace-event JSON
+// document on w: one process per run, one thread per rank, nested phase
+// spans, instants, and gauge counter tracks. Events are ordered
+// per-track by timestamp (stable, so nesting order of equal-timestamp
+// begin/end pairs is preserved), which is what ValidateChromeTrace and
+// Perfetto's importer require.
+func WriteChromeTrace(w io.Writer, runs ...Run) error {
+	var out chromeTrace
+	out.DisplayTimeUnit = "ms"
+	for pid, run := range runs {
+		events := run.Rec.Events()
+		// Stable-sort by (track, ts): each rank's own spans are appended
+		// in time order already, but tracks interleave in the shared log
+		// (and on the wall-clock transport a rank's read-loop instants can
+		// land out of order with its app thread's spans).
+		sort.SliceStable(events, func(i, j int) bool {
+			if events[i].Rank != events[j].Rank {
+				return events[i].Rank < events[j].Rank
+			}
+			return events[i].TS < events[j].TS
+		})
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": run.Name},
+		})
+		seenTrack := make(map[int32]bool)
+		for _, e := range events {
+			if !seenTrack[e.Rank] {
+				seenTrack[e.Rank] = true
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: "thread_name", Ph: "M", PID: pid, TID: chromeTID(e.Rank),
+					Args: map[string]any{"name": trackName(e.Rank)},
+				})
+			}
+			ce := chromeEvent{
+				Name: e.Name, PID: pid, TID: chromeTID(e.Rank),
+				TS: float64(e.TS) / 1e3,
+			}
+			switch e.Kind {
+			case SpanBegin:
+				ce.Ph = "B"
+			case SpanEnd:
+				ce.Ph = "E"
+				if e.Gate != NoGate {
+					ce.Args = map[string]any{"gated_on_rank": e.Gate}
+				}
+			case Instant:
+				ce.Ph = "i"
+				ce.S = "t"
+				if e.Arg != 0 {
+					ce.Args = map[string]any{"arg": e.Arg}
+				}
+			case Gauge:
+				ce.Ph = "C"
+				ce.Args = map[string]any{"value": e.Arg}
+			default:
+				continue
+			}
+			out.TraceEvents = append(out.TraceEvents, ce)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}
+
+// ValidateChromeTrace checks an exported trace document against the
+// schema contract the CI smoke step enforces: well-formed JSON, at least
+// one event, per-track monotonic (non-decreasing) timestamps, and
+// balanced span begin/end pairs with matching names on every track.
+func ValidateChromeTrace(b []byte) error {
+	var doc chromeTrace
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return fmt.Errorf("trace: malformed JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("trace: no events")
+	}
+	type trackKey struct{ pid, tid int }
+	lastTS := make(map[trackKey]float64)
+	stacks := make(map[trackKey][]string)
+	spans := 0
+	for i, e := range doc.TraceEvents {
+		k := trackKey{e.PID, e.TID}
+		switch e.Ph {
+		case "M":
+			continue
+		case "B", "E", "i", "C":
+			if last, ok := lastTS[k]; ok && e.TS < last {
+				return fmt.Errorf("trace: event %d (pid %d tid %d): timestamp %.3f before %.3f", i, e.PID, e.TID, e.TS, last)
+			}
+			lastTS[k] = e.TS
+		default:
+			return fmt.Errorf("trace: event %d: unknown phase %q", i, e.Ph)
+		}
+		switch e.Ph {
+		case "B":
+			stacks[k] = append(stacks[k], e.Name)
+			spans++
+		case "E":
+			st := stacks[k]
+			if len(st) == 0 {
+				return fmt.Errorf("trace: event %d (pid %d tid %d): span end %q with no open span", i, e.PID, e.TID, e.Name)
+			}
+			if top := st[len(st)-1]; e.Name != "" && e.Name != top {
+				return fmt.Errorf("trace: event %d (pid %d tid %d): span end %q closes %q", i, e.PID, e.TID, e.Name, top)
+			}
+			stacks[k] = st[:len(st)-1]
+		}
+	}
+	for k, st := range stacks {
+		if len(st) != 0 {
+			return fmt.Errorf("trace: pid %d tid %d: %d spans never closed (innermost %q)", k.pid, k.tid, len(st), st[len(st)-1])
+		}
+	}
+	if spans == 0 {
+		return fmt.Errorf("trace: no spans recorded")
+	}
+	return nil
+}

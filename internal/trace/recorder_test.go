@@ -1,0 +1,243 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// TestDisabledRecorderAllocs pins the zero-cost contract for disabled
+// tracing: every Recorder method on a nil receiver must do nothing and
+// allocate nothing, so instrumented hot paths cost one nil check.
+func TestDisabledRecorderAllocs(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Begin(3, 100, "phase")
+		r.End(3, 200, "phase")
+		r.EndGated(3, 300, "phase", 1)
+		r.Event(3, 400, "instant", 7)
+		r.Gauge(FabricRank, 500, "gauge", 9)
+	})
+	if allocs != 0 {
+		t.Errorf("nil recorder allocated %v per run, want 0", allocs)
+	}
+	if r.Enabled() || r.Len() != 0 || r.Events() != nil {
+		t.Error("nil recorder reports state")
+	}
+}
+
+// TestRecorderCapturesEvents checks the enabled path records in call
+// order with the fields intact.
+func TestRecorderCapturesEvents(t *testing.T) {
+	r := NewRecorder()
+	if !r.Enabled() {
+		t.Fatal("fresh recorder not enabled")
+	}
+	r.Begin(0, 10, "op")
+	r.Event(1, 15, "send.scout", 64)
+	r.EndGated(0, 20, "op", 1)
+	r.Gauge(FabricRank, 25, "switch.port0.depth", 3)
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("events = %d, want 4", len(evs))
+	}
+	if evs[0].Kind != SpanBegin || evs[0].Name != "op" || evs[0].TS != 10 {
+		t.Errorf("begin event wrong: %+v", evs[0])
+	}
+	if evs[2].Kind != SpanEnd || evs[2].Gate != 1 {
+		t.Errorf("gated end wrong: %+v", evs[2])
+	}
+	if evs[3].Rank != FabricRank || evs[3].Arg != 3 {
+		t.Errorf("fabric gauge wrong: %+v", evs[3])
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+// TestRecorderConcurrent hammers one recorder from many goroutines (the
+// udpnet transport records from one goroutine per rank); run under
+// -race this is the data-race check for the mutex path.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	const ranks, per = 8, 500
+	var wg sync.WaitGroup
+	for rank := 0; rank < ranks; rank++ {
+		rank := rank
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Begin(rank, int64(i), "p")
+				r.End(rank, int64(i)+1, "p")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Len(); got != ranks*per*2 {
+		t.Errorf("events = %d, want %d", got, ranks*per*2)
+	}
+}
+
+// TestCountSendConcurrent hammers the atomic counters from many
+// goroutines; run under -race this is satellite coverage for the
+// concurrency-safety contract of Counters.
+func TestCountSendConcurrent(t *testing.T) {
+	var c Counters
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.CountSend(transport.ClassData, 2, 100)
+				c.CountSend(transport.ClassScout, 1, 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Frames(transport.ClassData); got != workers*per*2 {
+		t.Errorf("data frames = %d, want %d", got, workers*per*2)
+	}
+	if got := c.Bytes(transport.ClassData); got != workers*per*100 {
+		t.Errorf("data bytes = %d, want %d", got, workers*per*100)
+	}
+	if got := c.Frames(transport.ClassScout); got != workers*per {
+		t.Errorf("scout frames = %d, want %d", got, workers*per)
+	}
+}
+
+// TestFramesForMessageGuardsFragSize locks the guard against a
+// non-positive fragment size: one frame per message, never a panic or a
+// negative count.
+func TestFramesForMessageGuardsFragSize(t *testing.T) {
+	for _, tc := range []struct{ size, frag int }{
+		{5000, 0}, {5000, -1}, {0, 0}, {-3, -7}, {1, 0},
+	} {
+		if got := FramesForMessage(tc.size, tc.frag); got != 1 {
+			t.Errorf("FramesForMessage(%d,%d) = %d, want 1", tc.size, tc.frag, got)
+		}
+	}
+}
+
+// TestChromeRoundTrip exports a two-run trace and validates it: metadata
+// and span/instant/gauge events present, per-track timestamps monotonic,
+// spans balanced.
+func TestChromeRoundTrip(t *testing.T) {
+	a := NewRecorder()
+	a.Begin(0, 1_000, "bcast")
+	a.Begin(0, 2_000, "data-mcast")
+	a.Event(0, 2_500, "send.scout", 64)
+	a.End(0, 3_000, "data-mcast")
+	a.EndGated(0, 4_000, "bcast", 1)
+	a.Gauge(FabricRank, 2_200, "switch.port0.depth", 2)
+	b := NewRecorder()
+	b.Begin(1, 1_000, "bcast")
+	b.End(1, 5_000, "bcast")
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, Run{Name: "runA", Rec: a}, Run{Name: "runB", Rec: b}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"runA", "runB", "data-mcast", "send.scout", "switch.port0.depth", "gated_on_rank"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q", want)
+		}
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+// TestValidateRejectsUnbalanced: a span begun but never ended must fail
+// validation — that is the CI smoke check's teeth.
+func TestValidateRejectsUnbalanced(t *testing.T) {
+	r := NewRecorder()
+	r.Begin(0, 1_000, "op")
+	r.Begin(0, 2_000, "inner")
+	r.End(0, 3_000, "inner")
+	// "op" never ends.
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, Run{Name: "bad", Rec: r}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err == nil {
+		t.Error("unbalanced trace passed validation")
+	}
+	if err := ValidateChromeTrace([]byte("not json")); err == nil {
+		t.Error("garbage passed validation")
+	}
+	if err := ValidateChromeTrace([]byte(`{"traceEvents":[]}`)); err == nil {
+		t.Error("empty trace passed validation")
+	}
+}
+
+// TestSummarizeCriticalPath builds a known two-rank timeline — rank 1
+// finishes last inside a span gated on rank 0 — and checks the phase
+// stats and that the critical path jumps tracks through the gate.
+func TestSummarizeCriticalPath(t *testing.T) {
+	r := NewRecorder()
+	// Rank 0: op [0,3000] with data-mcast [1000,2000].
+	r.Begin(0, 0, "op")
+	r.Begin(0, 1_000, "data-mcast")
+	r.End(0, 2_000, "data-mcast")
+	r.End(0, 3_000, "op")
+	// Rank 1: op [0,5000] with data-mcast [1000,4500] gated on rank 0.
+	r.Begin(1, 0, "op")
+	r.Begin(1, 1_000, "data-mcast")
+	r.EndGated(1, 4_500, "data-mcast", 0)
+	r.End(1, 5_000, "op")
+
+	s := Summarize(r)
+	if s.BoundRank != 1 {
+		t.Errorf("bound rank = %d, want 1", s.BoundRank)
+	}
+	if s.CompletionUS != 5.0 {
+		t.Errorf("completion = %v µs, want 5", s.CompletionUS)
+	}
+	var mcast *PhaseStat
+	for i := range s.Phases {
+		if s.Phases[i].Name == "data-mcast" {
+			mcast = &s.Phases[i]
+		}
+	}
+	if mcast == nil || mcast.Count != 2 || mcast.MinUS != 1.0 || mcast.MaxUS != 3.5 {
+		t.Errorf("data-mcast stats wrong: %+v", mcast)
+	}
+	if len(s.Critical) == 0 {
+		t.Fatal("empty critical path")
+	}
+	// The walk starts at rank 1's deepest last span and must cross to
+	// rank 0 through the gate.
+	sawRank0 := false
+	for _, step := range s.Critical {
+		if step.Rank == 0 {
+			sawRank0 = true
+		}
+	}
+	if !sawRank0 {
+		t.Errorf("critical path never crossed the gate to rank 0: %+v", s.Critical)
+	}
+	if txt := s.Format(); !strings.Contains(txt, "critical path") || !strings.Contains(txt, "data-mcast") {
+		t.Errorf("Format() = %q", txt)
+	}
+}
+
+// TestSummarizeDropsUnclosedSpans: a rank that died mid-span must not
+// corrupt the report — the orphan begin is dropped.
+func TestSummarizeDropsUnclosedSpans(t *testing.T) {
+	r := NewRecorder()
+	r.Begin(0, 0, "op")
+	r.End(0, 2_000, "op")
+	r.Begin(1, 0, "op") // rank 1 dies; never ends.
+	s := Summarize(r)
+	if s.BoundRank != 0 || s.CompletionUS != 2.0 {
+		t.Errorf("summary polluted by unclosed span: %+v", s)
+	}
+}

@@ -1,105 +1,117 @@
-// Package trace provides protocol-level wire accounting: how many frames
-// and bytes of each message class (data, scout, ack, …) a run put on the
-// network. The counters verify the frame-count formulas from the paper's
-// §3 analysis, e.g. that an MPICH-style broadcast of M bytes to N
-// processes costs ceil(M/T)·(N-1) data frames while the multicast
-// implementation costs N-1 scout frames plus ceil(M/T) data frames.
 package trace
 
 import (
 	"fmt"
-	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/transport"
 )
 
-// Counters accumulates per-class frame and byte counts. The zero value is
-// ready to use. Counters are not safe for concurrent mutation; the
-// simulator is single-threaded and wall-clock transports must wrap access
-// externally if they share one.
+// numClasses sizes the per-class counter arrays. It must cover every
+// transport.Class value; out-of-range classes (a corrupted frame, a
+// future class this build does not know) are accumulated in the last
+// slot rather than dropped or crashing.
+const numClasses = int(transport.ClassStream) + 2
+
+// clampClass maps a class to its counter slot.
+func clampClass(class transport.Class) int {
+	if int(class) >= numClasses {
+		return numClasses - 1
+	}
+	return int(class)
+}
+
+// Counters accumulates per-class frame and byte counts. The zero value
+// is ready to use, and all methods are safe for concurrent use: the
+// simulator is single-threaded, but the wall-clock transports run one
+// goroutine per rank and share one Counters per network.
 type Counters struct {
-	frames map[transport.Class]int64
-	bytes  map[transport.Class]int64
+	frames [numClasses]atomic.Int64
+	bytes  [numClasses]atomic.Int64
 }
 
 // CountSend records frames wire frames totalling bytes payload bytes of
 // the given class.
 func (c *Counters) CountSend(class transport.Class, frames int, bytes int) {
-	if c.frames == nil {
-		c.frames = make(map[transport.Class]int64)
-		c.bytes = make(map[transport.Class]int64)
-	}
-	c.frames[class] += int64(frames)
-	c.bytes[class] += int64(bytes)
+	i := clampClass(class)
+	c.frames[i].Add(int64(frames))
+	c.bytes[i].Add(int64(bytes))
 }
 
 // Frames returns the frame count of class.
-func (c *Counters) Frames(class transport.Class) int64 { return c.frames[class] }
+func (c *Counters) Frames(class transport.Class) int64 {
+	return c.frames[clampClass(class)].Load()
+}
 
 // Bytes returns the payload byte count of class.
-func (c *Counters) Bytes(class transport.Class) int64 { return c.bytes[class] }
+func (c *Counters) Bytes(class transport.Class) int64 {
+	return c.bytes[clampClass(class)].Load()
+}
 
 // TotalFrames returns frames across all classes.
 func (c *Counters) TotalFrames() int64 {
 	var t int64
-	for _, v := range c.frames {
-		t += v
+	for i := range c.frames {
+		t += c.frames[i].Load()
 	}
 	return t
 }
 
 // Snapshot returns a copy for later Diff.
 func (c *Counters) Snapshot() Snapshot {
-	s := Snapshot{frames: make(map[transport.Class]int64), bytes: make(map[transport.Class]int64)}
-	for k, v := range c.frames {
-		s.frames[k] = v
-	}
-	for k, v := range c.bytes {
-		s.bytes[k] = v
+	var s Snapshot
+	for i := range c.frames {
+		s.frames[i] = c.frames[i].Load()
+		s.bytes[i] = c.bytes[i].Load()
 	}
 	return s
 }
 
 // Snapshot is an immutable copy of counters at a point in time.
 type Snapshot struct {
-	frames map[transport.Class]int64
-	bytes  map[transport.Class]int64
+	frames [numClasses]int64
+	bytes  [numClasses]int64
 }
 
 // FramesSince returns the class frame count accumulated in c since s was
 // taken.
 func (c *Counters) FramesSince(s Snapshot, class transport.Class) int64 {
-	return c.frames[class] - s.frames[class]
+	i := clampClass(class)
+	return c.frames[i].Load() - s.frames[i]
 }
 
 // BytesSince returns the class byte count accumulated since s.
 func (c *Counters) BytesSince(s Snapshot, class transport.Class) int64 {
-	return c.bytes[class] - s.bytes[class]
+	i := clampClass(class)
+	return c.bytes[i].Load() - s.bytes[i]
 }
 
 // String renders the counters sorted by class for logs and debugging.
 func (c *Counters) String() string {
-	var classes []transport.Class
-	for k := range c.frames {
-		classes = append(classes, k)
-	}
-	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
 	var b strings.Builder
-	for i, k := range classes {
-		if i > 0 {
+	first := true
+	for i := range c.frames {
+		f, by := c.frames[i].Load(), c.bytes[i].Load()
+		if f == 0 && by == 0 {
+			continue
+		}
+		if !first {
 			b.WriteString(" ")
 		}
-		fmt.Fprintf(&b, "%s=%df/%dB", k, c.frames[k], c.bytes[k])
+		first = false
+		fmt.Fprintf(&b, "%s=%df/%dB", transport.Class(i), f, by)
 	}
 	return b.String()
 }
 
 // FramesForMessage returns the number of network frames a message of
 // size bytes needs when each frame carries at most frag payload bytes —
-// the ceil(M/T) factor in the paper's formulas (one frame minimum).
+// the ceil(M/T) factor in the paper's formulas (one frame minimum). A
+// non-positive frag means the device reported no fragmentation limit
+// (transport.Fragmenter absent), so the message rides a single frame.
 func FramesForMessage(size, frag int) int {
-	if size <= 0 {
+	if size <= 0 || frag <= 0 {
 		return 1
 	}
 	return (size + frag - 1) / frag

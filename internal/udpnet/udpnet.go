@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/reliab"
 	"repro/internal/topo"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -83,6 +84,11 @@ type Config struct {
 	// (stations per segment, the udpnet analogue of the simulator's
 	// Profile.UplinkFanout). 0 means no declared topology.
 	SegmentFanout int
+	// Trace, when non-nil, is the flight recorder every endpoint exposes
+	// through trace.Carrier; timestamps are wall-clock nanoseconds since
+	// the world started. The recorder is mutex-protected — ranks record
+	// concurrently from their app threads and read loops.
+	Trace *trace.Recorder
 }
 
 // DefaultConfig returns a working localhost configuration.
@@ -311,7 +317,12 @@ var (
 	_ transport.Pinger           = (*Endpoint)(nil)
 	_ transport.PeerFailer       = (*Endpoint)(nil)
 	_ topo.Provider              = (*Endpoint)(nil)
+	_ trace.Carrier              = (*Endpoint)(nil)
 )
+
+// TraceRecorder implements trace.Carrier: the world-wide flight recorder
+// from Config.Trace, nil when tracing is disabled.
+func (ep *Endpoint) TraceRecorder() *trace.Recorder { return ep.net.cfg.Trace }
 
 // pingNonce marks a failure-detector probe. It shares the stream probe
 // wire format — the receiver answers it at the read loop, below the
@@ -585,6 +596,9 @@ func (ep *Endpoint) probeFire(dst int, sp *uSendPeer) {
 		return
 	}
 	ep.stats.Stream.ProbesSent++
+	if rec := ep.net.cfg.Trace; rec != nil {
+		rec.Event(ep.rank, ep.Now(), "stream.probe", int64(dst))
+	}
 	body := reliab.EncodeProbe(nonce)
 	ep.armProbeLocked(dst, sp)
 	frag := ep.ctlFragLocked(body)
@@ -710,6 +724,9 @@ func (ep *Endpoint) handleStreamCtl(f transport.Fragment) {
 	var bufs [][]byte
 	for _, r := range resend {
 		ep.stats.Stream.Retransmits += int64(len(r.Frags))
+		if rec := ep.net.cfg.Trace; rec != nil {
+			rec.Event(ep.rank, ep.Now(), "stream.retransmit", int64(len(r.Frags)))
+		}
 		for _, fr := range r.Frags {
 			bufs = append(bufs, transport.EncodeFragment(fr))
 		}
