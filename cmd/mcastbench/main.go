@@ -202,6 +202,10 @@ func runTrajectory(out, baseline string, seed uint64) int {
 		fmt.Fprintf(os.Stderr, "mcastbench: trajectory phase metrics: %v\n", err)
 		return 1
 	}
+	if err := tr.AttachMetrics(seed); err != nil {
+		fmt.Fprintf(os.Stderr, "mcastbench: trajectory metrics: %v\n", err)
+		return 1
+	}
 	fmt.Print(tr.Render())
 	if err := tr.WriteFile(out); err != nil {
 		fmt.Fprintf(os.Stderr, "mcastbench: writing %s: %v\n", out, err)

@@ -32,9 +32,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
+	"net"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
@@ -44,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/trace"
 	"repro/internal/udpnet"
@@ -83,6 +88,9 @@ func main() {
 		chaos    = flag.String("chaos", "", "inject a fault, e.g. kill:2@50ms — kill rank 2's endpoint 50ms into the run; failure detection is enabled, the per-rank outcome is dumped, and the exit status is nonzero")
 		deadline = flag.Duration("deadline", 0, "abort a stuck run after this long with a per-rank progress dump and nonzero exit (0: wait forever)")
 		traceOut = flag.String("trace", "", "record the per-rank protocol flight recorder (wall-clock timestamps) and write a Chrome/Perfetto trace plus a phase-latency summary to this path")
+		metAddr  = flag.String("metrics", "", "serve the live telemetry plane on this address (e.g. 127.0.0.1:9464): /metrics Prometheus text, /metrics.json snapshot, /healthz liveness")
+		metJSONL = flag.String("metrics-jsonl", "", "append one JSON metrics snapshot per interval to this file (plus a final snapshot at exit)")
+		metEvery = flag.Duration("metrics-interval", time.Second, "interval between -metrics-jsonl snapshots")
 	)
 	flag.Parse()
 
@@ -116,6 +124,29 @@ func main() {
 		rec = trace.NewRecorder()
 		cfg.Trace = rec
 	}
+	var tele *telemetry
+	var stopJSONL func() error
+	if *metAddr != "" || *metJSONL != "" {
+		tele = &telemetry{reg: metrics.NewRegistry()}
+		cfg.Metrics = tele.reg
+		if *metAddr != "" {
+			ln, lerr := net.Listen("tcp", *metAddr)
+			if lerr != nil {
+				fmt.Fprintf(os.Stderr, "mpirun: -metrics: %v\n", lerr)
+				os.Exit(1)
+			}
+			fmt.Printf("metrics: http://%s/metrics\n", ln.Addr())
+			go func() { _ = http.Serve(ln, metrics.Handler(tele.reg, tele.health)) }()
+		}
+		if *metJSONL != "" {
+			var jerr error
+			stopJSONL, jerr = startJSONL(tele.reg, *metJSONL, *metEvery)
+			if jerr != nil {
+				fmt.Fprintf(os.Stderr, "mpirun: -metrics-jsonl: %v\n", jerr)
+				os.Exit(1)
+			}
+		}
+	}
 	if *p2ploss > 0 {
 		// Repair promptly when the operator is deliberately dropping
 		// frames; the default RTO is tuned for quiet wires.
@@ -139,10 +170,15 @@ func main() {
 		}
 		err = runPi(cfg, algs, *deadline)
 	case isRegisteredOp(*work):
-		err = runLatency(cfg, algs, *work, *size, *reps, kill, *deadline)
+		err = runLatency(cfg, algs, *work, *size, *reps, kill, *deadline, tele)
 	default:
 		fmt.Fprintf(os.Stderr, "mpirun: unknown workload %q (known: %s)\n", *work, workloadNames())
 		os.Exit(2)
+	}
+	if stopJSONL != nil {
+		if jerr := stopJSONL(); jerr != nil && err == nil {
+			err = fmt.Errorf("metrics jsonl: %w", jerr)
+		}
 	}
 	if err == nil && rec != nil {
 		err = writeTrace(*traceOut, *work, cfg.N, rec)
@@ -168,6 +204,122 @@ func writeTrace(path, work string, n int, rec *trace.Recorder) error {
 	fmt.Printf("trace: %d events written to %s\n", rec.Len(), path)
 	fmt.Print(trace.Summarize(rec).Format())
 	return nil
+}
+
+// telemetry is the live metrics plane of one mpirun invocation: the
+// registry every endpoint publishes into, plus the runtimes whose
+// failure detectors back /healthz.
+type telemetry struct {
+	reg *metrics.Registry
+	mu  sync.Mutex
+	rts []*mpi.Runtime
+}
+
+// register adds a rank's runtime to the health aggregation. Nil-safe so
+// the instrumented run path needs no telemetry check.
+func (t *telemetry) register(rt *mpi.Runtime) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.rts = append(t.rts, rt)
+	t.mu.Unlock()
+}
+
+// health backs /healthz: 200 before the ranks are up ("starting"), 200
+// while every registered runtime's failure detector is quiet, 503
+// listing the dead ranks once any detector has declared one.
+func (t *telemetry) health() (bool, string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.rts) == 0 {
+		return true, "starting"
+	}
+	seen := make(map[int]bool)
+	var dead []int
+	for _, rt := range t.rts {
+		for _, r := range rt.DeadRanks() {
+			if !seen[r] {
+				seen[r] = true
+				dead = append(dead, r)
+			}
+		}
+	}
+	if len(dead) == 0 {
+		return true, "ok"
+	}
+	sort.Ints(dead)
+	return false, fmt.Sprintf("dead ranks: %v", dead)
+}
+
+// dumpStreams appends the per-stream observables (the mcast_stream_*
+// families: smoothed RTT, gradient, queue delay, window occupancy,
+// retransmit totals) to a -deadline abort dump, so a stuck run shows
+// which stream stalled, not just which rank.
+func (t *telemetry) dumpStreams(w io.Writer) {
+	if t == nil {
+		return
+	}
+	s := t.reg.Snapshot()
+	var names []string
+	for name := range s.Gauges {
+		if strings.HasPrefix(name, "mcast_stream_") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "  %s = %g\n", name, s.Gauges[name])
+	}
+	names = names[:0]
+	for name := range s.Meters {
+		if strings.HasPrefix(name, "mcast_stream_") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := s.Meters[name]
+		fmt.Fprintf(w, "  %s = %d total (%.1f/s)\n", name, m.Total, m.Rate)
+	}
+}
+
+// startJSONL appends one JSON-encoded metrics snapshot per interval to
+// path. The returned stop function writes a final snapshot, closes the
+// file, and reports any write error.
+func startJSONL(reg *metrics.Registry, path string, interval time.Duration) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan error, 1)
+	go func() {
+		enc := json.NewEncoder(f)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				if err := enc.Encode(reg.Snapshot()); err != nil {
+					finished <- err
+					<-done
+					return
+				}
+			case <-done:
+				err := enc.Encode(reg.Snapshot())
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+				finished <- err
+				return
+			}
+		}
+	}()
+	return func() error { close(done); return <-finished }, nil
 }
 
 // chaosKill is a parsed -chaos directive: kill one rank's endpoint a
@@ -231,7 +383,7 @@ func isRegisteredOp(name string) bool {
 	return false
 }
 
-func runLatency(cfg udpnet.Config, algs mpi.Algorithms, work string, size, reps int, kill *chaosKill, deadline time.Duration) error {
+func runLatency(cfg udpnet.Config, algs mpi.Algorithms, work string, size, reps int, kill *chaosKill, deadline time.Duration, tele *telemetry) error {
 	samples := make([]float64, reps) // µs, max across ranks per rep
 	nw, err := udpnet.New(cfg)
 	if err != nil {
@@ -289,6 +441,7 @@ func runLatency(cfg udpnet.Config, algs mpi.Algorithms, work string, size, reps 
 				fmt.Fprintf(os.Stderr, "  rank %d: %d/%d reps\n", r, done, reps)
 			}
 		}
+		tele.dumpStreams(os.Stderr)
 	}
 
 	err = watchdog(deadline, dump, func() error {
@@ -299,6 +452,7 @@ func runLatency(cfg udpnet.Config, algs mpi.Algorithms, work string, size, reps 
 			go func() {
 				defer wg.Done()
 				rt := mpi.NewRuntime(nw.Endpoint(rank))
+				tele.register(rt)
 				if kill != nil {
 					// Generous wall-clock budgets: a loaded host must not
 					// suspect a merely descheduled rank.

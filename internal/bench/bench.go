@@ -87,6 +87,14 @@ func Algorithms() []Algorithm {
 
 // Set returns the collective algorithm selection for a.
 func Set(a Algorithm) (mpi.Algorithms, error) {
+	algs, err := set(a)
+	if err == nil {
+		algs.Name = string(a)
+	}
+	return algs, err
+}
+
+func set(a Algorithm) (mpi.Algorithms, error) {
 	switch a {
 	case MPICH:
 		return baseline.Algorithms(), nil

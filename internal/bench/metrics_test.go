@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// TestMetricsDoNotPerturbSimTime is the telemetry plane's core contract,
+// the twin of TestTraceDoesNotPerturbSimTime: attaching a metrics
+// registry reads the virtual clock but never advances it and schedules
+// no events, so every simulated timestamp is byte-identical with and
+// without telemetry. Each sweep config runs twice — Profile.Metrics nil
+// vs a live registry — and the per-repetition sample vectors must match
+// exactly (float64 equality, not a tolerance: the samples derive from
+// int64 sim-ns).
+func TestMetricsDoNotPerturbSimTime(t *testing.T) {
+	for _, cfg := range traceSweepConfigs() {
+		cfg := cfg
+		t.Run(string(cfg.op)+"/"+string(cfg.alg), func(t *testing.T) {
+			t.Parallel()
+			run := func(reg *metrics.Registry) []float64 {
+				prof := *sharedUplinkProfile()
+				prof.Metrics = reg
+				sc := Scenario{
+					Procs: 8, Topology: simnet.SwitchShared,
+					Algorithm: cfg.alg, Op: cfg.op,
+					MsgSize: 2000, Reps: 3, Warmups: 1, Seed: 7,
+					Profile: &prof,
+				}
+				r, err := Run(sc)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", cfg.op, cfg.alg, err)
+				}
+				return r.Samples
+			}
+			bare := run(nil)
+			reg := metrics.NewRegistry()
+			metered := run(reg)
+			if len(bare) != len(metered) {
+				t.Fatalf("sample counts differ: %d vs %d", len(bare), len(metered))
+			}
+			for i := range bare {
+				if bare[i] != metered[i] {
+					t.Errorf("rep %d: %v µs unmetered vs %v µs metered", i, bare[i], metered[i])
+				}
+			}
+			s := reg.Snapshot()
+			if len(s.Gauges) == 0 || len(s.Counters) == 0 || len(s.Meters) == 0 {
+				t.Errorf("registry attached but sparse: %d gauges, %d counters, %d meters",
+					len(s.Gauges), len(s.Counters), len(s.Meters))
+			}
+		})
+	}
+}
+
+// TestMetricsObservablesPopulated runs the instrumented demo and checks
+// every observable family the telemetry plane promises is actually
+// live: stream RTT estimators sampled real round trips, NIC meters
+// counted delivered bytes, the shared-uplink run put depth in the
+// switch queue gauges, and the collective dispatchers recorded ops and
+// latencies under the selected algorithm's label.
+func TestMetricsObservablesPopulated(t *testing.T) {
+	tr := &Trajectory{Schema: TrajectorySchema}
+	if err := tr.AttachMetrics(7); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Metrics
+	if s == nil {
+		t.Fatal("AttachMetrics left Metrics nil")
+	}
+	wantGauge := []string{
+		"mcast_stream_srtt_us", "mcast_stream_rtt_gradient_us",
+		"mcast_stream_window", "mcast_switch_queue_depth",
+	}
+	for _, fam := range wantGauge {
+		if !hasFamily(familyKeys(s.Gauges), fam) {
+			t.Errorf("no %s gauge in snapshot", fam)
+		}
+	}
+	if !hasFamily(familyKeys(s.Meters), "mcast_nic_delivered_bytes") {
+		t.Error("no mcast_nic_delivered_bytes meter in snapshot")
+	}
+	var delivered int64
+	for name, m := range s.Meters {
+		if strings.HasPrefix(name, "mcast_nic_delivered_bytes") {
+			delivered += m.Total
+		}
+	}
+	if delivered == 0 {
+		t.Error("NIC delivery meters counted zero bytes")
+	}
+	srtt := false
+	for name, v := range s.Gauges {
+		if strings.HasPrefix(name, "mcast_stream_srtt_us") && v > 0 {
+			srtt = true
+		}
+	}
+	if !srtt {
+		t.Error("no stream published a positive smoothed RTT")
+	}
+	opsName := metrics.Labeled("mcast_coll_ops", "op", "allreduce", "alg", string(McastChunked))
+	if s.Counters[opsName] == 0 {
+		t.Errorf("collective counter %s absent or zero; counters: %v", opsName, familyKeys(s.Counters))
+	}
+	latName := metrics.Labeled("mcast_coll_latency_us", "op", "allreduce", "alg", string(McastChunked))
+	h, ok := s.Histograms[latName]
+	if !ok || h.Count == 0 || h.Sum <= 0 {
+		t.Errorf("latency histogram %s absent or empty", latName)
+	}
+}
+
+// TestAttachMetricsGateExempt locks the optional BENCH_sim.json metrics
+// section: it embeds, survives a JSON round trip, and the gate ignores
+// it — a baseline without the section stays comparable, exactly like
+// phase_metrics.
+func TestAttachMetricsGateExempt(t *testing.T) {
+	tr := &Trajectory{Schema: TrajectorySchema}
+	if err := tr.AttachMetrics(1); err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trajectory
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Metrics == nil || len(back.Metrics.Gauges) == 0 {
+		t.Fatal("metrics section lost in JSON round trip")
+	}
+	base := &Trajectory{Schema: TrajectorySchema, Score: tr.Score}
+	if v := GateTrajectory(tr, base, 0.10); len(v) != 0 {
+		t.Errorf("gate flagged metrics-only difference: %v", v)
+	}
+}
+
+// TestChunkedAllreduceCriticalPath covers the critical-path extraction
+// on the chunked allreduce's phase graph: the walk must pass through
+// the event-driven reduce-scatter phase before the pipelined allgather
+// rounds, and the extracted path must be contiguous in time.
+func TestChunkedAllreduceCriticalPath(t *testing.T) {
+	rec, err := traceOne(OpAllreduce, McastChunked, TraceDemoProcs, TraceDemoSize, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := trace.Summarize(rec)
+	if sum == nil || len(sum.Critical) == 0 {
+		t.Fatal("empty summary for traced chunked allreduce")
+	}
+	names := make(map[string]bool)
+	for _, step := range sum.Critical {
+		names[step.Name] = true
+	}
+	if !names["reduce-scatter"] {
+		t.Errorf("critical path %v does not pass through reduce-scatter", sum.Critical)
+	}
+	foundPhase := false
+	for _, p := range sum.Phases {
+		if p.Name == "reduce-scatter" {
+			foundPhase = true
+			if p.Count == 0 {
+				t.Error("reduce-scatter phase recorded zero spans")
+			}
+		}
+	}
+	if !foundPhase {
+		t.Errorf("phase table %v has no reduce-scatter entry", sum.Phases)
+	}
+}
+
+// familyKeys returns the metric names of one snapshot section.
+func familyKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// hasFamily reports whether any metric name belongs to family fam
+// (exact match or fam followed by a label block).
+func hasFamily(names []string, fam string) bool {
+	for _, n := range names {
+		if n == fam || strings.HasPrefix(n, fam+"{") {
+			return true
+		}
+	}
+	return false
+}

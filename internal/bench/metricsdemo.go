@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+	"repro/internal/workload"
+)
+
+// AttachMetrics runs one instrumented demo collective — the chunked
+// allreduce at the trace-demo fixture point (8 ranks, 2 segments,
+// shared uplinks) — and embeds the final metrics-registry snapshot as
+// the trajectory's optional metrics section. The chunked allreduce is
+// the densest single exercise of the telemetry plane: its
+// reduce-scatter drives the reliable streams (RTT estimators, window
+// occupancy), its pipelined multicast rounds drive the NIC delivery
+// meters, and the shared uplinks put depth in the switch queue gauges.
+// The section rides along in BENCH_sim.json without affecting the gate
+// (GateTrajectory compares scores and event counts only), mirroring
+// phase_metrics.
+func (t *Trajectory) AttachMetrics(seed uint64) error {
+	reg := metrics.NewRegistry()
+	algs, err := Set(McastChunked)
+	if err != nil {
+		return err
+	}
+	prof := *sharedUplinkProfile()
+	prof.Seed = seed
+	prof.Metrics = reg
+	_, err = cluster.RunSim(TraceDemoProcs, simnet.SwitchShared, prof, algs,
+		func(c *mpi.Comm) error {
+			return workload.Make(c, OpAllreduce, TraceDemoSize, 0)()
+		})
+	if err != nil {
+		return fmt.Errorf("metrics demo: %w", err)
+	}
+	s := reg.Snapshot()
+	t.Metrics = &s
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -61,6 +62,12 @@ type Trajectory struct {
 	// the fixed trace demo set. Informational only — GateTrajectory never
 	// compares it, so baselines with and without the section interoperate.
 	PhaseMetrics []PhaseMetricsEntry `json:"phase_metrics,omitempty"`
+	// Metrics is the optional telemetry section (AttachMetrics): the
+	// final metrics-registry snapshot of one instrumented demo run —
+	// stream RTT estimators, NIC delivery rates, switch queue gauges,
+	// per-op latency histograms. Informational only, gate-exempt exactly
+	// like PhaseMetrics.
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
 }
 
 // trajectoryChunk is the fixed per-rank payload of the trajectory grid:

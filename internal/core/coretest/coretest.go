@@ -131,7 +131,7 @@ func SimRunner(topo simnet.Topology, prof simnet.Profile, lag sim.Duration) Runn
 			st.NackFrames = nw.Wire.Frames(transport.ClassNack)
 			st.AckFrames = nw.Wire.Frames(transport.ClassAck)
 			st.StreamFrames = nw.Wire.Frames(transport.ClassStream)
-			st.StreamRetransmits = nw.Stats.Stream.Retransmits
+			st.StreamRetransmits = nw.Stats.Stream.Retransmits.Load()
 			st.QueueDrops = nw.SwitchStats().QueueDrops
 		}
 		return st, err

@@ -77,8 +77,8 @@ func TestGatherConvergingBurstBeyondQueueCap(t *testing.T) {
 		if st.QueueDrops != 0 {
 			t.Fatalf("silent egress drops under flow control: %d", st.QueueDrops)
 		}
-		if nw.Stats.Stream.Retransmits != 0 {
-			t.Fatalf("flow control should make retransmission unnecessary, got %d", nw.Stats.Stream.Retransmits)
+		if nw.Stats.Stream.Retransmits.Load() != 0 {
+			t.Fatalf("flow control should make retransmission unnecessary, got %d", nw.Stats.Stream.Retransmits.Load())
 		}
 		if st.PauseEvents == 0 {
 			t.Fatal("a 100-frame burst into a 64-frame queue must exert backpressure")
@@ -103,11 +103,11 @@ func TestGatherConvergingBurstBeyondQueueCap(t *testing.T) {
 		if nw.SwitchStats().QueueDrops == 0 {
 			t.Fatal("expected tail drops with flow control off")
 		}
-		if nw.Stats.Stream.Retransmits == 0 {
+		if nw.Stats.Stream.Retransmits.Load() == 0 {
 			t.Fatal("the stream should have repaired the dropped chunks")
 		}
 		t.Logf("%d tail drops repaired by %d retransmitted fragments",
-			nw.SwitchStats().QueueDrops, nw.Stats.Stream.Retransmits)
+			nw.SwitchStats().QueueDrops, nw.Stats.Stream.Retransmits.Load())
 	})
 
 	t.Run("legacy-deadlock", func(t *testing.T) {

@@ -1,0 +1,288 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// baseName strips the label set from a full labeled name:
+// family{...} -> family.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// withSuffix inserts a family suffix before the label set:
+// family{...} + "_total" -> family_total{...}.
+func withSuffix(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+// withLe appends an le label to a (possibly unlabeled) sample name.
+func withLe(name, le string) string {
+	if strings.HasSuffix(name, "}") {
+		return name[:len(name)-1] + `,le="` + le + `"}`
+	}
+	return name + `{le="` + le + `"}`
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4): one # TYPE line per family, samples grouped
+// by family in lexical order. Meters export as two families,
+// family_total (counter) and family_rate (gauge); histograms as the
+// _bucket/_sum/_count triplet with cumulative le labels.
+func WriteProm(w io.Writer, s Snapshot) error {
+	bw := bufio.NewWriter(w)
+	typed := make(map[string]bool)
+	declare := func(family, kind string) {
+		if !typed[family] {
+			typed[family] = true
+			fmt.Fprintf(bw, "# TYPE %s %s\n", family, kind)
+		}
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		declare(baseName(name), "counter")
+		fmt.Fprintf(bw, "%s %d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		declare(baseName(name), "gauge")
+		fmt.Fprintf(bw, "%s %s\n", name, formatFloat(s.Gauges[name]))
+	}
+	for _, name := range sortedKeys(s.Meters) {
+		m := s.Meters[name]
+		declare(baseName(name)+"_total", "counter")
+		fmt.Fprintf(bw, "%s %d\n", withSuffix(name, "_total"), m.Total)
+		declare(baseName(name)+"_rate", "gauge")
+		fmt.Fprintf(bw, "%s %s\n", withSuffix(name, "_rate"), formatFloat(m.Rate))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		declare(baseName(name), "histogram")
+		for _, b := range h.Buckets {
+			fmt.Fprintf(bw, "%s %d\n", withLe(withSuffix(name, "_bucket"), strconv.FormatInt(b.Le, 10)), b.Count)
+		}
+		fmt.Fprintf(bw, "%s %d\n", withLe(withSuffix(name, "_bucket"), "+Inf"), h.Count)
+		fmt.Fprintf(bw, "%s %d\n", withSuffix(name, "_sum"), h.Sum)
+		fmt.Fprintf(bw, "%s %d\n", withSuffix(name, "_count"), h.Count)
+	}
+	return bw.Flush()
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseSample splits one exposition sample line into its metric name
+// (without labels), the raw label block ("" when unlabeled), and the
+// value.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.IndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unterminated label block")
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", "", 0, fmt.Errorf("want `name value`, got %q", line)
+		}
+		name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	if !validName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", 0, fmt.Errorf("want `value [timestamp]` after name, got %q", rest)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad sample value %q: %v", fields[0], err)
+	}
+	if labels != "" {
+		for _, pair := range splitLabels(labels) {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok || !validName(k) || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return "", "", 0, fmt.Errorf("bad label pair %q", pair)
+			}
+		}
+	}
+	return name, labels, value, nil
+}
+
+// splitLabels splits a label block on commas outside quotes.
+func splitLabels(block string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(block); i++ {
+		switch block[i] {
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, block[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, block[start:])
+	return out
+}
+
+// ValidateExposition checks a Prometheus text exposition without
+// promtool: every sample line parses (valid metric name, well-formed
+// label pairs, numeric value), every sample belongs to a family
+// declared by a preceding # TYPE line with a legal type, and each
+// histogram family carries a consistent _bucket/_sum/_count triplet
+// whose +Inf bucket equals its count. This is the CI smoke gate for
+// the live /metrics endpoint.
+func ValidateExposition(data []byte) error {
+	types := make(map[string]string)
+	histInf := make(map[string]float64)
+	histCount := make(map[string]float64)
+	samples := 0
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && (fields[1] == "TYPE" || fields[1] == "HELP") {
+				if fields[1] == "TYPE" {
+					if len(fields) != 4 {
+						return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+					}
+					switch fields[3] {
+					case "counter", "gauge", "histogram", "summary", "untyped":
+					default:
+						return fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+					}
+					if !validName(fields[2]) {
+						return fmt.Errorf("line %d: invalid family name %q", lineNo, fields[2])
+					}
+					types[fields[2]] = fields[3]
+				}
+				continue
+			}
+			continue // free-form comment
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		samples++
+		family, kind := familyOf(name, types)
+		if kind == "" {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE declaration", lineNo, name)
+		}
+		if kind == "histogram" {
+			switch {
+			case name == family+"_bucket":
+				if strings.Contains(labels, `le="+Inf"`) {
+					histInf[family+"{"+labels+"}"] = value
+				}
+			case name == family+"_count":
+				histCount[family+"{"+labels+"}"] = value
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("exposition has no samples")
+	}
+	for key, count := range histCount {
+		inf, ok := matchInf(histInf, key)
+		if !ok {
+			return fmt.Errorf("histogram %s has a _count but no +Inf _bucket", key)
+		}
+		if inf != count {
+			return fmt.Errorf("histogram %s +Inf bucket %v != count %v", key, inf, count)
+		}
+	}
+	return nil
+}
+
+// familyOf resolves a sample name to its declared family: an exact
+// match, or a histogram family via the _bucket/_sum/_count suffixes.
+func familyOf(name string, types map[string]string) (family, kind string) {
+	if k, ok := types[name]; ok {
+		return name, k
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if types[base] == "histogram" {
+				return base, "histogram"
+			}
+		}
+	}
+	return "", ""
+}
+
+// matchInf finds the +Inf bucket recorded for the same label set as a
+// _count sample (the count key carries no le label; the bucket key
+// carries le="+Inf" plus the same labels).
+func matchInf(histInf map[string]float64, countKey string) (float64, bool) {
+	family, labels, _ := strings.Cut(countKey, "{")
+	labels = strings.TrimSuffix(labels, "}")
+	for key, v := range histInf {
+		f, l, _ := strings.Cut(key, "{")
+		l = strings.TrimSuffix(l, "}")
+		if f != family {
+			continue
+		}
+		if stripLe(l) == labels {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func stripLe(labels string) string {
+	var kept []string
+	for _, pair := range splitLabels(labels) {
+		if !strings.HasPrefix(pair, "le=") {
+			kept = append(kept, pair)
+		}
+	}
+	return strings.Join(kept, ",")
+}

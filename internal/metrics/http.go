@@ -1,0 +1,46 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Health reports liveness for /healthz: ok=false turns the endpoint
+// into a 503 with detail as the body (e.g. the dead-rank list from the
+// failure detector); ok=true serves 200 with detail ("ok", "starting").
+type Health func() (ok bool, detail string)
+
+// Handler serves the registry over HTTP:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  JSON Snapshot
+//	/healthz       200/503 from the health callback
+//
+// A nil health callback makes /healthz always 200 ok. The handler is
+// safe for concurrent use with live instrument updates: Snapshot reads
+// are atomic per instrument.
+func Handler(r *Registry, health Health) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteProm(w, r.Snapshot())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		ok, detail := true, "ok"
+		if health != nil {
+			ok, detail = health()
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_, _ = w.Write([]byte(detail + "\n"))
+	})
+	return mux
+}

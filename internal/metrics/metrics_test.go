@@ -1,0 +1,312 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestDisabledMetricsAllocs pins the disabled path: a nil registry
+// hands out nil instruments whose every method is an allocation-free
+// no-op — the same discipline trace.Recorder holds.
+func TestDisabledMetricsAllocs(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	m := r.Meter("m", 1e9)
+	h := r.Histogram("h")
+	if c != nil || g != nil || m != nil || h != nil {
+		t.Fatalf("nil registry must hand out nil instruments")
+	}
+	n := testing.AllocsPerRun(1000, func() {
+		c.Add(3)
+		c.Inc()
+		_ = c.Value()
+		g.Set(1.5)
+		_ = g.Value()
+		m.Mark(123, 4)
+		_ = m.Rate()
+		_ = m.Total()
+		h.Observe(99)
+		_ = h.Count()
+		_ = h.Sum()
+		_ = r.Snapshot()
+	})
+	if n != 0 {
+		t.Fatalf("disabled metrics path allocates %v per run, want 0", n)
+	}
+}
+
+// TestEnabledHotPathAllocs pins the enabled hot path: updating
+// already-created instruments allocates nothing.
+func TestEnabledHotPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	m := r.Meter("m", 1e9)
+	h := r.Histogram("h")
+	now := int64(0)
+	n := testing.AllocsPerRun(1000, func() {
+		now += 1000
+		c.Add(3)
+		g.Set(1.5)
+		m.Mark(now, 4)
+		h.Observe(99)
+	})
+	if n != 0 {
+		t.Fatalf("enabled metrics hot path allocates %v per run, want 0", n)
+	}
+}
+
+func TestLabeled(t *testing.T) {
+	if got := Labeled("f"); got != "f" {
+		t.Fatalf("Labeled(f) = %q", got)
+	}
+	got := Labeled("mcast_stream_srtt_us", "rank", "0", "peer", "3")
+	want := `mcast_stream_srtt_us{rank="0",peer="3"}`
+	if got != want {
+		t.Fatalf("Labeled = %q, want %q", got, want)
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	c.Add(2)
+	c.Inc()
+	if c.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", c.Value())
+	}
+	if r.Counter("hits") != c {
+		t.Fatalf("get-or-create must return the same handle")
+	}
+	g := r.Gauge("depth")
+	g.Set(7.25)
+	if g.Value() != 7.25 {
+		t.Fatalf("gauge = %v, want 7.25", g.Value())
+	}
+}
+
+func TestMeterDecay(t *testing.T) {
+	r := NewRegistry()
+	tau := int64(1e9) // 1s
+	m := r.Meter("bytes", tau)
+	m.Mark(0, 1000)
+	r0 := m.Rate()
+	if r0 != 1000 {
+		t.Fatalf("rate after one mark = %v, want V/tau*1e9 = 1000", r0)
+	}
+	// One time constant later with no arrivals folded in: decays by 1/e.
+	m.Mark(tau, 0)
+	r1 := m.Rate()
+	want := 1000 / math.E
+	if math.Abs(r1-want) > 1e-6 {
+		t.Fatalf("rate after tau = %v, want %v", r1, want)
+	}
+	if m.Total() != 1000 {
+		t.Fatalf("total = %d, want 1000 (undecayed)", m.Total())
+	}
+	// Out-of-order marks add without decaying and never move time back.
+	m.Mark(tau/2, 10)
+	if m.Total() != 1010 {
+		t.Fatalf("total = %d, want 1010", m.Total())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for _, v := range []int64{0, 1, 2, 3, 4, 100, 1 << 40, -5} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d, want 8", h.Count())
+	}
+	s := h.snapshot()
+	if s.Count != 8 || s.Buckets[len(s.Buckets)-1].Count != 8 {
+		t.Fatalf("cumulative tail must equal count: %+v", s)
+	}
+	// Bucket bounds are 2^b-1: values 2 and 3 land in le=3.
+	var le3 int64 = -1
+	for _, b := range s.Buckets {
+		if b.Le == 3 {
+			le3 = b.Count
+		}
+	}
+	// Cumulative through le=3: 0, -5 (clamped), 1, 2, 3 → 5.
+	if le3 != 5 {
+		t.Fatalf("cumulative count through le=3 = %d, want 5", le3)
+	}
+}
+
+func buildRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter(Labeled("mcast_nic_pause_stalls", "rank", "0")).Add(2)
+	r.Gauge(Labeled("mcast_stream_srtt_us", "rank", "0", "peer", "1")).Set(340.5)
+	r.Gauge(Labeled("mcast_stream_srtt_us", "rank", "1", "peer", "0")).Set(298)
+	m := r.Meter(Labeled("mcast_nic_delivered_bytes", "rank", "0"), 1e9)
+	m.Mark(0, 1500)
+	m.Mark(1e6, 1500)
+	h := r.Histogram(Labeled("mcast_coll_latency_us", "op", "bcast", "alg", "mcast-binary"))
+	h.Observe(120)
+	h.Observe(480)
+	return r
+}
+
+func TestPromExpositionRoundTrip(t *testing.T) {
+	r := buildRegistry()
+	var b strings.Builder
+	if err := WriteProm(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if err := ValidateExposition([]byte(text)); err != nil {
+		t.Fatalf("writer output failed validation: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"# TYPE mcast_stream_srtt_us gauge",
+		"# TYPE mcast_nic_delivered_bytes_total counter",
+		"# TYPE mcast_nic_delivered_bytes_rate gauge",
+		"# TYPE mcast_coll_latency_us histogram",
+		`mcast_stream_srtt_us{rank="0",peer="1"} 340.5`,
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"no samples":      "# TYPE x counter\n",
+		"undeclared":      "foo 1\n",
+		"bad name":        "# TYPE 9bad counter\n9bad 1\n",
+		"bad value":       "# TYPE f counter\nf one\n",
+		"bad label":       "# TYPE f counter\nf{rank=0} 1\n",
+		"malformed TYPE":  "# TYPE f\nf 1\n",
+		"unknown type":    "# TYPE f ring\nf 1\n",
+		"hist wrong +Inf": "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 10\nh_count 4\n",
+	}
+	for name, text := range cases {
+		if err := ValidateExposition([]byte(text)); err == nil {
+			t.Errorf("%s: validation accepted %q", name, text)
+		}
+	}
+	good := "# TYPE h histogram\nh_bucket{le=\"3\"} 1\nh_bucket{le=\"+Inf\"} 4\nh_sum 10\nh_count 4\n"
+	if err := ValidateExposition([]byte(good)); err != nil {
+		t.Fatalf("validation rejected a good exposition: %v", err)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	s := buildRegistry().Snapshot()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Gauges[`mcast_stream_srtt_us{rank="0",peer="1"}`] != 340.5 {
+		t.Fatalf("gauge lost in JSON round trip: %s", data)
+	}
+	if back.Histograms[`mcast_coll_latency_us{op="bcast",alg="mcast-binary"}`].Count != 2 {
+		t.Fatalf("histogram lost in JSON round trip: %s", data)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := buildRegistry()
+	dead := false
+	h := Handler(r, func() (bool, string) {
+		if dead {
+			return false, "rank 2 dead"
+		}
+		return true, "ok"
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, b.String()
+	}
+
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if err := ValidateExposition([]byte(body)); err != nil {
+		t.Fatalf("/metrics body invalid: %v", err)
+	}
+	code, body = get("/metrics.json")
+	if code != 200 || !strings.Contains(body, "mcast_stream_srtt_us") {
+		t.Fatalf("/metrics.json status %d body %q", code, body)
+	}
+	code, body = get("/healthz")
+	if code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz healthy status %d body %q", code, body)
+	}
+	dead = true
+	code, body = get("/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "rank 2 dead") {
+		t.Fatalf("/healthz unhealthy status %d body %q", code, body)
+	}
+}
+
+// TestConcurrentUpdates hammers one registry from many goroutines while
+// a reader snapshots — the -race pin for the telemetry plane.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("c")
+			g := r.Gauge("g")
+			m := r.Meter("m", 1e9)
+			h := r.Histogram("h")
+			for i := 0; i < 2000; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				m.Mark(int64(i)*1000, 1)
+				h.Observe(int64(i))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			_ = r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := r.Counter("c").Value(); got != 16000 {
+		t.Fatalf("counter = %d, want 16000", got)
+	}
+	if got := r.Histogram("h").Count(); got != 16000 {
+		t.Fatalf("histogram count = %d, want 16000", got)
+	}
+}

@@ -1,0 +1,54 @@
+package metrics
+
+import "strconv"
+
+// DefaultMeterTau is the rate meters' decay time constant: 250 ms of
+// transport time (virtual on the simulator, wall-clock on UDP) — fast
+// enough to track a collective's bursts, slow enough to read steadily.
+const DefaultMeterTau int64 = 250_000_000
+
+// StreamGauges bundles the per-(rank,peer) reliable-stream observables:
+// the RTT estimator's smoothed RTT, variance, floor, queue delay and
+// Vegas gradient (exported in microseconds) plus window occupancy. A
+// nil *StreamGauges (disabled registry) makes every update a no-op.
+type StreamGauges struct {
+	srtt, rttvar, min, queue, grad, window *Gauge
+}
+
+// NewStreamGauges registers the mcast_stream_* gauge family for one
+// sender→peer stream. Returns nil on a nil registry.
+func NewStreamGauges(r *Registry, rank, peer int) *StreamGauges {
+	if r == nil {
+		return nil
+	}
+	rs, ps := strconv.Itoa(rank), strconv.Itoa(peer)
+	return &StreamGauges{
+		srtt:   r.Gauge(Labeled("mcast_stream_srtt_us", "rank", rs, "peer", ps)),
+		rttvar: r.Gauge(Labeled("mcast_stream_rttvar_us", "rank", rs, "peer", ps)),
+		min:    r.Gauge(Labeled("mcast_stream_min_rtt_us", "rank", rs, "peer", ps)),
+		queue:  r.Gauge(Labeled("mcast_stream_queue_delay_us", "rank", rs, "peer", ps)),
+		grad:   r.Gauge(Labeled("mcast_stream_rtt_gradient_us", "rank", rs, "peer", ps)),
+		window: r.Gauge(Labeled("mcast_stream_window", "rank", rs, "peer", ps)),
+	}
+}
+
+// SetRTT publishes one RTT estimator snapshot (nanosecond inputs,
+// microsecond gauges).
+func (g *StreamGauges) SetRTT(srtt, rttvar, min, queueDelay, gradient float64) {
+	if g == nil {
+		return
+	}
+	g.srtt.Set(srtt / 1e3)
+	g.rttvar.Set(rttvar / 1e3)
+	g.min.Set(min / 1e3)
+	g.queue.Set(queueDelay / 1e3)
+	g.grad.Set(gradient / 1e3)
+}
+
+// SetWindow publishes the stream's unacknowledged-message count.
+func (g *StreamGauges) SetWindow(inFlight int) {
+	if g == nil {
+		return
+	}
+	g.window.Set(float64(inFlight))
+}

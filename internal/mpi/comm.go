@@ -43,6 +43,7 @@ import (
 	"hash/fnv"
 	"sort"
 
+	"repro/internal/metrics"
 	"repro/internal/topo"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -101,6 +102,11 @@ type Runtime struct {
 	// discovered from the endpoint like the other optional capabilities;
 	// every span and instant the collective layers record goes here.
 	rec *trace.Recorder
+
+	// mreg is the device's metrics registry (nil: telemetry disabled),
+	// discovered exactly like the recorder. The collective dispatchers
+	// publish per-op invocation counts and completion latencies to it.
+	mreg *metrics.Registry
 }
 
 // NewRuntime wraps an endpoint. The multicast capability is discovered by
@@ -116,6 +122,9 @@ func NewRuntime(ep transport.Endpoint) *Runtime {
 	}
 	if tc, ok := ep.(trace.Carrier); ok {
 		rt.rec = tc.TraceRecorder()
+	}
+	if mc, ok := ep.(metrics.Carrier); ok {
+		rt.mreg = mc.MetricsRegistry()
 	}
 	return rt
 }
@@ -272,6 +281,12 @@ type Comm struct {
 	derived uint32      // counter for deterministic child context ids
 	algs    Algorithms
 	joined  bool
+	// opm caches the per-operation metrics handles (counter + latency
+	// histogram keyed by op name) so the dispatchers pay one map lookup
+	// per call, not a registry round trip. A Comm is driven by its
+	// rank's single goroutine, so the map needs no lock. Nil until the
+	// first instrumented call; always nil when the registry is.
+	opm map[string]*opMetrics
 	// topoMap is the communicator-local projection of the device's
 	// topology (nil when the device reports none): comm ranks placed on
 	// the fabric segments the group spans. Topology-aware collectives in
@@ -286,6 +301,11 @@ type Comm struct {
 // oracle in tests. Package baseline provides the MPICH set; package core
 // provides the paper's multicast set.
 type Algorithms struct {
+	// Name labels this selection in exported telemetry (the alg label
+	// on mcast_coll_ops / mcast_coll_latency_us). Empty reads as
+	// "default". It carries no behavioural weight.
+	Name string
+
 	Bcast         func(c *Comm, buf []byte, root int) error
 	Barrier       func(c *Comm) error
 	Reduce        func(c *Comm, send, recv []byte, dt Datatype, op Op, root int) error
@@ -300,6 +320,9 @@ type Algorithms struct {
 
 // Merge returns a copy of a with nil fields filled from b.
 func (a Algorithms) Merge(b Algorithms) Algorithms {
+	if a.Name == "" {
+		a.Name = b.Name
+	}
 	if a.Bcast == nil {
 		a.Bcast = b.Bcast
 	}

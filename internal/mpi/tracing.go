@@ -1,33 +1,91 @@
 package mpi
 
 import (
-	"repro/internal/trace"
+	"repro/internal/metrics"
 	"repro/internal/transport"
 )
 
-// Flight-recorder hooks for the collective layers. Every helper is a
-// no-op when the device carries no recorder: one nil check, no clock
-// read, no allocation — the disabled path is pinned to zero allocs by
-// the trace package's tests, so instrumentation can sit on hot paths.
+// Flight-recorder and telemetry hooks for the collective layers. Every
+// helper is a no-op when the device carries neither a recorder nor a
+// metrics registry: one nil check, no clock read, no allocation — the
+// disabled path is pinned to zero allocs by the trace and metrics
+// packages' tests, so instrumentation can sit on hot paths.
+
+// opMetrics holds the telemetry handles for one collective operation on
+// one communicator: the mcast_coll_ops{op,alg} invocation counter and
+// the mcast_coll_latency_us{op,alg} completion-latency histogram.
+type opMetrics struct {
+	ops *metrics.Counter
+	lat *metrics.Histogram
+}
+
+// opMetricsFor returns the cached telemetry handles for op name,
+// creating and registering them on first use. Nil when telemetry is
+// disabled.
+func (c *Comm) opMetricsFor(name string) *opMetrics {
+	if c.rt.mreg == nil {
+		return nil
+	}
+	if om, ok := c.opm[name]; ok {
+		return om
+	}
+	alg := c.algs.Name
+	if alg == "" {
+		alg = "default"
+	}
+	om := &opMetrics{
+		ops: c.rt.mreg.Counter(metrics.Labeled("mcast_coll_ops", "op", name, "alg", alg)),
+		lat: c.rt.mreg.Histogram(metrics.Labeled("mcast_coll_latency_us", "op", name, "alg", alg)),
+	}
+	if c.opm == nil {
+		c.opm = make(map[string]*opMetrics)
+	}
+	c.opm[name] = om
+	return om
+}
+
+// opSpan carries what a collective dispatcher opened: the recorder span
+// (when tracing), the op's metrics handles (when telemetry is on), and
+// the operation's start time. The zero value means both are disabled.
+type opSpan struct {
+	om *opMetrics
+	t0 int64
+	on bool // a recorder or registry was present at beginOp
+}
 
 // beginOp opens the operation-level span the public collective
-// dispatchers record and returns the recorder for the matching endOp
-// (nil when tracing is disabled). Usage:
+// dispatchers record and returns the handle for the matching endOp.
+// Usage:
 //
 //	defer c.endOp(c.beginOp("bcast"), "bcast")
 //
-// The deferred endOp stamps the close at return time; beginOp's clock
-// read happens only when a recorder is present.
-func (c *Comm) beginOp(name string) *trace.Recorder {
-	if c.rt.rec != nil {
-		c.rt.rec.Begin(c.rank, c.rt.ep.Now(), name)
+// The deferred endOp stamps the close at return time and observes the
+// op's completion latency; beginOp's clock read happens only when a
+// recorder or a metrics registry is present.
+func (c *Comm) beginOp(name string) opSpan {
+	sp := opSpan{om: c.opMetricsFor(name)}
+	if c.rt.rec == nil && sp.om == nil {
+		return sp
 	}
-	return c.rt.rec
+	sp.on = true
+	sp.t0 = c.rt.ep.Now()
+	if c.rt.rec != nil {
+		c.rt.rec.Begin(c.rank, sp.t0, name)
+	}
+	return sp
 }
 
-func (c *Comm) endOp(r *trace.Recorder, name string) {
-	if r != nil {
-		r.End(c.rank, c.rt.ep.Now(), name)
+func (c *Comm) endOp(sp opSpan, name string) {
+	if !sp.on {
+		return
+	}
+	now := c.rt.ep.Now()
+	if c.rt.rec != nil {
+		c.rt.rec.End(c.rank, now, name)
+	}
+	if sp.om != nil {
+		sp.om.ops.Inc()
+		sp.om.lat.Observe((now - sp.t0) / 1_000)
 	}
 }
 

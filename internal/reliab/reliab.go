@@ -149,6 +149,12 @@ type SendStream struct {
 	// ack on the wire and must not be duplicated on its silence.
 	nonce    uint32
 	horizons map[uint32]uint32
+	// probeAt records each outstanding probe's transmit time (clock
+	// nanoseconds) so the ack echoing its nonce yields a round-trip
+	// sample; rtt folds those samples into the live congestion
+	// observables (smoothed RTT, variance, floor, gradient).
+	probeAt map[uint32]int64
+	rtt     RTT
 }
 
 // NewSendStream returns an empty stream under o (which must be filled).
@@ -158,6 +164,7 @@ func NewSendStream(o Options) *SendStream {
 		unacked:  make(map[uint32]*outMsg),
 		rto:      o.RTO,
 		horizons: make(map[uint32]uint32),
+		probeAt:  make(map[uint32]int64),
 	}
 }
 
@@ -197,6 +204,14 @@ func (s *SendStream) NeedProbe() bool { return len(s.unacked) > 0 }
 // stream has exhausted MaxProbes without progress and must be declared
 // broken.
 func (s *SendStream) OnProbe() (nonce uint32, ok bool) {
+	return s.OnProbeAt(0)
+}
+
+// OnProbeAt is OnProbe with the probe's transmit time (clock
+// nanoseconds): the ack echoing this probe's nonce then yields a
+// round-trip sample for the stream's RTT estimator. A zero now records
+// no timestamp (no sample will be taken).
+func (s *SendStream) OnProbeAt(now int64) (nonce uint32, ok bool) {
 	s.probes++
 	if s.probes > s.opts.MaxProbes {
 		return 0, false
@@ -206,8 +221,17 @@ func (s *SendStream) OnProbe() (nonce uint32, ok bool) {
 	}
 	s.nonce++
 	s.horizons[s.nonce] = s.sent
+	if now > 0 {
+		s.probeAt[s.nonce] = now
+	}
 	return s.nonce, true
 }
+
+// RTTSnapshot returns the stream's round-trip estimator state (zero
+// before the first probe/ack sample). The owner serializes access like
+// every other SendStream method; cross-thread export belongs to the
+// transport's metrics gauges.
+func (s *SendStream) RTTSnapshot() RTTSnapshot { return s.rtt.Snapshot() }
 
 // Resend names what an acknowledgment proved lost: the fragments of one
 // recorded message to put back on the wire.
@@ -229,6 +253,29 @@ type Resend struct {
 // or stale ack can race fragments still in flight and a premature full
 // resend would be pure duplication.
 func (s *SendStream) HandleAck(a Ack) (resend []Resend, freed bool) {
+	resend, freed, _ = s.HandleAckAt(0, a)
+	return resend, freed
+}
+
+// HandleAckAt is HandleAck with the ack's arrival time (clock
+// nanoseconds). When the ack echoes a probe whose transmit time was
+// recorded by OnProbeAt, the round trip is folded into the stream's RTT
+// estimator and returned (0 otherwise) so the transport can refresh its
+// live gauges.
+func (s *SendStream) HandleAckAt(now int64, a Ack) (resend []Resend, freed bool, rtt int64) {
+	if t, ok := s.probeAt[a.Nonce]; ok {
+		if now > t {
+			rtt = now - t
+			s.rtt.Observe(rtt)
+		}
+		// This probe is answered: its round trip is spent whether or not
+		// it produced a sample, and older probes' answers are now stale.
+		for n := range s.probeAt {
+			if n <= a.Nonce {
+				delete(s.probeAt, n)
+			}
+		}
+	}
 	progress := false
 	retire := func(seq uint32) {
 		if _, ok := s.unacked[seq]; ok {
@@ -255,6 +302,7 @@ func (s *SendStream) HandleAck(a Ack) (resend []Resend, freed bool) {
 		for n := range s.horizons {
 			if n <= a.Nonce {
 				delete(s.horizons, n)
+				delete(s.probeAt, n)
 			}
 		}
 	}
@@ -297,7 +345,7 @@ func (s *SendStream) HandleAck(a Ack) (resend []Resend, freed bool) {
 		s.probes = 0
 		s.rto = s.opts.RTO
 	}
-	return resend, freed
+	return resend, freed, rtt
 }
 
 // ---------------------------------------------------------------------------

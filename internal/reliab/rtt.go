@@ -1,0 +1,69 @@
+package reliab
+
+import "math"
+
+// RTT is a Jacobson/Karels round-trip estimator fed by probe/ack pairs,
+// extended with the two Vegas-style congestion observables the ROADMAP's
+// continuous controller needs: the observed RTT floor (the propagation
+// baseline) and a smoothed per-sample gradient of the smoothed RTT —
+// positive and growing while queues build, negative while they drain.
+// Like the rest of the package it is a pure state machine: the stream's
+// owner serializes access, and cross-thread export goes through atomic
+// metrics gauges updated on each observation.
+type RTT struct {
+	srtt    float64 // smoothed RTT, ns
+	rttvar  float64 // smoothed mean deviation, ns
+	min     float64 // observed floor, ns
+	grad    float64 // EWMA of per-sample srtt delta, ns
+	samples int64
+}
+
+// Observe folds one round-trip sample (nanoseconds) into the estimator:
+// srtt += 1/8·(s−srtt), rttvar += 1/4·(|s−srtt|−rttvar) (the TCP
+// gains), min tracks the floor, and the gradient smooths the srtt delta
+// with the same 1/8 gain.
+func (r *RTT) Observe(sample int64) {
+	s := float64(sample)
+	r.samples++
+	if r.samples == 1 {
+		r.srtt = s
+		r.rttvar = s / 2
+		r.min = s
+		return
+	}
+	prev := r.srtt
+	r.rttvar += (math.Abs(s-r.srtt) - r.rttvar) / 4
+	r.srtt += (s - r.srtt) / 8
+	if s < r.min {
+		r.min = s
+	}
+	r.grad += ((r.srtt - prev) - r.grad) / 8
+}
+
+// RTTSnapshot is the exported estimator state, all times in
+// nanoseconds. QueueDelay is the Vegas signal srtt − min: the standing
+// queue the stream's packets sit in beyond the propagation floor.
+type RTTSnapshot struct {
+	SRTT       float64
+	RTTVar     float64
+	MinRTT     float64
+	QueueDelay float64
+	Gradient   float64
+	Samples    int64
+}
+
+// Snapshot returns the current estimator state; zero before the first
+// sample.
+func (r *RTT) Snapshot() RTTSnapshot {
+	s := RTTSnapshot{
+		SRTT:     r.srtt,
+		RTTVar:   r.rttvar,
+		MinRTT:   r.min,
+		Gradient: r.grad,
+		Samples:  r.samples,
+	}
+	if r.samples > 0 {
+		s.QueueDelay = r.srtt - r.min
+	}
+	return s
+}

@@ -90,7 +90,7 @@ func TestPausedWindowBoundsHostQueue(t *testing.T) {
 		if drops := nw.SwitchStats().QueueDrops; drops != 0 {
 			t.Fatalf("flow control let %d frames tail-drop", drops)
 		}
-		return nw.Endpoint(1).NIC().Stats.MaxQueued, nw.Stats.Stream.PauseStalls, nw.SwitchStats().PauseEvents
+		return nw.Endpoint(1).NIC().Stats.MaxQueued, nw.Stats.Stream.PauseStalls.Load(), nw.SwitchStats().PauseEvents
 	}
 
 	paced, stalls, pauses := run(0) // 0: Fill applies the default (2)
@@ -198,7 +198,7 @@ func TestPausedWindowManyStreams(t *testing.T) {
 		if drops := nw.SwitchStats().QueueDrops; drops != 0 {
 			t.Fatalf("flow control let %d frames tail-drop", drops)
 		}
-		return nw.Endpoint(1).NIC().Stats.MaxQueued, nw.Stats.Stream.PauseStalls
+		return nw.Endpoint(1).NIC().Stats.MaxQueued, nw.Stats.Stream.PauseStalls.Load()
 	}
 
 	paced, stalls := run(0) // default paused window (2)

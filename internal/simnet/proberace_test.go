@@ -80,7 +80,7 @@ func TestPingDoesNotStarveRecoveryProbe(t *testing.T) {
 	if nw.Stats.InjectedP2PLosses != 1 {
 		t.Fatalf("injected %d losses, want 1 — the scenario did not exercise recovery", nw.Stats.InjectedP2PLosses)
 	}
-	if nw.Stats.Stream.Retransmits == 0 {
+	if nw.Stats.Stream.Retransmits.Load() == 0 {
 		t.Fatal("no retransmission recorded; delivery cannot have recovered the loss")
 	}
 	// One RTO of silence arms the probe, the ack round trip and resend
@@ -91,5 +91,5 @@ func TestPingDoesNotStarveRecoveryProbe(t *testing.T) {
 		t.Errorf("recovery took %d ns (> 4 RTOs of %d ns): probes postponed by ping acks", deliveredAt, rto)
 	}
 	t.Logf("lost fragment recovered at %d ns (%d retransmits, %d probes)",
-		deliveredAt, nw.Stats.Stream.Retransmits, nw.Stats.Stream.ProbesSent)
+		deliveredAt, nw.Stats.Stream.Retransmits.Load(), nw.Stats.Stream.ProbesSent.Load())
 }

@@ -19,9 +19,11 @@ package simnet
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/ethernet"
 	"repro/internal/ipnet"
+	"repro/internal/metrics"
 	"repro/internal/reliab"
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -146,6 +148,15 @@ type Profile struct {
 	// simulated timestamps to an untraced one (a property pinned by
 	// TestTraceDoesNotPerturbSimTime in package bench).
 	Trace *trace.Recorder
+	// Metrics, when non-nil, is the live telemetry registry every
+	// endpoint exposes through metrics.Carrier: continuous stream RTT /
+	// window / retransmit observables, per-NIC delivered rates, and
+	// switch queue gauges, updated as events run. Like Trace, sampling
+	// reads the simulated clock but never advances it and schedules no
+	// events — an instrumented run produces byte-identical simulated
+	// timestamps (pinned by TestMetricsDoNotPerturbSimTime in package
+	// bench).
+	Metrics *metrics.Registry
 }
 
 // DefaultProfile returns the era-calibrated constants from DESIGN.md §5.
@@ -166,13 +177,16 @@ func DefaultProfile() Profile {
 // datagram after the transport header.
 const MaxFragPayload = ipnet.MaxUDPPayload - transport.HeaderLen
 
-// Stats aggregates loss counters across the network.
+// Stats aggregates loss counters across the network. Stream counters
+// are atomics (reliab.StatCounters) so readers outside the event loop —
+// the mpirun stats print, the HTTP metrics sampler — take torn-free
+// snapshots of a live run.
 type Stats struct {
 	McastDropsNotPosted int64 // strict-mode losses (receiver not ready)
 	RingOverflows       int64 // receive-ring overflow losses
 	InjectedLosses      int64 // random multicast losses (LossRate/DropFrag)
 	InjectedP2PLosses   int64 // injected p2p losses (P2PLossRate/DropP2P)
-	Stream              reliab.Stats
+	Stream              reliab.StatCounters
 }
 
 // Network is one simulated cluster: an engine, a hub or switch, and one
@@ -239,24 +253,34 @@ func New(n int, topo Topology, prof Profile) *Network {
 	default:
 		panic(fmt.Sprintf("simnet: unknown topology %d", topo))
 	}
-	if rec := prof.Trace; rec != nil && nw.sw != nil {
+	if rec, reg := prof.Trace, prof.Metrics; (rec != nil || reg != nil) && nw.sw != nil {
 		// Fabric occupancy gauges land on a synthetic track so they never
 		// mix with rank-program events. Port names are precomputed: the tap
-		// fires on every egress enqueue/dequeue.
+		// fires on every egress enqueue/dequeue, feeding the flight
+		// recorder and the live metrics gauges from the same observation
+		// (one tap, zero scheduled events either way).
 		ports := len(nw.sw.PortStats())
 		depthName := make([]string, ports)
+		depthGauge := make([]*metrics.Gauge, ports)
+		dropCount := make([]*metrics.Counter, ports)
 		for p := range depthName {
 			depthName[p] = fmt.Sprintf("switch.port%d.depth", p)
+			depthGauge[p] = reg.Gauge(metrics.Labeled("mcast_switch_queue_depth", "port", strconv.Itoa(p)))
+			dropCount[p] = reg.Counter(metrics.Labeled("mcast_switch_drops", "port", strconv.Itoa(p)))
 		}
+		pausedGauge := reg.Gauge("mcast_switch_paused_stations")
 		nw.sw.SetTap(ethernet.SwitchTap{
 			QueueDepth: func(port, depth int) {
 				rec.Gauge(trace.FabricRank, int64(eng.Now()), depthName[port], int64(depth))
+				depthGauge[port].Set(float64(depth))
 			},
 			Paused: func(stations int) {
 				rec.Gauge(trace.FabricRank, int64(eng.Now()), "switch.paused", int64(stations))
+				pausedGauge.Set(float64(stations))
 			},
 			Drop: func(port int) {
 				rec.Event(trace.FabricRank, int64(eng.Now()), "switch.drop", int64(port))
+				dropCount[port].Inc()
 			},
 		})
 	}
@@ -270,6 +294,13 @@ func New(n int, topo Topology, prof Profile) *Network {
 			inbox:   sim.NewQueue[arrived](eng),
 			lossRng: lossRngs[i],
 		}
+		// Per-NIC telemetry handles, registered eagerly so every family
+		// exists from the first scrape (nil registry → nil no-op handles).
+		rs := strconv.Itoa(i)
+		ep.mDelivBytes = prof.Metrics.Meter(metrics.Labeled("mcast_nic_delivered_bytes", "rank", rs), metrics.DefaultMeterTau)
+		ep.mDelivFrames = prof.Metrics.Meter(metrics.Labeled("mcast_nic_delivered_frames", "rank", rs), metrics.DefaultMeterTau)
+		ep.mRetransmits = prof.Metrics.Meter(metrics.Labeled("mcast_stream_retransmits", "rank", rs), metrics.DefaultMeterTau)
+		ep.mPauseStalls = prof.Metrics.Counter(metrics.Labeled("mcast_nic_pause_stalls", "rank", rs))
 		node.SetHandler(ep.handleDatagram)
 		// Propagate 802.3x backpressure into the stream layer: a sender
 		// blocked on the shrunk paused-NIC window re-checks its
@@ -466,6 +497,13 @@ type Endpoint struct {
 	closed    bool
 	delivered DeliveredStats
 
+	// Live telemetry handles (nil when Profile.Metrics is nil; every
+	// method on a nil handle is an allocation-free no-op).
+	mDelivBytes  *metrics.Meter
+	mDelivFrames *metrics.Meter
+	mRetransmits *metrics.Meter
+	mPauseStalls *metrics.Counter
+
 	// Fault-injection state (Network.KillRank / Straggle, FailPeer).
 	killed      bool         // rank is dead: drops all arrivals, errors all calls
 	straggle    sim.Duration // injected compute delay, consumed at the next call
@@ -497,6 +535,7 @@ type sendPeer struct {
 	ss           *reliab.SendStream
 	armed        bool // a probe timer event is pending
 	lastActivity int64
+	mg           *metrics.StreamGauges // per-(rank,peer) RTT/window gauges
 }
 
 // recvPeer is the receiver half of one peer's reliable stream plus the
@@ -523,11 +562,16 @@ var (
 	_ transport.PeerFailer       = (*Endpoint)(nil)
 	_ topo.Provider              = (*Endpoint)(nil)
 	_ trace.Carrier              = (*Endpoint)(nil)
+	_ metrics.Carrier            = (*Endpoint)(nil)
 )
 
 // TraceRecorder implements trace.Carrier: the network-wide flight
 // recorder from Profile.Trace, nil when tracing is disabled.
 func (ep *Endpoint) TraceRecorder() *trace.Recorder { return ep.nw.prof.Trace }
+
+// MetricsRegistry implements metrics.Carrier: the network-wide live
+// telemetry registry from Profile.Metrics, nil when disabled.
+func (ep *Endpoint) MetricsRegistry() *metrics.Registry { return ep.nw.prof.Metrics }
 
 // Rank implements transport.Endpoint.
 func (ep *Endpoint) Rank() int { return ep.rank }
@@ -626,7 +670,7 @@ func (ep *Endpoint) Ping(dst int, timeout int64) bool {
 		ep.ackSeen = make([]uint64, len(ep.nw.eps))
 	}
 	before := ep.ackSeen[dst]
-	ep.nw.Stats.Stream.ProbesSent++
+	ep.nw.Stats.Stream.ProbesSent.Add(1)
 	ep.sendCtl(dst, reliab.EncodeProbe(pingNonce))
 	ep.pinging++
 	err := p.WaitFor(func() bool {
@@ -689,9 +733,10 @@ func (ep *Endpoint) SendReliable(dst int, m transport.Message) error {
 		return ep.congested && sp.ss.InFlight() >= pw
 	}
 	if windowFull() {
-		ep.nw.Stats.Stream.WindowStalls++
+		ep.nw.Stats.Stream.WindowStalls.Add(1)
 		if ep.congested && !sp.ss.Full() {
-			ep.nw.Stats.Stream.PauseStalls++
+			ep.nw.Stats.Stream.PauseStalls.Add(1)
+			ep.mPauseStalls.Inc()
 		}
 		_ = p.WaitFor(func() bool {
 			return !windowFull() || ep.streamErr != nil || ep.closed || ep.killed
@@ -718,7 +763,7 @@ func (ep *Endpoint) SendReliable(dst int, m transport.Message) error {
 	for i := range frags {
 		frags[i].Stream = seq
 	}
-	ep.nw.Stats.Stream.MsgsStreamed++
+	ep.nw.Stats.Stream.MsgsStreamed.Add(1)
 	if err := ep.transmitFrags(ipnet.RankAddr(dst), m, frags); err != nil {
 		return err
 	}
@@ -726,6 +771,7 @@ func (ep *Endpoint) SendReliable(dst int, m transport.Message) error {
 	// host send cost); a probe fired during that sleep must not have
 	// covered this message.
 	sp.ss.MarkSent(seq)
+	sp.mg.SetWindow(sp.ss.InFlight())
 	sp.lastActivity = int64(ep.nw.eng.Now())
 	ep.armProbe(dst, sp)
 	return nil
@@ -737,7 +783,10 @@ func (ep *Endpoint) sendPeer(dst int) *sendPeer {
 	}
 	sp := ep.sstreams[dst]
 	if sp == nil {
-		sp = &sendPeer{ss: reliab.NewSendStream(ep.nw.prof.Stream)}
+		sp = &sendPeer{
+			ss: reliab.NewSendStream(ep.nw.prof.Stream),
+			mg: metrics.NewStreamGauges(ep.nw.prof.Metrics, ep.rank, dst),
+		}
 		ep.sstreams[dst] = sp
 	}
 	return sp
@@ -783,13 +832,13 @@ func (ep *Endpoint) probeTick(dst int, sp *sendPeer) {
 		ep.nw.eng.At(wait, func() { ep.probeTick(dst, sp) })
 		return
 	}
-	nonce, ok := sp.ss.OnProbe()
+	nonce, ok := sp.ss.OnProbeAt(int64(ep.nw.eng.Now()))
 	if !ok {
 		ep.failStream(fmt.Errorf("simnet: reliable stream %d->%d failed: %d unacknowledged messages after %d probes",
 			ep.rank, dst, sp.ss.InFlight(), ep.nw.prof.Stream.MaxProbes))
 		return
 	}
-	ep.nw.Stats.Stream.ProbesSent++
+	ep.nw.Stats.Stream.ProbesSent.Add(1)
 	if rec := ep.nw.prof.Trace; rec != nil {
 		rec.Event(ep.rank, int64(ep.nw.eng.Now()), "stream.probe", int64(dst))
 	}
@@ -805,7 +854,7 @@ func (ep *Endpoint) failStream(err error) {
 		return
 	}
 	ep.streamErr = err
-	ep.nw.Stats.Stream.StreamFailures++
+	ep.nw.Stats.Stream.StreamFailures.Add(1)
 	ep.inbox.Close()
 	if ep.proc != nil {
 		ep.proc.Nudge()
@@ -858,7 +907,8 @@ func (ep *Endpoint) resendFrags(dst int, frags []transport.Fragment) {
 	if len(frags) == 0 {
 		return
 	}
-	ep.nw.Stats.Stream.Retransmits += int64(len(frags))
+	ep.nw.Stats.Stream.Retransmits.Add(int64(len(frags)))
+	ep.mRetransmits.Mark(int64(ep.nw.eng.Now()), int64(len(frags)))
 	if rec := ep.nw.prof.Trace; rec != nil {
 		rec.Event(ep.rank, int64(ep.nw.eng.Now()), "stream.retransmit", int64(len(frags)))
 	}
@@ -885,7 +935,7 @@ func (ep *Endpoint) sendStreamAck(src int, rp *recvPeer, nonce uint32) {
 	ack := rp.rs.AckState(func(msgID uint64) []int {
 		return ep.reasm.Missing(src, msgID)
 	}, nonce)
-	ep.nw.Stats.Stream.AcksSent++
+	ep.nw.Stats.Stream.AcksSent.Add(1)
 	ep.sendCtl(src, reliab.EncodeAck(ack, MaxFragPayload))
 }
 
@@ -901,7 +951,7 @@ func (ep *Endpoint) handleStreamCtl(f transport.Fragment) {
 		return
 	}
 	sp := ep.sendPeer(src)
-	ep.nw.Stats.Stream.AcksReceived++
+	ep.nw.Stats.Stream.AcksReceived.Add(1)
 	if ep.ackSeen == nil {
 		ep.ackSeen = make([]uint64, len(ep.nw.eps))
 	}
@@ -909,7 +959,12 @@ func (ep *Endpoint) handleStreamCtl(f transport.Fragment) {
 	if ep.pinging > 0 && ep.proc != nil {
 		ep.proc.Nudge()
 	}
-	resend, freed := sp.ss.HandleAck(ack)
+	resend, freed, rtt := sp.ss.HandleAckAt(int64(ep.nw.eng.Now()), ack)
+	if rtt > 0 {
+		snap := sp.ss.RTTSnapshot()
+		sp.mg.SetRTT(snap.SRTT, snap.RTTVar, snap.MinRTT, snap.QueueDelay, snap.Gradient)
+	}
+	sp.mg.SetWindow(sp.ss.InFlight())
 	// An ack answering a failure-detector ping is liveness evidence, not
 	// stream progress: refreshing the activity clock on it would let
 	// periodic pings postpone the recovery probe forever (sweep period <
@@ -1137,7 +1192,7 @@ func (ep *Endpoint) handleDatagram(d ipnet.Datagram) {
 			// Duplicate of a delivered message (a retransmission raced
 			// the ack): suppress it before it founds ghost reassembly
 			// state, and re-advertise our state so the sender retires it.
-			ep.nw.Stats.Stream.DupFragments++
+			ep.nw.Stats.Stream.DupFragments.Add(1)
 			ep.sendStreamAck(f.Msg.Src, rp, 0)
 			return
 		}
@@ -1199,6 +1254,8 @@ func (ep *Endpoint) handleDatagram(d ipnet.Datagram) {
 	if m.Class == transport.ClassData {
 		ep.delivered.DataBytes += int64(len(m.Payload))
 	}
+	ep.mDelivBytes.Mark(int64(ep.nw.eng.Now()), int64(len(m.Payload)))
+	ep.mDelivFrames.Mark(int64(ep.nw.eng.Now()), int64(nfrags))
 	if rec := prof.Trace; rec != nil {
 		rec.Gauge(ep.rank, int64(ep.nw.eng.Now()), "delivered.bytes", ep.delivered.Bytes)
 	}
@@ -1216,7 +1273,7 @@ func (ep *Endpoint) sendStreamAckEager(src int, rp *recvPeer) {
 	ack := rp.rs.AckState(func(msgID uint64) []int {
 		return ep.reasm.Missing(src, msgID)
 	}, 0)
-	ep.nw.Stats.Stream.AcksSent++
+	ep.nw.Stats.Stream.AcksSent.Add(1)
 	ep.sendCtl(src, reliab.EncodeAck(ack, MaxFragPayload))
 }
 

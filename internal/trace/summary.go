@@ -145,10 +145,16 @@ func Summarize(r *Recorder) *Summary {
 			hasPhases = true
 		}
 	}
+	// maxPathSteps bounds the walk. It must exceed the deepest real phase
+	// graph — the chunked allreduce records an event-driven reduce-scatter
+	// followed by ~2·log2(N) pipelined allgather round spans per rank, and
+	// truncating there would cut the path off inside the rounds and never
+	// reach the reduce-scatter the completion time actually waited through.
+	const maxPathSteps = 64
 	used := make(map[span]bool)
 	cur, cursor := last.rank, last.end
 	var path []PathStep
-	for len(path) < 16 {
+	for len(path) < maxPathSteps {
 		var best span
 		found := false
 		deepOnly := false

@@ -26,6 +26,9 @@ import (
 	"sync"
 	"time"
 
+	"strconv"
+
+	"repro/internal/metrics"
 	"repro/internal/reliab"
 	"repro/internal/topo"
 	"repro/internal/trace"
@@ -89,6 +92,13 @@ type Config struct {
 	// the world started. The recorder is mutex-protected — ranks record
 	// concurrently from their app threads and read loops.
 	Trace *trace.Recorder
+	// Metrics, when non-nil, is the live telemetry registry every
+	// endpoint exposes through metrics.Carrier: continuous stream
+	// RTT/window/retransmit observables and per-NIC delivered rates,
+	// updated from app threads and read loops and scraped concurrently
+	// by the mpirun HTTP endpoint. Timestamps are wall-clock
+	// nanoseconds since the world started.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns a working localhost configuration.
@@ -177,6 +187,16 @@ func New(cfg Config) (*Net, error) {
 			rstreams: make(map[int]*uRecvPeer),
 			done:     make(chan struct{}),
 
+			// Per-NIC telemetry handles, registered eagerly so every
+			// family exists from the first scrape (nil registry → nil
+			// no-op handles).
+			mDelivBytes: cfg.Metrics.Meter(
+				metrics.Labeled("mcast_nic_delivered_bytes", "rank", strconv.Itoa(i)), metrics.DefaultMeterTau),
+			mDelivFrames: cfg.Metrics.Meter(
+				metrics.Labeled("mcast_nic_delivered_frames", "rank", strconv.Itoa(i)), metrics.DefaultMeterTau),
+			mRetransmits: cfg.Metrics.Meter(
+				metrics.Labeled("mcast_stream_retransmits", "rank", strconv.Itoa(i)), metrics.DefaultMeterTau),
+
 			failedPeers: make(map[int]bool),
 			ackSeen:     make(map[int]uint64),
 			ackWake:     make(chan struct{}),
@@ -239,7 +259,10 @@ func (nw *Net) Close() {
 	}
 }
 
-// Stats counts transport events at one endpoint.
+// Stats counts transport events at one endpoint. Stream counters are
+// kept as atomics internally (reliab.StatCounters) and copied out by
+// Stats(), so concurrent readers — the mpirun stats print, the HTTP
+// metrics sampler, the -deadline abort dump — never tear a count.
 type Stats struct {
 	DatagramsSent     int64
 	DatagramsReceived int64
@@ -263,6 +286,13 @@ type Endpoint struct {
 	lastMcast uint64
 	closed    bool
 	stats     Stats
+	sstats    reliab.StatCounters // stream counters, atomic (lock-free increments)
+
+	// Live telemetry handles (nil when Config.Metrics is nil; every
+	// method on a nil handle is an allocation-free no-op).
+	mDelivBytes  *metrics.Meter
+	mDelivFrames *metrics.Meter
+	mRetransmits *metrics.Meter
 
 	// Reliable point-to-point stream state (package reliab), all guarded
 	// by mu; sendCond wakes senders blocked on a full window.
@@ -298,6 +328,7 @@ type uSendPeer struct {
 	ss           *reliab.SendStream
 	timer        *time.Timer // nil when no probe is scheduled
 	lastActivity int64
+	mg           *metrics.StreamGauges // per-(rank,peer) RTT/window gauges
 }
 
 // uRecvPeer is one peer's receive stream plus the volunteer-ack
@@ -318,11 +349,16 @@ var (
 	_ transport.PeerFailer       = (*Endpoint)(nil)
 	_ topo.Provider              = (*Endpoint)(nil)
 	_ trace.Carrier              = (*Endpoint)(nil)
+	_ metrics.Carrier            = (*Endpoint)(nil)
 )
 
 // TraceRecorder implements trace.Carrier: the world-wide flight recorder
 // from Config.Trace, nil when tracing is disabled.
 func (ep *Endpoint) TraceRecorder() *trace.Recorder { return ep.net.cfg.Trace }
+
+// MetricsRegistry implements metrics.Carrier: the world-wide live
+// telemetry registry from Config.Metrics, nil when disabled.
+func (ep *Endpoint) MetricsRegistry() *metrics.Registry { return ep.net.cfg.Metrics }
 
 // pingNonce marks a failure-detector probe. It shares the stream probe
 // wire format — the receiver answers it at the read loop, below the
@@ -345,11 +381,14 @@ func (ep *Endpoint) Size() int { return len(ep.peers) }
 // Now implements transport.Endpoint with the wall clock.
 func (ep *Endpoint) Now() int64 { return time.Since(ep.net.start).Nanoseconds() }
 
-// Stats returns a copy of the endpoint's counters.
+// Stats returns a copy of the endpoint's counters, including an atomic
+// snapshot of the stream counters (safe while the transport is live).
 func (ep *Endpoint) Stats() Stats {
 	ep.mu.Lock()
-	defer ep.mu.Unlock()
-	return ep.stats
+	st := ep.stats
+	ep.mu.Unlock()
+	st.Stream = ep.sstats.Snapshot()
+	return st
 }
 
 // Kill is the process-local fault injection switch: the rank becomes
@@ -413,7 +452,7 @@ func (ep *Endpoint) Ping(dst int, timeout int64) bool {
 	}
 	before := ep.ackSeen[dst]
 	wake := ep.ackWake
-	ep.stats.Stream.ProbesSent++
+	ep.sstats.ProbesSent.Add(1)
 	frag := ep.ctlFragLocked(reliab.EncodeProbe(pingNonce))
 	ep.mu.Unlock()
 
@@ -499,7 +538,7 @@ func (ep *Endpoint) SendReliable(dst int, m transport.Message) error {
 	}
 	sp := ep.sendPeerLocked(dst)
 	if sp.ss.Full() {
-		ep.stats.Stream.WindowStalls++
+		ep.sstats.WindowStalls.Add(1)
 	}
 	for sp.ss.Full() && ep.streamErr == nil && !ep.closed && !ep.killed && !ep.failedPeers[dst] {
 		ep.sendCond.Wait()
@@ -531,13 +570,14 @@ func (ep *Endpoint) SendReliable(dst int, m transport.Message) error {
 	for i := range frags {
 		frags[i].Stream = seq
 	}
-	ep.stats.Stream.MsgsStreamed++
+	ep.sstats.MsgsStreamed.Add(1)
 	ep.mu.Unlock()
 
 	err := ep.writeFrags(ep.peers[dst], frags)
 
 	ep.mu.Lock()
 	sp.ss.MarkSent(seq)
+	sp.mg.SetWindow(sp.ss.InFlight())
 	sp.lastActivity = ep.Now()
 	ep.armProbeLocked(dst, sp)
 	ep.mu.Unlock()
@@ -547,7 +587,10 @@ func (ep *Endpoint) SendReliable(dst int, m transport.Message) error {
 func (ep *Endpoint) sendPeerLocked(dst int) *uSendPeer {
 	sp := ep.sstreams[dst]
 	if sp == nil {
-		sp = &uSendPeer{ss: reliab.NewSendStream(ep.net.cfg.Stream)}
+		sp = &uSendPeer{
+			ss: reliab.NewSendStream(ep.net.cfg.Stream),
+			mg: metrics.NewStreamGauges(ep.net.cfg.Metrics, ep.rank, dst),
+		}
 		ep.sstreams[dst] = sp
 	}
 	return sp
@@ -588,14 +631,14 @@ func (ep *Endpoint) probeFire(dst int, sp *uSendPeer) {
 		ep.mu.Unlock()
 		return
 	}
-	nonce, ok := sp.ss.OnProbe()
+	nonce, ok := sp.ss.OnProbeAt(ep.Now())
 	if !ok {
 		ep.failStreamLocked(fmt.Errorf("udpnet: reliable stream %d->%d failed: %d unacknowledged messages after %d probes",
 			ep.rank, dst, sp.ss.InFlight(), ep.net.cfg.Stream.MaxProbes))
 		ep.mu.Unlock()
 		return
 	}
-	ep.stats.Stream.ProbesSent++
+	ep.sstats.ProbesSent.Add(1)
 	if rec := ep.net.cfg.Trace; rec != nil {
 		rec.Event(ep.rank, ep.Now(), "stream.probe", int64(dst))
 	}
@@ -617,7 +660,7 @@ func (ep *Endpoint) failStreamLocked(err error) {
 		return
 	}
 	ep.streamErr = err
-	ep.stats.Stream.StreamFailures++
+	ep.sstats.StreamFailures.Add(1)
 	ep.sendCond.Broadcast()
 	ep.closeDoneLocked()
 }
@@ -677,7 +720,7 @@ func (ep *Endpoint) sendStreamAckLocked(src int, rp *uRecvPeer, nonce uint32, fo
 	ack := rp.rs.AckState(func(msgID uint64) []int {
 		return ep.reasm.Missing(src, msgID)
 	}, nonce)
-	ep.stats.Stream.AcksSent++
+	ep.sstats.AcksSent.Add(1)
 	frag := ep.ctlFragLocked(reliab.EncodeAck(ack, ep.net.cfg.FragSize))
 	bp := wireBufPool.Get().(*[]byte)
 	*bp = transport.AppendFragment((*bp)[:0], frag)
@@ -709,11 +752,16 @@ func (ep *Endpoint) handleStreamCtl(f transport.Fragment) {
 	}
 	ep.mu.Lock()
 	sp := ep.sendPeerLocked(src)
-	ep.stats.Stream.AcksReceived++
+	ep.sstats.AcksReceived.Add(1)
 	ep.ackSeen[src]++
 	close(ep.ackWake)
 	ep.ackWake = make(chan struct{})
-	resend, freed := sp.ss.HandleAck(ack)
+	resend, freed, rtt := sp.ss.HandleAckAt(ep.Now(), ack)
+	if rtt > 0 {
+		snap := sp.ss.RTTSnapshot()
+		sp.mg.SetRTT(snap.SRTT, snap.RTTVar, snap.MinRTT, snap.QueueDelay, snap.Gradient)
+	}
+	sp.mg.SetWindow(sp.ss.InFlight())
 	// An ack answering a failure-detector ping is liveness evidence, not
 	// stream progress: refreshing the activity clock on it would let
 	// periodic pings postpone the recovery probe indefinitely and starve
@@ -723,7 +771,8 @@ func (ep *Endpoint) handleStreamCtl(f transport.Fragment) {
 	}
 	var bufs [][]byte
 	for _, r := range resend {
-		ep.stats.Stream.Retransmits += int64(len(r.Frags))
+		ep.sstats.Retransmits.Add(int64(len(r.Frags)))
+		ep.mRetransmits.Mark(ep.Now(), int64(len(r.Frags)))
 		if rec := ep.net.cfg.Trace; rec != nil {
 			rec.Event(ep.rank, ep.Now(), "stream.retransmit", int64(len(r.Frags)))
 		}
@@ -945,7 +994,7 @@ func (ep *Endpoint) readLoop(conn *net.UDPConn) {
 			if !rp.rs.Fresh(f.Stream, f.MsgID) {
 				// Duplicate of a delivered message (a retransmission
 				// raced the ack): suppress it and re-advertise our state.
-				ep.stats.Stream.DupFragments++
+				ep.sstats.DupFragments.Add(1)
 				ackSend = ep.sendStreamAckLocked(f.Msg.Src, rp, 0, false)
 				ep.mu.Unlock()
 				if ackSend != nil {
@@ -957,6 +1006,8 @@ func (ep *Endpoint) readLoop(conn *net.UDPConn) {
 		m, done, err := ep.reasm.Add(f)
 		if err == nil && done {
 			ep.stats.DatagramsReceived++
+			ep.mDelivBytes.Mark(ep.Now(), int64(len(m.Payload)))
+			ep.mDelivFrames.Mark(ep.Now(), int64(f.Count))
 			if rp != nil {
 				rp.rs.Deliver(f.Stream)
 				if m.Reliable {
